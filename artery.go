@@ -1,0 +1,325 @@
+// Package artery is the public API of the ARTERY library — a faithful
+// reproduction of "ARTERY: Fast Quantum Feedback using Branch Prediction"
+// (ISCA 2025).
+//
+// ARTERY accelerates quantum feedback by predicting the branch of a
+// mid-circuit measurement before the readout pulse completes, pre-executing
+// the predicted branch circuit, and recovering with inverse gates on a
+// misprediction. The predictor fuses each feedback site's historical branch
+// distribution with a real-time classification of the partial readout-pulse
+// IQ trajectory through a Bayesian model.
+//
+// The package wires together the full system described in the paper:
+// readout-channel calibration, the reconciled branch predictor, the
+// feedback controller with dynamic timing and hierarchical interconnect
+// routing, the benchmark workloads, and a Monte-Carlo quantum simulation
+// that converts feedback latency into fidelity. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Quickstart:
+//
+//	sys := artery.New(artery.Options{Seed: 1})
+//	report := sys.Run(artery.QRW(5), 200)
+//	fmt.Printf("latency %.2f µs, accuracy %.1f%%\n",
+//	    report.MeanLatencyUs, 100*report.Accuracy)
+package artery
+
+import (
+	"fmt"
+
+	"artery/internal/controller"
+	"artery/internal/core"
+	"artery/internal/interconnect"
+	"artery/internal/predict"
+	"artery/internal/qec"
+	"artery/internal/quantum"
+	"artery/internal/readout"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// Options configures a System. The zero value selects the paper's
+// evaluation configuration.
+type Options struct {
+	// Seed drives every stochastic component; runs are reproducible per
+	// seed. Zero selects seed 1.
+	Seed uint64
+	// WindowNs is the demodulation window length (default 30 ns, §6.1).
+	WindowNs float64
+	// HistoryDepth is the number of branch-history registers k (default 6).
+	HistoryDepth int
+	// Theta is the symmetric confidence threshold (default 0.91, Figure 17).
+	Theta float64
+	// Mode selects the predictor features (default: combined).
+	Mode PredictorMode
+	// DisableStateSim skips the per-shot quantum-state fidelity simulation
+	// (latency and accuracy remain available; much faster for sweeps).
+	DisableStateSim bool
+	// DynamicalDecoupling executes feedback idle windows as X-echo
+	// sequences, refocusing quasi-static dephasing (the paper applies DD
+	// to idle qubits in its QEC experiment). Only observable when
+	// QuasiStaticSigma is non-zero.
+	DynamicalDecoupling bool
+	// QuasiStaticSigma adds a per-shot frozen frequency detuning (rad/ns)
+	// to the noise model — the refocusable low-frequency dephasing
+	// component.
+	QuasiStaticSigma float64
+}
+
+// PredictorMode mirrors the Figure-14 ablation arms.
+type PredictorMode int
+
+// Predictor modes.
+const (
+	ModeCombined   PredictorMode = PredictorMode(predict.ModeCombined)
+	ModeHistory    PredictorMode = PredictorMode(predict.ModeHistory)
+	ModeTrajectory PredictorMode = PredictorMode(predict.ModeTrajectory)
+)
+
+// Workload is a feedback benchmark program. Construct instances with QRW,
+// RCNOT, DQT, RUSQNN, Reset, Random, QEC, EntangleSwap or MSI, or build a
+// circuit directly (e.g. parsed from the QASM dialect) and attach per-site
+// priors.
+type Workload = workload.Workload
+
+// Report summarizes one workload run under one controller.
+type Report struct {
+	Workload   string
+	Controller string
+	Shots      int
+	// MeanLatencyUs is the mean per-shot feedback latency in microseconds
+	// (summed over the workload's feedback sites, Table 1's metric).
+	MeanLatencyUs float64
+	// Accuracy is the fraction of committed branch predictions that proved
+	// correct (1.0 for the non-predictive baselines).
+	Accuracy float64
+	// CommitRate is the fraction of feedback executions that committed a
+	// prediction before the readout completed.
+	CommitRate float64
+	// Fidelity is the mean end-of-circuit state fidelity against an ideal
+	// zero-latency execution (NaN when state simulation is disabled).
+	Fidelity float64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%-12s %-14s latency=%6.2fµs accuracy=%5.1f%% commit=%5.1f%% fidelity=%.4f",
+		r.Workload, r.Controller, r.MeanLatencyUs, 100*r.Accuracy, 100*r.CommitRate, r.Fidelity)
+}
+
+// System is a calibrated ARTERY stack: readout channel, predictor,
+// controller, interconnect and simulator.
+type System struct {
+	opts    Options
+	channel *readout.Channel
+	topo    *interconnect.Topology
+	rng     *stats.RNG
+}
+
+// New calibrates a system: it generates the training pulse corpus, fits the
+// readout classifier, and pre-generates the trajectory state table (the
+// paper's hardware-initialization step).
+func New(opts Options) *System {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.WindowNs == 0 {
+		opts.WindowNs = readout.DefaultWinNs
+	}
+	if opts.HistoryDepth == 0 {
+		opts.HistoryDepth = readout.DefaultK
+	}
+	if opts.Theta == 0 {
+		opts.Theta = 0.91
+	}
+	rng := stats.NewRNG(opts.Seed)
+	ch := readout.NewChannel(readout.DefaultCalibration(), opts.WindowNs, opts.HistoryDepth, rng.Split())
+	return &System{opts: opts, channel: ch, topo: interconnect.PaperTopology(), rng: rng}
+}
+
+// ControllerNames lists the available feedback controllers: "ARTERY" plus
+// the paper's four baselines.
+func ControllerNames() []string {
+	return []string{"ARTERY", "QubiC", "HERQULES", "Salathe et al.", "Reuer et al."}
+}
+
+// newController builds a fresh controller by name (fresh predictor state
+// per run, so runs are independent).
+func (s *System) newController(name string) controller.Controller {
+	switch name {
+	case "ARTERY":
+		cfg := predict.Config{Theta0: s.opts.Theta, Theta1: s.opts.Theta, Mode: predict.Mode(s.opts.Mode)}
+		return controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel))
+	case "QubiC":
+		return controller.NewBaseline(name, controller.QubiCOverheadNs, s.topo)
+	case "HERQULES":
+		return controller.NewBaseline(name, controller.HERQULESOverheadNs, s.topo)
+	case "Salathe et al.":
+		return controller.NewBaseline(name, controller.SalatheOverheadNs, s.topo)
+	case "Reuer et al.":
+		return controller.NewBaseline(name, controller.ReuerOverheadNs, s.topo)
+	default:
+		panic(fmt.Sprintf("artery: unknown controller %q", name))
+	}
+}
+
+// Run executes a workload for the given shots under the ARTERY controller.
+func (s *System) Run(wl *Workload, shots int) Report {
+	return s.RunWith("ARTERY", wl, shots)
+}
+
+// RunWith executes a workload under a named controller.
+func (s *System) RunWith(name string, wl *Workload, shots int) Report {
+	noise := quantum.DeviceNoise()
+	noise.QuasiStaticSigma = s.opts.QuasiStaticSigma
+	eng := core.NewEngine(s.newController(name), s.channel, noise)
+	eng.SimulateState = !s.opts.DisableStateSim
+	eng.EnableDD = s.opts.DynamicalDecoupling
+	res := eng.Run(wl, shots, s.rng.Split())
+	return Report{
+		Workload:      res.Workload,
+		Controller:    res.Controller,
+		Shots:         res.Shots,
+		MeanLatencyUs: res.MeanLatencyNs / 1000,
+		Accuracy:      res.Accuracy,
+		CommitRate:    res.CommitRate,
+		Fidelity:      res.MeanFidelity,
+	}
+}
+
+// Compare runs a workload under every controller and returns the reports
+// in ControllerNames order.
+func (s *System) Compare(wl *Workload, shots int) []Report {
+	var out []Report
+	for _, name := range ControllerNames() {
+		out = append(out, s.RunWith(name, wl, shots))
+	}
+	return out
+}
+
+// PredictShot synthesizes one readout pulse for a qubit prepared in the
+// given state and traces the predictor's posterior evolution — the
+// Figure 15 (a) view of one shot. prior is the site's historical branch-1
+// probability.
+func (s *System) PredictShot(state int, prior float64) ShotTrace {
+	cfg := predict.Config{Theta0: s.opts.Theta, Theta1: s.opts.Theta, Mode: predict.Mode(s.opts.Mode)}
+	p := predict.New(cfg, s.channel)
+	pulse := s.channel.Cal.Synthesize(state, s.rng)
+	d := p.PredictWithHistory(pulse, prior)
+	tr := ShotTrace{
+		Prepared:  state,
+		Truth:     s.channel.Classifier.ClassifyFull(pulse),
+		Branch:    d.Branch,
+		Committed: d.Committed,
+		TimeUs:    d.TimeNs / 1000,
+	}
+	for _, pt := range d.Trace {
+		tr.Posterior = append(tr.Posterior, [2]float64{pt.TimeNs / 1000, pt.PPredict})
+	}
+	return tr
+}
+
+// ShotTrace is the posterior evolution of one predicted shot.
+type ShotTrace struct {
+	Prepared  int
+	Truth     int
+	Branch    int
+	Committed bool
+	TimeUs    float64
+	// Posterior holds (time µs, P_predict_1) pairs per window.
+	Posterior [][2]float64
+}
+
+// Workload constructors (re-exported from the workload package).
+
+// QRW builds a quantum-random-walk benchmark with the given steps.
+func QRW(steps int) *Workload { return workload.QRW(steps) }
+
+// RCNOT builds a remote-CNOT benchmark with the given depth.
+func RCNOT(depth int) *Workload { return workload.RCNOT(depth) }
+
+// DQT builds a deterministic-quantum-teleportation benchmark.
+func DQT(distance int) *Workload { return workload.DQT(distance) }
+
+// RUSQNN builds a repeat-until-success QNN benchmark.
+func RUSQNN(cycles int) *Workload { return workload.RUSQNN(cycles) }
+
+// Reset builds an active-reset benchmark over n qubits.
+func Reset(nQubits int) *Workload { return workload.Reset(nQubits) }
+
+// Random builds a random feedback circuit with the given gate count,
+// deterministically derived from seed.
+func Random(gates int, seed uint64) *Workload {
+	return workload.Random(gates, stats.NewRNG(seed))
+}
+
+// QEC builds the d=3 surface-code cycle benchmark.
+func QEC(cycles int) *Workload { return workload.QECCycle(cycles) }
+
+// EntangleSwap builds the case-2 (ancilla pre-execution) benchmark.
+func EntangleSwap(depth int) *Workload { return workload.EntangleSwap(depth) }
+
+// MSI builds the magic-state-injection benchmark (case-1 S corrections).
+func MSI(injections int) *Workload { return workload.MSI(injections) }
+
+// LogicalErrorRate simulates a distance-3 surface-code memory for the
+// given number of correction cycles and Monte-Carlo trials: pData is the
+// per-cycle X-flip probability of each data qubit (fold your controller's
+// cycle latency into it via idle decoherence), pMeas the syndrome
+// measurement flip probability. It returns the logical error rate —
+// the quantity of Figure 12 (b)/(c).
+func LogicalErrorRate(cycles, trials int, pData, pMeas float64, seed uint64) float64 {
+	code := qec.NewCode(3)
+	res := qec.RunMemory(qec.MemoryParams{
+		Code:   code,
+		Dec:    qec.NewLUTDecoder(code),
+		Cycles: cycles,
+		Trials: trials,
+		PData:  pData,
+		PMeas:  pMeas,
+	}, stats.NewRNG(seed))
+	return res.LogicalErrorRate()
+}
+
+// CyclePData converts a QEC cycle latency (in µs) into the per-cycle
+// data-qubit flip probability at the calibrated device T1, with an
+// exposure factor (>1 when corrections lag, as on conventional
+// controllers) and a constant gate-error floor.
+func CyclePData(cycleUs, exposure float64) float64 {
+	return qec.PDataFromLatency(cycleUs*1000, 125_000, exposure, 0.004)
+}
+
+// CircuitLevelLogicalErrorRate is the gate-by-gate counterpart of
+// LogicalErrorRate: every syndrome-extraction round runs on the stabilizer
+// simulator with depolarizing gate noise (p1q/p2q), measurement flips and
+// latency-scaled idle errors. Distance 3 uses the exact lookup-table
+// decoder; larger odd distances use the union-find decoder.
+func CircuitLevelLogicalErrorRate(distance, cycles, trials int, p2q, pMeas, pIdle float64, seed uint64) float64 {
+	code := qec.NewCode(distance)
+	var dec qec.Decoder
+	if distance == 3 {
+		dec = qec.NewLUTDecoder(code)
+	} else {
+		dec = qec.NewUnionFindDecoder(code)
+	}
+	res := qec.RunCircuitMemory(qec.CircuitMemoryParams{
+		Code: code, Dec: dec, Cycles: cycles, Trials: trials,
+		P1Q: p2q / 4, P2Q: p2q, PMeas: pMeas, PIdleData: pIdle,
+	}, stats.NewRNG(seed))
+	return res.LogicalErrorRate()
+}
+
+// TuneThreshold runs the Figure-17 threshold-selection procedure on the
+// system's calibrated channel for a feedback site with the given branch-1
+// prior, returning the latency-minimizing tolerance threshold and its
+// expected per-feedback latency (µs) and accuracy.
+func (s *System) TuneThreshold(prior float64, shots int) (theta, latencyUs, accuracy float64, err error) {
+	res, err := predict.AutoTune(s.channel, predict.TuneConfig{
+		Prior: prior,
+		Shots: shots,
+		Mode:  predict.Mode(s.opts.Mode),
+	}, s.rng.Split())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.Theta, res.MeanLatencyNs / 1000, res.Accuracy, nil
+}

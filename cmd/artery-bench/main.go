@@ -1,0 +1,107 @@
+// Command artery-bench regenerates the tables and figures of the ARTERY
+// paper's evaluation section (§6) from the simulated substrate.
+//
+// Usage:
+//
+//	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-list]
+//
+// Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
+// fig12c, fig12d, table1, fig13, fig14, fig15a, fig15b, table2, fig16,
+// fig17. Without -exp every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"artery/internal/experiment"
+)
+
+// writeFile persists one experiment table under dir.
+func writeFile(dir, id, format string, tab *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ext := format
+	if ext == "" || ext == "text" {
+		ext = "txt"
+	}
+	f, err := os.Create(filepath.Join(dir, id+"."+ext))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteAs(f, format)
+}
+
+// extraIDs returns the ablation ids in stable order.
+func extraIDs() []string {
+	var out []string
+	for id := range experiment.ExtraRegistry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	var (
+		exps   = flag.String("exp", "", "comma-separated experiment ids (default: all paper experiments)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		shots  = flag.Int("shots", 60, "shots per measured cell")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		extras = flag.Bool("ablations", false, "also run the repository's ablation studies")
+		format = flag.String("format", "text", "output format: text|csv|json")
+		outDir = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		for _, id := range extraIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiment.IDs()
+	if *exps != "" {
+		ids = strings.Split(*exps, ",")
+	} else if *extras {
+		ids = append(ids, extraIDs()...)
+	}
+	suite := experiment.NewSuite(*seed, *shots)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		gen, ok := experiment.Registry[id]
+		if !ok {
+			gen, ok = experiment.ExtraRegistry[id]
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "artery-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := gen(suite)
+		if err := tab.WriteAs(os.Stdout, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if *outDir != "" {
+			if err := writeFile(*outDir, id, *format, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command pulsecomp compiles a workload's control-pulse streams, runs the
+// adaptive-pulse-sampling codecs over them, and prints Table-2-style
+// statistics (bandwidth, DAC density, decode latency) plus the pulse
+// library footprint against the 1.4 MB on-chip budget.
+//
+// Usage:
+//
+//	pulsecomp [-workload name] [-param N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"artery/internal/pulse"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "qec", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec")
+		param  = flag.Int("param", 2, "workload size parameter")
+		seed   = flag.Uint64("seed", 1, "random seed (random workload only)")
+	)
+	flag.Parse()
+
+	var wl *workload.Workload
+	switch *wlName {
+	case "qrw":
+		wl = workload.QRW(*param)
+	case "rcnot":
+		wl = workload.RCNOT(*param)
+	case "dqt":
+		wl = workload.DQT(*param)
+	case "rusqnn":
+		wl = workload.RUSQNN(*param)
+	case "reset":
+		wl = workload.Reset(*param)
+	case "random":
+		wl = workload.Random(*param, stats.NewRNG(*seed))
+	case "qec":
+		wl = workload.QECCycle(*param)
+	default:
+		fmt.Fprintf(os.Stderr, "pulsecomp: unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+
+	streams := pulse.CompileCircuit(wl.Circuit)
+	totalSamples := 0
+	for _, w := range streams {
+		totalSamples += len(w)
+	}
+	fmt.Printf("workload %s: %d control channels, %d samples (%.1f µs of playback)\n\n",
+		wl.Name, len(streams), totalSamples, streams[0].DurationNs()/1000)
+
+	fmt.Printf("%-22s %-12s %-12s %-12s %-14s\n", "codec", "ratio", "Gb/s", "#DAC/FPGA", "decode (ns)")
+	for _, c := range pulse.Codecs() {
+		r := pulse.AnalyzeSampling(c, streams)
+		fmt.Printf("%-22s %-12.3f %-12.1f %-12d %-14.1f\n",
+			r.Codec, r.CompressionRatio, r.BandwidthGbps, r.DACsPerFPGA, r.DecodeLatencyNs)
+	}
+
+	lib := pulse.BuildLibrary(wl.Circuit, pulse.CombinedCodec{})
+	fmt.Printf("\npulse library: %d entries, %d bytes raw -> %d bytes stored (budget 1.4 MB: %v)\n",
+		lib.Len(), lib.RawBytes(), lib.StoredBytes(), lib.StoredBytes() <= 1_400_000)
+}

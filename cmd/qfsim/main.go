@@ -1,0 +1,149 @@
+// Command qfsim runs one feedback workload end-to-end under a chosen
+// feedback controller and prints a per-shot trace plus summary statistics.
+//
+// Usage:
+//
+//	qfsim [-workload name] [-param N] [-controller name] [-shots N] [-seed N] [-trace N]
+//
+// Workloads: qrw, rcnot, dqt, rusqnn, reset, random, qec.
+// Controllers: ARTERY (default), QubiC, HERQULES, "Salathe et al.",
+// "Reuer et al.".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"artery"
+	"artery/internal/circuit"
+	"artery/internal/controller"
+	"artery/internal/core"
+	"artery/internal/interconnect"
+	"artery/internal/predict"
+	"artery/internal/readout"
+	"artery/internal/stats"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "qrw", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec|eswap|msi")
+		loadPath = flag.String("load", "", "load a circuit from a QASM file instead of a named workload")
+		prior    = flag.Float64("prior", 0.5, "branch-1 prior for every feedback site of a loaded circuit")
+		param    = flag.Int("param", 5, "workload size parameter (steps/depth/distance/cycles/qubits/gates)")
+		ctrlName = flag.String("controller", "ARTERY", "feedback controller")
+		shots    = flag.Int("shots", 100, "number of shots")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		traceN   = flag.Int("trace", 1, "print the posterior trace of N predicted shots")
+		compare  = flag.Bool("compare", false, "run all controllers and compare")
+		dumpQASM = flag.Bool("qasm", false, "print the workload circuit in QASM form and exit")
+		timeline = flag.Bool("timeline", false, "print the workload's per-qubit schedule and exit")
+		sequence = flag.Bool("sequence", false, "print a Figure-9-style sequence diagram of one shot and exit")
+	)
+	flag.Parse()
+
+	var wl *artery.Workload
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
+			os.Exit(2)
+		}
+		c, err := circuit.ParseQASM(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
+			os.Exit(2)
+		}
+		priors := make([]float64, len(c.FeedbackSites()))
+		for i := range priors {
+			priors[i] = *prior
+		}
+		wl = &artery.Workload{Name: *loadPath, Circuit: c, SiteP1: priors}
+		if err := wl.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		switch *wlName {
+		case "qrw":
+			wl = artery.QRW(*param)
+		case "rcnot":
+			wl = artery.RCNOT(*param)
+		case "dqt":
+			wl = artery.DQT(*param)
+		case "rusqnn":
+			wl = artery.RUSQNN(*param)
+		case "reset":
+			wl = artery.Reset(*param)
+		case "random":
+			wl = artery.Random(*param, *seed)
+		case "qec":
+			wl = artery.QEC(*param)
+		case "eswap":
+			wl = artery.EntangleSwap(*param)
+		case "msi":
+			wl = artery.MSI(*param)
+		default:
+			fmt.Fprintf(os.Stderr, "qfsim: unknown workload %q\n", *wlName)
+			os.Exit(2)
+		}
+	}
+
+	if *dumpQASM {
+		fmt.Print(circuit.WriteQASM(wl.Circuit))
+		return
+	}
+	if *timeline {
+		fmt.Print(circuit.BuildTimeline(wl.Circuit).Render(50))
+		return
+	}
+	if *sequence {
+		printSequence(wl, *seed)
+		return
+	}
+
+	sys := artery.New(artery.Options{Seed: *seed})
+	fmt.Printf("workload %s: %d feedback sites over %d qubits\n\n",
+		wl.Name, wl.NumFeedback(), wl.Circuit.NumQubits)
+
+	for i := 0; i < *traceN; i++ {
+		tr := sys.PredictShot(i%2, wl.SiteP1[0])
+		fmt.Printf("shot %d: prepared |%d⟩, truth %d -> branch %d (committed=%v at %.2f µs)\n",
+			i, tr.Prepared, tr.Truth, tr.Branch, tr.Committed, tr.TimeUs)
+		for _, pt := range tr.Posterior {
+			if pt[0] > tr.TimeUs {
+				break
+			}
+			fmt.Printf("  t=%.2fµs  P_predict_1=%.3f\n", pt[0], pt[1])
+		}
+		fmt.Println()
+	}
+
+	if *compare {
+		for _, r := range sys.Compare(wl, *shots) {
+			fmt.Println(r)
+		}
+		return
+	}
+	fmt.Println(sys.RunWith(*ctrlName, wl, *shots))
+}
+
+// printSequence executes one shot on a fresh ARTERY engine and prints the
+// per-site sequence diagrams.
+func printSequence(wl *artery.Workload, seed uint64) {
+	rng := stats.NewRNG(seed)
+	ch := readout.NewChannel(readout.DefaultCalibration(), readout.DefaultWinNs, readout.DefaultK, rng.Split())
+	ctrl := controller.NewArtery(controller.DefaultUnits(), interconnect.PaperTopology(),
+		predict.New(predict.DefaultConfig(), ch))
+	eng := core.NewEngine(ctrl, ch, nil)
+	eng.SimulateState = false
+	sr := eng.RunShot(wl, rng.Split())
+	analyses := circuit.AnalyzeAll(wl.Circuit)
+	for i, out := range sr.Outcomes {
+		a := analyses[i]
+		fmt.Printf("-- feedback site %d (%s, read q%d) --\n", i, a.Case, a.ReadQubit)
+		site := controller.Site{ID: i, Case: a.Case, ReadQubit: a.ReadQubit}
+		fmt.Print(controller.FormatSequence(site, out, controller.ReadoutNs))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,60 @@
+package artery_test
+
+import (
+	"fmt"
+
+	"artery"
+)
+
+// Example demonstrates the quickstart flow: calibrate a system, run a
+// workload under ARTERY and the conventional baseline, and compare.
+func Example() {
+	sys := artery.New(artery.Options{Seed: 1, DisableStateSim: true})
+	wl := artery.QRW(5)
+	a := sys.Run(wl, 50)
+	q := sys.RunWith("QubiC", wl, 50)
+	fmt.Println("ARTERY faster:", a.MeanLatencyUs < q.MeanLatencyUs)
+	fmt.Println("accuracy above 80%:", a.Accuracy > 0.8)
+	fmt.Println("baseline commits predictions:", q.CommitRate > 0)
+	// Output:
+	// ARTERY faster: true
+	// accuracy above 80%: true
+	// baseline commits predictions: false
+}
+
+// ExampleSystem_PredictShot traces one predicted shot: the posterior climbs
+// as readout windows accumulate until the threshold commits the branch.
+func ExampleSystem_PredictShot() {
+	sys := artery.New(artery.Options{Seed: 1})
+	tr := sys.PredictShot(1, 0.7)
+	fmt.Println("committed before readout end:", tr.Committed && tr.TimeUs < 2.0)
+	fmt.Println("posterior trace recorded:", len(tr.Posterior) > 0)
+	// Output:
+	// committed before readout end: true
+	// posterior trace recorded: true
+}
+
+// ExampleLogicalErrorRate converts controller cycle latencies into d=3
+// surface-code logical error rates (the Figure 12b pipeline).
+func ExampleLogicalErrorRate() {
+	arteryLER := artery.LogicalErrorRate(10, 3000, artery.CyclePData(2.31, 1.0), 0.01, 7)
+	qubicLER := artery.LogicalErrorRate(10, 3000, artery.CyclePData(2.45, 1.9), 0.01, 8)
+	fmt.Println("ARTERY cycle suppresses logical errors:", arteryLER < qubicLER)
+	// Output:
+	// ARTERY cycle suppresses logical errors: true
+}
+
+// ExampleWorkload shows the benchmark constructors and their feedback
+// structure.
+func ExampleWorkload() {
+	for _, wl := range []*artery.Workload{
+		artery.QRW(3), artery.RCNOT(2), artery.Reset(4), artery.MSI(2),
+	} {
+		fmt.Printf("%s: %d feedback sites\n", wl.Name, wl.NumFeedback())
+	}
+	// Output:
+	// QRW-3: 3 feedback sites
+	// RCNOT-2: 2 feedback sites
+	// reset-4: 4 feedback sites
+	// MSI-2: 2 feedback sites
+}

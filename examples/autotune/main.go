@@ -1,0 +1,30 @@
+// Autotune example: the Figure-17 procedure. Calibrate the readout
+// channel, then sweep the pre-execution tolerance threshold on training
+// pulses for feedback sites with different branch priors, and report the
+// latency-minimizing operating point (the paper settles on 0.91 for
+// RCNOT). Skewed-prior sites tolerate looser thresholds; balanced sites
+// need tighter ones to keep accuracy up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"artery"
+)
+
+func main() {
+	sys := artery.New(artery.Options{Seed: 17})
+
+	fmt.Println("threshold auto-tuning (400 training shots per candidate):")
+	fmt.Println("prior P(read 1)   tuned θ   latency (µs)   accuracy")
+	for _, prior := range []float64{0.05, 0.30, 0.50} {
+		theta, latUs, acc, err := sys.TuneThreshold(prior, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14.2f   %7.2f   %12.2f   %7.1f%%\n", prior, theta, latUs, 100*acc)
+	}
+	fmt.Println("\nthe paper tunes RCNOT to θ = 0.91 (§6.6); conventional feedback")
+	fmt.Println("would sit at 2.16 µs regardless of the threshold.")
+}

@@ -1,0 +1,31 @@
+// Active-reset example: the case-3 workload (§3, Figure 3). The feedback
+// gate acts on the read qubit itself, so it can never start before the
+// readout pulse ends — but prediction still erases the classical
+// processing latency: the conditional π pulse is staged during the readout
+// and fires on the first fabric cycle after it, instead of waiting for
+// ADC + classification + preparation + DAC.
+package main
+
+import (
+	"fmt"
+
+	"artery"
+)
+
+func main() {
+	sys := artery.New(artery.Options{Seed: 5, DisableStateSim: true})
+
+	fmt.Println("active qubit reset (thermal excitation 12%):")
+	for _, n := range []int{1, 5, 25} {
+		wl := artery.Reset(n)
+		a := sys.Run(wl, 80)
+		q := sys.RunWith("QubiC", wl, 80)
+		perA := a.MeanLatencyUs / float64(n)
+		perQ := q.MeanLatencyUs / float64(n)
+		fmt.Printf("  %2d qubits: ARTERY %.3f µs/qubit vs QubiC %.3f µs/qubit (%.2fx)\n",
+			n, perA, perQ, perQ/perA)
+	}
+	fmt.Println("\nper-qubit latency floors at the 2 µs readout (case 3); the ~0.15 µs")
+	fmt.Println("saved per reset is the entire classical processing chain, which is")
+	fmt.Println("what the paper reports as 2.16 µs -> 2.01 µs (§6.2).")
+}

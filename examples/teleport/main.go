@@ -1,0 +1,30 @@
+// Teleportation example: deterministic quantum teleportation (DQT) with
+// feed-forward corrections over increasing distances — the long-distance
+// entanglement scenario where the paper reports ARTERY's largest fidelity
+// gains (§6.3, Figure 13 d). The state-vector simulation converts each
+// controller's feedback latency into idle decoherence on the payload.
+package main
+
+import (
+	"fmt"
+
+	"artery"
+)
+
+func main() {
+	sys := artery.New(artery.Options{Seed: 99})
+
+	fmt.Println("deterministic quantum teleportation with feed-forward:")
+	fmt.Println("distance   controller      latency (µs)   fidelity")
+	for _, distance := range []int{1, 3, 6} {
+		wl := artery.DQT(distance)
+		for _, name := range []string{"ARTERY", "QubiC", "Salathe et al."} {
+			r := sys.RunWith(name, wl, 60)
+			fmt.Printf("%8d   %-14s %10.2f   %.4f\n",
+				distance, r.Controller, r.MeanLatencyUs, r.Fidelity)
+		}
+	}
+	fmt.Println("\nlonger chains mean more feedback sites; ARTERY's early commits")
+	fmt.Println("keep the teleported payload coherent while baselines idle through")
+	fmt.Println("every full readout + processing chain.")
+}

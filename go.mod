@@ -1,0 +1,3 @@
+module artery
+
+go 1.24

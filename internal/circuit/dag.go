@@ -1,0 +1,117 @@
+package circuit
+
+// DAG is the dependency graph of a circuit: instruction j depends on
+// instruction i (i -> j) when they share a qubit and i precedes j in
+// program order. Gate pre-execution is "altering the temporal ordering of
+// operations within the DAG" (§3), so the legality analysis and the
+// scheduler both operate on this structure.
+type DAG struct {
+	c     *Circuit
+	Succ  [][]int // Succ[i] = direct successors of instruction i
+	Pred  [][]int // Pred[i] = direct predecessors
+	Start []float64
+	End   []float64
+}
+
+// BuildDAG constructs the dependency DAG and an ASAP schedule using the
+// calibrated instruction durations. Feedback branch bodies are treated as
+// part of their site (the site occupies the readout window).
+func BuildDAG(c *Circuit) *DAG {
+	n := len(c.Ins)
+	d := &DAG{
+		c:     c,
+		Succ:  make([][]int, n),
+		Pred:  make([][]int, n),
+		Start: make([]float64, n),
+		End:   make([]float64, n),
+	}
+	last := make(map[int]int) // qubit -> index of last instruction touching it
+	for i, in := range c.Ins {
+		seen := map[int]bool{}
+		for _, q := range in.QubitList() {
+			if p, ok := last[q]; ok && !seen[p] {
+				d.Succ[p] = append(d.Succ[p], i)
+				d.Pred[i] = append(d.Pred[i], p)
+				seen[p] = true
+			}
+			last[q] = i
+		}
+	}
+	// ASAP schedule: instructions are already topologically ordered by
+	// program order.
+	for i, in := range c.Ins {
+		start := 0.0
+		for _, p := range d.Pred[i] {
+			if d.End[p] > start {
+				start = d.End[p]
+			}
+		}
+		d.Start[i] = start
+		d.End[i] = start + in.Duration()
+	}
+	return d
+}
+
+// Depth returns the ASAP makespan of the circuit in ns.
+func (d *DAG) Depth() float64 {
+	m := 0.0
+	for _, e := range d.End {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// CriticalPath returns one longest instruction chain (by duration) as a
+// list of instruction indices, root first.
+func (d *DAG) CriticalPath() []int {
+	n := len(d.c.Ins)
+	if n == 0 {
+		return nil
+	}
+	// The instruction with the latest end time terminates a critical path.
+	end := 0
+	for i := 1; i < n; i++ {
+		if d.End[i] > d.End[end] {
+			end = i
+		}
+	}
+	var path []int
+	for i := end; ; {
+		path = append(path, i)
+		// Follow the predecessor that determines our start time.
+		next := -1
+		for _, p := range d.Pred[i] {
+			if d.End[p] == d.Start[i] {
+				next = p
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		i = next
+	}
+	// Reverse to root-first order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path
+}
+
+// QubitBusyUntil returns, for each qubit, the time at which its last
+// scheduled instruction before index site completes. Used by the
+// pre-execution analysis to decide whether branch qubits are free during
+// the readout window.
+func (d *DAG) QubitBusyUntil(site int) map[int]float64 {
+	busy := map[int]float64{}
+	for i := 0; i < site; i++ {
+		for _, q := range d.c.Ins[i].QubitList() {
+			if d.End[i] > busy[q] {
+				busy[q] = d.End[i]
+			}
+		}
+	}
+	return busy
+}

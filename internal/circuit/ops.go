@@ -1,0 +1,367 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// used by ARTERY: plain gates, measurements, resets, and feedback sites
+// (mid-circuit measurements whose outcome selects a branch circuit).
+//
+// On top of the IR the package provides the paper's two static analyses:
+//
+//   - a dependency DAG with an ASAP schedule (gate durations follow the
+//     device calibration: 30 ns XY, 60 ns CZ, 2 µs readout), and
+//   - the pre-execution legality analysis of Figure 3, classifying every
+//     feedback site into cases 1–4 and synthesizing the inverse-gate
+//     recovery sequence used after a misprediction.
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"artery/internal/quantum"
+)
+
+// GateKind enumerates the gate set of the IR. RX/RY/RZ/CZ are the device
+// basis gates (§6.1); the rest are conveniences that the workloads use and
+// the simulator executes natively.
+type GateKind int
+
+// Gate kinds.
+const (
+	RX GateKind = iota
+	RY
+	RZ
+	X
+	Y
+	Z
+	H
+	S
+	Sdg
+	T
+	Tdg
+	CZ
+	CNOT
+	SWAP
+)
+
+var gateNames = [...]string{
+	RX: "rx", RY: "ry", RZ: "rz", X: "x", Y: "y", Z: "z", H: "h",
+	S: "s", Sdg: "sdg", T: "t", Tdg: "tdg", CZ: "cz", CNOT: "cnot", SWAP: "swap",
+}
+
+func (g GateKind) String() string {
+	if int(g) < len(gateNames) {
+		return gateNames[g]
+	}
+	return fmt.Sprintf("gate(%d)", int(g))
+}
+
+// TwoQubit reports whether the gate acts on two qubits.
+func (g GateKind) TwoQubit() bool { return g == CZ || g == CNOT || g == SWAP }
+
+// Gate durations in nanoseconds (paper §5.4/§6.1: 30 ns XY pulses,
+// 60 ns CZ; RZ is virtual and free).
+const (
+	Gate1QTime  = 30.0
+	Gate2QTime  = 60.0
+	ReadoutTime = 2000.0
+)
+
+// Duration returns the pulse duration of the gate in nanoseconds.
+func (g GateKind) Duration() float64 {
+	switch {
+	case g == RZ:
+		return 0 // virtual Z: frame update only
+	case g == SWAP:
+		return 3 * Gate2QTime
+	case g.TwoQubit():
+		return Gate2QTime
+	default:
+		return Gate1QTime
+	}
+}
+
+// Gate is one gate application.
+type Gate struct {
+	Kind   GateKind
+	Qubits [2]int  // Qubits[1] unused for single-qubit gates
+	Angle  float64 // rotation angle for RX/RY/RZ
+}
+
+// NewGate1 builds a single-qubit gate.
+func NewGate1(k GateKind, q int) Gate { return Gate{Kind: k, Qubits: [2]int{q, -1}} }
+
+// NewRot builds a rotation gate with the given angle.
+func NewRot(k GateKind, q int, angle float64) Gate {
+	if k != RX && k != RY && k != RZ {
+		panic("circuit: NewRot with non-rotation kind")
+	}
+	return Gate{Kind: k, Qubits: [2]int{q, -1}, Angle: angle}
+}
+
+// NewGate2 builds a two-qubit gate.
+func NewGate2(k GateKind, a, b int) Gate {
+	if !k.TwoQubit() {
+		panic("circuit: NewGate2 with single-qubit kind")
+	}
+	return Gate{Kind: k, Qubits: [2]int{a, b}}
+}
+
+// QubitList returns the qubits the gate acts on.
+func (g Gate) QubitList() []int {
+	if g.Kind.TwoQubit() {
+		return []int{g.Qubits[0], g.Qubits[1]}
+	}
+	return []int{g.Qubits[0]}
+}
+
+// Inverse returns the gate whose unitary is the adjoint of g's. Quantum
+// circuits are reversible, so every gate has one; this is the basis of the
+// misprediction recovery strategy (§3).
+func (g Gate) Inverse() Gate {
+	switch g.Kind {
+	case RX, RY, RZ:
+		inv := g
+		inv.Angle = -g.Angle
+		return inv
+	case S:
+		return Gate{Kind: Sdg, Qubits: g.Qubits}
+	case Sdg:
+		return Gate{Kind: S, Qubits: g.Qubits}
+	case T:
+		return Gate{Kind: Tdg, Qubits: g.Qubits}
+	case Tdg:
+		return Gate{Kind: T, Qubits: g.Qubits}
+	default:
+		// X, Y, Z, H, CZ, CNOT, SWAP are self-inverse.
+		return g
+	}
+}
+
+// Apply executes the gate on a state-vector register.
+func (g Gate) Apply(s *quantum.State) {
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	switch g.Kind {
+	case RX:
+		s.RX(q0, g.Angle)
+	case RY:
+		s.RY(q0, g.Angle)
+	case RZ:
+		s.RZ(q0, g.Angle)
+	case X:
+		s.X(q0)
+	case Y:
+		s.Y(q0)
+	case Z:
+		s.Z(q0)
+	case H:
+		s.H(q0)
+	case S:
+		s.S(q0)
+	case Sdg:
+		s.Sdg(q0)
+	case T:
+		s.T(q0)
+	case Tdg:
+		s.Tdg(q0)
+	case CZ:
+		s.CZ(q0, q1)
+	case CNOT:
+		s.CNOT(q0, q1)
+	case SWAP:
+		s.SWAP(q0, q1)
+	default:
+		panic(fmt.Sprintf("circuit: unknown gate kind %v", g.Kind))
+	}
+}
+
+func (g Gate) String() string {
+	switch {
+	case g.Kind == RX || g.Kind == RY || g.Kind == RZ:
+		return fmt.Sprintf("%s(%.3f) q%d", g.Kind, g.Angle, g.Qubits[0])
+	case g.Kind.TwoQubit():
+		return fmt.Sprintf("%s q%d,q%d", g.Kind, g.Qubits[0], g.Qubits[1])
+	default:
+		return fmt.Sprintf("%s q%d", g.Kind, g.Qubits[0])
+	}
+}
+
+// OpKind discriminates instruction types.
+type OpKind int
+
+// Instruction kinds.
+const (
+	OpGate OpKind = iota
+	OpMeasure
+	OpReset
+	OpFeedback
+)
+
+// Feedback describes one feedback site: measure Qubit, then execute OnOne
+// if the outcome is 1 or OnZero if it is 0. Branch bodies are plain
+// instruction lists (gates / measures / resets — nested feedback is not
+// supported, matching the paper's programs).
+type Feedback struct {
+	Qubit  int
+	OnOne  []Instruction
+	OnZero []Instruction
+}
+
+// Instruction is one step of a circuit: exactly one of Gate (OpGate),
+// the measured/reset qubit (OpMeasure/OpReset), or Feedback (OpFeedback)
+// is meaningful, selected by Kind.
+type Instruction struct {
+	Kind     OpKind
+	Gate     Gate
+	Qubit    int // for OpMeasure / OpReset
+	Feedback *Feedback
+}
+
+// Gates wraps a list of gates into instructions.
+func Gates(gs ...Gate) []Instruction {
+	out := make([]Instruction, len(gs))
+	for i, g := range gs {
+		out[i] = Instruction{Kind: OpGate, Gate: g}
+	}
+	return out
+}
+
+// QubitList returns the qubits an instruction touches (for feedback: the
+// measured qubit plus every qubit of both branches).
+func (in Instruction) QubitList() []int {
+	switch in.Kind {
+	case OpGate:
+		return in.Gate.QubitList()
+	case OpMeasure, OpReset:
+		return []int{in.Qubit}
+	case OpFeedback:
+		set := map[int]bool{in.Feedback.Qubit: true}
+		for _, body := range [][]Instruction{in.Feedback.OnOne, in.Feedback.OnZero} {
+			for _, b := range body {
+				for _, q := range b.QubitList() {
+					set[q] = true
+				}
+			}
+		}
+		out := make([]int, 0, len(set))
+		for q := range set {
+			out = append(out, q)
+		}
+		return out
+	default:
+		panic("circuit: unknown instruction kind")
+	}
+}
+
+// Duration returns the execution time of the instruction in ns. For a
+// feedback site this is the readout time only; branch time is accounted
+// separately by the feedback engine.
+func (in Instruction) Duration() float64 {
+	switch in.Kind {
+	case OpGate:
+		return in.Gate.Kind.Duration()
+	case OpMeasure, OpReset, OpFeedback:
+		return ReadoutTime
+	default:
+		return 0
+	}
+}
+
+// Circuit is an ordered program over NumQubits qubits.
+type Circuit struct {
+	NumQubits int
+	Ins       []Instruction
+}
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit { return &Circuit{NumQubits: n} }
+
+// Add appends instructions, validating qubit indices.
+func (c *Circuit) Add(ins ...Instruction) *Circuit {
+	for _, in := range ins {
+		for _, q := range in.QubitList() {
+			if q < 0 || q >= c.NumQubits {
+				panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits))
+			}
+		}
+		c.Ins = append(c.Ins, in)
+	}
+	return c
+}
+
+// AddGate appends a gate instruction.
+func (c *Circuit) AddGate(g Gate) *Circuit {
+	return c.Add(Instruction{Kind: OpGate, Gate: g})
+}
+
+// AddMeasure appends a terminal measurement of q.
+func (c *Circuit) AddMeasure(q int) *Circuit {
+	return c.Add(Instruction{Kind: OpMeasure, Qubit: q})
+}
+
+// AddReset appends an unconditional reset of q.
+func (c *Circuit) AddReset(q int) *Circuit {
+	return c.Add(Instruction{Kind: OpReset, Qubit: q})
+}
+
+// AddFeedback appends a feedback site.
+func (c *Circuit) AddFeedback(f *Feedback) *Circuit {
+	return c.Add(Instruction{Kind: OpFeedback, Feedback: f})
+}
+
+// FeedbackSites returns the indices (into Ins) of all feedback sites.
+func (c *Circuit) FeedbackSites() []int {
+	var out []int
+	for i, in := range c.Ins {
+		if in.Kind == OpFeedback {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountGates returns the number of plain gate instructions, including those
+// inside feedback branches (counting each branch once).
+func (c *Circuit) CountGates() int {
+	n := 0
+	for _, in := range c.Ins {
+		switch in.Kind {
+		case OpGate:
+			n++
+		case OpFeedback:
+			n += len(in.Feedback.OnOne) + len(in.Feedback.OnZero)
+		}
+	}
+	return n
+}
+
+// InverseOf returns the inverse program of a branch body: reversed order,
+// each gate inverted. It panics if the body contains a non-gate instruction
+// (irreversible bodies are case 4 and must never be pre-executed).
+func InverseOf(body []Instruction) []Instruction {
+	out := make([]Instruction, 0, len(body))
+	for i := len(body) - 1; i >= 0; i-- {
+		in := body[i]
+		if in.Kind != OpGate {
+			panic("circuit: InverseOf on irreversible body")
+		}
+		out = append(out, Instruction{Kind: OpGate, Gate: in.Gate.Inverse()})
+	}
+	return out
+}
+
+// BodyDuration sums the gate durations of a branch body in ns.
+func BodyDuration(body []Instruction) float64 {
+	t := 0.0
+	for _, in := range body {
+		t += in.Duration()
+	}
+	return t
+}
+
+// AngleEq reports whether two angles are equal modulo 2π within tolerance,
+// used by tests comparing synthesized inverses.
+func AngleEq(a, b, tol float64) bool {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	return d < tol || 2*math.Pi-d < tol
+}

@@ -1,0 +1,82 @@
+package circuit
+
+import "fmt"
+
+// PreExecute is the §3 program transformation as a compiler pass: given a
+// branch prediction for each feedback site, it hoists the predicted branch
+// body ahead of the readout (the gates physically play during the readout
+// window) and rewrites the site's branches into verification form — empty
+// when the outcome matches the prediction, inverse-program recovery plus
+// the correct branch when it does not.
+//
+// The pass transforms only case-1 sites (branch independent of the read
+// qubit), where the Appendix equivalence theorem applies unconditionally.
+// Case-2 sites need an ancilla assignment (use RetargetToAncilla and
+// restructure explicitly), case-3 sites may not act before the readout
+// ends (hoisting would corrupt the measurement), and case-4 sites are
+// irreversible; all three are left untouched.
+//
+// predictions[i] is the predicted outcome of the i-th feedback site (in
+// FeedbackSites order). The returned circuit is semantically equivalent to
+// the input for every measurement outcome — the package tests verify this
+// numerically on random circuits.
+func PreExecute(c *Circuit, predictions []int) (*Circuit, error) {
+	sites := c.FeedbackSites()
+	if len(predictions) != len(sites) {
+		return nil, fmt.Errorf("circuit: %d predictions for %d feedback sites", len(predictions), len(sites))
+	}
+	for i, p := range predictions {
+		if p != 0 && p != 1 {
+			return nil, fmt.Errorf("circuit: prediction %d for site %d is not a bit", p, i)
+		}
+	}
+
+	out := New(c.NumQubits)
+	siteIdx := 0
+	for _, in := range c.Ins {
+		if in.Kind != OpFeedback {
+			out.Add(in)
+			continue
+		}
+		a := AnalyzeSite(c, c.FeedbackSites()[siteIdx])
+		pred := predictions[siteIdx]
+		siteIdx++
+		if a.Case != Case1Independent {
+			out.Add(in) // leave non-case-1 sites to the runtime
+			continue
+		}
+		fb := in.Feedback
+		predBody := fb.OnOne
+		otherBody := fb.OnZero
+		if pred == 0 {
+			predBody, otherBody = fb.OnZero, fb.OnOne
+		}
+		// Hoist the predicted branch ahead of the readout.
+		out.Add(predBody...)
+		// Verification feedback: nothing on a hit; undo + correct branch on
+		// a miss.
+		recovery := append(InverseOf(predBody), otherBody...)
+		nfb := &Feedback{Qubit: fb.Qubit}
+		if pred == 1 {
+			nfb.OnOne = nil
+			nfb.OnZero = recovery
+		} else {
+			nfb.OnZero = nil
+			nfb.OnOne = recovery
+		}
+		out.AddFeedback(nfb)
+	}
+	return out, nil
+}
+
+// PreExecutableSites returns the indices (into FeedbackSites order) of the
+// sites PreExecute would transform.
+func PreExecutableSites(c *Circuit) []int {
+	var out []int
+	for i, s := range c.FeedbackSites() {
+		if AnalyzeSite(c, s).Case == Case1Independent {
+			out = append(out, i)
+		}
+	}
+	return out
+}

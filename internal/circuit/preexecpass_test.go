@@ -1,0 +1,161 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/quantum"
+	"artery/internal/stats"
+)
+
+// runPlain executes a (noise-free) feedback circuit on the state-vector
+// simulator, returning the final state.
+func runPlain(c *Circuit, seed uint64) *quantum.State {
+	s := quantum.NewState(c.NumQubits)
+	rng := stats.NewRNG(seed)
+	for _, in := range c.Ins {
+		switch in.Kind {
+		case OpGate:
+			in.Gate.Apply(s)
+		case OpMeasure:
+			s.Measure(in.Qubit, rng)
+		case OpReset:
+			s.Reset(in.Qubit, rng)
+		case OpFeedback:
+			m := s.Measure(in.Feedback.Qubit, rng)
+			body := in.Feedback.OnZero
+			if m == 1 {
+				body = in.Feedback.OnOne
+			}
+			for _, b := range body {
+				if b.Kind == OpGate {
+					b.Gate.Apply(s)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestPreExecuteValidation(t *testing.T) {
+	c := New(2)
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewGate1(X, 1))})
+	if _, err := PreExecute(c, nil); err == nil {
+		t.Fatal("missing predictions accepted")
+	}
+	if _, err := PreExecute(c, []int{2}); err == nil {
+		t.Fatal("non-bit prediction accepted")
+	}
+}
+
+func TestPreExecuteHoistsCase1(t *testing.T) {
+	c := New(2)
+	c.AddFeedback(&Feedback{
+		Qubit:  0,
+		OnOne:  Gates(NewGate1(X, 1)),
+		OnZero: Gates(NewGate1(Z, 1)),
+	})
+	out, err := PreExecute(c, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hoisted X, then the verification feedback.
+	if out.Ins[0].Kind != OpGate || out.Ins[0].Gate.Kind != X {
+		t.Fatalf("first instruction %+v, want hoisted x", out.Ins[0])
+	}
+	fb := out.Ins[1].Feedback
+	if fb == nil || len(fb.OnOne) != 0 {
+		t.Fatalf("hit branch should be empty: %+v", fb)
+	}
+	// Miss branch: X (inverse of X), then Z (the other branch).
+	if len(fb.OnZero) != 2 || fb.OnZero[0].Gate.Kind != X || fb.OnZero[1].Gate.Kind != Z {
+		t.Fatalf("miss branch wrong: %+v", fb.OnZero)
+	}
+}
+
+func TestPreExecuteLeavesOtherCasesAlone(t *testing.T) {
+	c := New(3)
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewGate1(X, 0))})                      // case 3
+	c.AddFeedback(&Feedback{Qubit: 1, OnOne: Gates(NewGate2(CNOT, 1, 2))})                // case 2
+	c.AddFeedback(&Feedback{Qubit: 2, OnOne: []Instruction{{Kind: OpMeasure, Qubit: 0}}}) // case 4
+	out, err := PreExecute(c, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ins) != len(c.Ins) {
+		t.Fatalf("non-case-1 sites were transformed: %d instructions", len(out.Ins))
+	}
+	if len(PreExecutableSites(c)) != 0 {
+		t.Fatal("no site should be pre-executable")
+	}
+}
+
+func TestPreExecutableSites(t *testing.T) {
+	c := New(3)
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewGate1(X, 1))}) // case 1
+	c.AddFeedback(&Feedback{Qubit: 1, OnOne: Gates(NewGate1(X, 1))}) // case 3
+	sites := PreExecutableSites(c)
+	if len(sites) != 1 || sites[0] != 0 {
+		t.Fatalf("pre-executable sites %v", sites)
+	}
+}
+
+// TestPreExecutePassEquivalence is the Appendix theorem applied to the
+// whole pass: the transformed circuit produces exactly the original's
+// final state for every outcome, for random case-1 circuits and random
+// predictions.
+func TestPreExecutePassEquivalence(t *testing.T) {
+	f := func(seed uint64, predBits uint8) bool {
+		rng := stats.NewRNG(seed)
+		c := New(3)
+		c.AddGate(NewRot(RY, 0, rng.Float64()*math.Pi))
+		c.AddGate(NewRot(RY, 1, rng.Float64()*math.Pi))
+		c.AddGate(NewGate2(CZ, 0, 1))
+		nSites := 1 + rng.Intn(3)
+		for k := 0; k < nSites; k++ {
+			// Branches act on qubits 1,2 while qubit 0 is read.
+			var on1, on0 []Instruction
+			for g := 0; g < 1+rng.Intn(3); g++ {
+				q := 1 + rng.Intn(2)
+				on1 = append(on1, Gates(NewRot(RX, q, rng.Float64()*2))...)
+				if rng.Bool(0.5) {
+					on0 = append(on0, Gates(NewGate1(H, q))...)
+				}
+			}
+			c.AddFeedback(&Feedback{Qubit: 0, OnOne: on1, OnZero: on0})
+			c.AddGate(NewGate1(H, 0)) // re-randomize the read qubit
+		}
+		preds := make([]int, nSites)
+		for k := range preds {
+			preds[k] = int(predBits>>uint(k)) & 1
+		}
+		out, err := PreExecute(c, preds)
+		if err != nil {
+			return false
+		}
+		a := runPlain(c, seed+5)
+		b := runPlain(out, seed+5)
+		return math.Abs(a.Fidelity(b)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreExecuteRoundTripsThroughQASM(t *testing.T) {
+	c := New(2)
+	c.AddGate(NewGate1(H, 0))
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewRot(RX, 1, 0.7))})
+	out, err := PreExecute(c, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseQASM(WriteQASM(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Ins) != len(out.Ins) {
+		t.Fatal("transformed circuit does not survive serialization")
+	}
+}

@@ -1,0 +1,278 @@
+package circuit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual serialization of the circuit IR in an
+// OpenQASM-2-flavored dialect extended with a feedback block, so workloads
+// can be stored, diffed and loaded by external tooling:
+//
+//	qubits 3
+//	h q0
+//	cz q0, q1
+//	feedback q1 {
+//	  on1: x q2; rz(1.5708) q2
+//	  on0: -
+//	}
+//	measure q0
+//	reset q2
+//
+// Gates are lowercase gate names with qubit operands qN; rotation gates
+// carry their angle in parentheses (radians). Branch bodies are
+// semicolon-separated single-line programs ("-" for an empty branch).
+
+// WriteQASM serializes the circuit.
+func WriteQASM(c *Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qubits %d\n", c.NumQubits)
+	for _, in := range c.Ins {
+		switch in.Kind {
+		case OpGate:
+			b.WriteString(gateQASM(in.Gate))
+			b.WriteByte('\n')
+		case OpMeasure:
+			fmt.Fprintf(&b, "measure q%d\n", in.Qubit)
+		case OpReset:
+			fmt.Fprintf(&b, "reset q%d\n", in.Qubit)
+		case OpFeedback:
+			fb := in.Feedback
+			fmt.Fprintf(&b, "feedback q%d {\n", fb.Qubit)
+			fmt.Fprintf(&b, "  on1: %s\n", bodyQASM(fb.OnOne))
+			fmt.Fprintf(&b, "  on0: %s\n", bodyQASM(fb.OnZero))
+			b.WriteString("}\n")
+		}
+	}
+	return b.String()
+}
+
+func gateQASM(g Gate) string {
+	switch {
+	case g.Kind == RX || g.Kind == RY || g.Kind == RZ:
+		return fmt.Sprintf("%s(%.12g) q%d", g.Kind, g.Angle, g.Qubits[0])
+	case g.Kind.TwoQubit():
+		return fmt.Sprintf("%s q%d, q%d", g.Kind, g.Qubits[0], g.Qubits[1])
+	default:
+		return fmt.Sprintf("%s q%d", g.Kind, g.Qubits[0])
+	}
+}
+
+func bodyQASM(body []Instruction) string {
+	if len(body) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(body))
+	for _, in := range body {
+		switch in.Kind {
+		case OpGate:
+			parts = append(parts, gateQASM(in.Gate))
+		case OpMeasure:
+			parts = append(parts, fmt.Sprintf("measure q%d", in.Qubit))
+		case OpReset:
+			parts = append(parts, fmt.Sprintf("reset q%d", in.Qubit))
+		default:
+			panic("circuit: nested feedback cannot be serialized")
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseQASM parses the serialization produced by WriteQASM.
+func ParseQASM(src string) (*Circuit, error) {
+	lines := strings.Split(src, "\n")
+	var c *Circuit
+	i := 0
+	nextLine := func() (string, bool) {
+		for i < len(lines) {
+			l := strings.TrimSpace(lines[i])
+			i++
+			if l != "" && !strings.HasPrefix(l, "//") {
+				return l, true
+			}
+		}
+		return "", false
+	}
+
+	head, ok := nextLine()
+	if !ok || !strings.HasPrefix(head, "qubits ") {
+		return nil, fmt.Errorf("circuit: missing 'qubits N' header")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(head, "qubits ")))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("circuit: bad qubit count in %q", head)
+	}
+	c = New(n)
+
+	for {
+		l, ok := nextLine()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(l, "feedback "):
+			rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(l, "feedback ")), "{")
+			q, err := parseQubit(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("circuit: feedback header %q: %w", l, err)
+			}
+			fb := &Feedback{Qubit: q}
+			for branch := 0; branch < 2; branch++ {
+				bl, ok := nextLine()
+				if !ok {
+					return nil, fmt.Errorf("circuit: unterminated feedback block")
+				}
+				var target *[]Instruction
+				switch {
+				case strings.HasPrefix(bl, "on1:"):
+					target = &fb.OnOne
+					bl = strings.TrimPrefix(bl, "on1:")
+				case strings.HasPrefix(bl, "on0:"):
+					target = &fb.OnZero
+					bl = strings.TrimPrefix(bl, "on0:")
+				default:
+					return nil, fmt.Errorf("circuit: expected branch line, got %q", bl)
+				}
+				body, err := parseBody(strings.TrimSpace(bl))
+				if err != nil {
+					return nil, err
+				}
+				*target = body
+			}
+			closer, ok := nextLine()
+			if !ok || closer != "}" {
+				return nil, fmt.Errorf("circuit: feedback block missing '}'")
+			}
+			if err := safeAdd(c, Instruction{Kind: OpFeedback, Feedback: fb}); err != nil {
+				return nil, err
+			}
+		default:
+			in, err := parseSimple(l)
+			if err != nil {
+				return nil, err
+			}
+			if err := safeAdd(c, in); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// safeAdd converts Circuit.Add panics (range checks) into errors.
+func safeAdd(c *Circuit, in Instruction) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("circuit: %v", r)
+		}
+	}()
+	c.Add(in)
+	return nil
+}
+
+func parseBody(s string) ([]Instruction, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	var out []Instruction
+	for _, part := range strings.Split(s, ";") {
+		in, err := parseSimple(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func parseSimple(l string) (Instruction, error) {
+	switch {
+	case strings.HasPrefix(l, "measure "):
+		q, err := parseQubit(strings.TrimSpace(strings.TrimPrefix(l, "measure ")))
+		if err != nil {
+			return Instruction{}, fmt.Errorf("circuit: %q: %w", l, err)
+		}
+		return Instruction{Kind: OpMeasure, Qubit: q}, nil
+	case strings.HasPrefix(l, "reset "):
+		q, err := parseQubit(strings.TrimSpace(strings.TrimPrefix(l, "reset ")))
+		if err != nil {
+			return Instruction{}, fmt.Errorf("circuit: %q: %w", l, err)
+		}
+		return Instruction{Kind: OpReset, Qubit: q}, nil
+	}
+	g, err := parseGate(l)
+	if err != nil {
+		return Instruction{}, err
+	}
+	return Instruction{Kind: OpGate, Gate: g}, nil
+}
+
+var gateByName = func() map[string]GateKind {
+	m := map[string]GateKind{}
+	for k := RX; k <= SWAP; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+func parseGate(l string) (Gate, error) {
+	sp := strings.IndexByte(l, ' ')
+	if sp < 0 {
+		return Gate{}, fmt.Errorf("circuit: malformed gate line %q", l)
+	}
+	head, operands := l[:sp], strings.TrimSpace(l[sp+1:])
+
+	angle := 0.0
+	hasAngle := false
+	if p := strings.IndexByte(head, '('); p >= 0 {
+		if !strings.HasSuffix(head, ")") {
+			return Gate{}, fmt.Errorf("circuit: malformed angle in %q", l)
+		}
+		a, err := strconv.ParseFloat(head[p+1:len(head)-1], 64)
+		if err != nil {
+			return Gate{}, fmt.Errorf("circuit: bad angle in %q: %w", l, err)
+		}
+		angle, hasAngle = a, true
+		head = head[:p]
+	}
+	kind, ok := gateByName[head]
+	if !ok {
+		return Gate{}, fmt.Errorf("circuit: unknown gate %q", head)
+	}
+	isRot := kind == RX || kind == RY || kind == RZ
+	if isRot != hasAngle {
+		return Gate{}, fmt.Errorf("circuit: gate %q angle mismatch", l)
+	}
+
+	var qs []int
+	for _, op := range strings.Split(operands, ",") {
+		q, err := parseQubit(strings.TrimSpace(op))
+		if err != nil {
+			return Gate{}, fmt.Errorf("circuit: %q: %w", l, err)
+		}
+		qs = append(qs, q)
+	}
+	switch {
+	case kind.TwoQubit() && len(qs) == 2:
+		return NewGate2(kind, qs[0], qs[1]), nil
+	case !kind.TwoQubit() && len(qs) == 1:
+		if isRot {
+			return NewRot(kind, qs[0], angle), nil
+		}
+		return NewGate1(kind, qs[0]), nil
+	default:
+		return Gate{}, fmt.Errorf("circuit: gate %q has %d operands", l, len(qs))
+	}
+}
+
+func parseQubit(s string) (int, error) {
+	if !strings.HasPrefix(s, "q") {
+		return 0, fmt.Errorf("operand %q is not a qubit", s)
+	}
+	q, err := strconv.Atoi(s[1:])
+	if err != nil || q < 0 {
+		return 0, fmt.Errorf("operand %q is not a qubit", s)
+	}
+	return q, nil
+}

@@ -1,0 +1,134 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline is the per-qubit schedule of a circuit under its ASAP timing —
+// the static half of the paper's Figure 9. Each instruction becomes one
+// span per touched qubit; gaps between spans are the idle windows that
+// dynamic timing (and dynamical decoupling) operate on.
+type Timeline struct {
+	NumQubits int
+	// Spans per qubit, sorted by start time.
+	Spans [][]Span
+	// EndNs is the circuit makespan.
+	EndNs float64
+}
+
+// Span is one occupied interval on a qubit's timeline.
+type Span struct {
+	StartNs float64
+	EndNs   float64
+	// Label describes the occupying operation ("h", "cz", "readout", ...).
+	Label string
+	// Feedback marks readout spans of feedback sites.
+	Feedback bool
+}
+
+// BuildTimeline computes the timeline of a circuit.
+func BuildTimeline(c *Circuit) *Timeline {
+	d := BuildDAG(c)
+	t := &Timeline{NumQubits: c.NumQubits, Spans: make([][]Span, c.NumQubits)}
+	for i, in := range c.Ins {
+		label := ""
+		feedback := false
+		var qubits []int
+		switch in.Kind {
+		case OpGate:
+			label = in.Gate.Kind.String()
+			qubits = in.Gate.QubitList()
+		case OpMeasure:
+			label = "readout"
+			qubits = []int{in.Qubit}
+		case OpReset:
+			label = "reset"
+			qubits = []int{in.Qubit}
+		case OpFeedback:
+			label = "readout"
+			feedback = true
+			qubits = []int{in.Feedback.Qubit}
+		}
+		for _, q := range qubits {
+			t.Spans[q] = append(t.Spans[q], Span{
+				StartNs:  d.Start[i],
+				EndNs:    d.End[i],
+				Label:    label,
+				Feedback: feedback,
+			})
+		}
+		if d.End[i] > t.EndNs {
+			t.EndNs = d.End[i]
+		}
+	}
+	for q := range t.Spans {
+		sort.Slice(t.Spans[q], func(a, b int) bool {
+			return t.Spans[q][a].StartNs < t.Spans[q][b].StartNs
+		})
+	}
+	return t
+}
+
+// IdleWindows returns qubit q's idle intervals of at least minNs between
+// its first and last operation — the slots the engine's DD echoes occupy.
+func (t *Timeline) IdleWindows(q int, minNs float64) [][2]float64 {
+	spans := t.Spans[q]
+	var out [][2]float64
+	for i := 1; i < len(spans); i++ {
+		gap := spans[i].StartNs - spans[i-1].EndNs
+		if gap >= minNs {
+			out = append(out, [2]float64{spans[i-1].EndNs, spans[i].StartNs})
+		}
+	}
+	return out
+}
+
+// BusyNs returns the total occupied time on qubit q.
+func (t *Timeline) BusyNs(q int) float64 {
+	sum := 0.0
+	for _, s := range t.Spans[q] {
+		sum += s.EndNs - s.StartNs
+	}
+	return sum
+}
+
+// Render draws the timeline as ASCII, one row per qubit, with nsPerCol
+// nanoseconds per character column: '#' gate, '=' readout, '~' feedback
+// readout, 'R' reset, '.' idle. It panics for nsPerCol <= 0.
+func (t *Timeline) Render(nsPerCol float64) string {
+	if nsPerCol <= 0 {
+		panic("circuit: Render needs nsPerCol > 0")
+	}
+	cols := int(t.EndNs/nsPerCol) + 1
+	if cols > 4000 {
+		cols = 4000 // clamp absurd widths
+	}
+	var b strings.Builder
+	for q := 0; q < t.NumQubits; q++ {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.Spans[q] {
+			mark := byte('#')
+			switch {
+			case s.Feedback:
+				mark = '~'
+			case s.Label == "readout":
+				mark = '='
+			case s.Label == "reset":
+				mark = 'R'
+			}
+			from := int(s.StartNs / nsPerCol)
+			to := int(s.EndNs / nsPerCol)
+			for c := from; c <= to && c < cols; c++ {
+				row[c] = mark
+			}
+		}
+		fmt.Fprintf(&b, "q%-3d %s\n", q, row)
+	}
+	fmt.Fprintf(&b, "     (%.0f ns per column, makespan %.0f ns)\n", nsPerCol, t.EndNs)
+	return b.String()
+}

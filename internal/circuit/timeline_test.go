@@ -1,0 +1,88 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func timelineCircuit() *Circuit {
+	c := New(3)
+	c.AddGate(NewGate1(H, 0))                                        // 0..30 on q0
+	c.AddGate(NewGate2(CZ, 0, 1))                                    // 30..90 on q0,q1
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewGate1(X, 2))}) // 90..2090 on q0
+	c.AddGate(NewGate1(X, 1))                                        // 90..120 on q1
+	return c
+}
+
+func TestBuildTimelineSpans(t *testing.T) {
+	tl := BuildTimeline(timelineCircuit())
+	if tl.NumQubits != 3 {
+		t.Fatalf("qubits %d", tl.NumQubits)
+	}
+	// q0: H, CZ, feedback readout.
+	if len(tl.Spans[0]) != 3 {
+		t.Fatalf("q0 spans %d", len(tl.Spans[0]))
+	}
+	ro := tl.Spans[0][2]
+	if !ro.Feedback || ro.StartNs != 90 || ro.EndNs != 2090 {
+		t.Fatalf("feedback span %+v", ro)
+	}
+	// q2 is untouched (branch bodies are conditional, not scheduled).
+	if len(tl.Spans[2]) != 0 {
+		t.Fatalf("q2 spans %d", len(tl.Spans[2]))
+	}
+	if tl.EndNs != 2090 {
+		t.Fatalf("makespan %v", tl.EndNs)
+	}
+}
+
+func TestTimelineIdleWindows(t *testing.T) {
+	tl := BuildTimeline(timelineCircuit())
+	// q1: CZ ends at 90, X starts at 90 — no idle gap.
+	if w := tl.IdleWindows(1, 1); len(w) != 0 {
+		t.Fatalf("unexpected idle windows %v", w)
+	}
+	// Build a circuit with a real gap on q1.
+	c := New(2)
+	c.AddGate(NewGate1(H, 0))
+	c.AddGate(NewGate1(H, 1))
+	c.AddFeedback(&Feedback{Qubit: 0, OnOne: Gates(NewGate1(X, 0))})
+	c.AddGate(NewGate2(CZ, 0, 1)) // q1 idles 30..2030
+	tl2 := BuildTimeline(c)
+	w := tl2.IdleWindows(1, 500)
+	if len(w) != 1 || w[0][0] != 30 || w[0][1] != 2030 {
+		t.Fatalf("idle windows %v", w)
+	}
+}
+
+func TestTimelineBusy(t *testing.T) {
+	tl := BuildTimeline(timelineCircuit())
+	if b := tl.BusyNs(0); b != 30+60+2000 {
+		t.Fatalf("q0 busy %v", b)
+	}
+	if b := tl.BusyNs(1); b != 60+30 {
+		t.Fatalf("q1 busy %v", b)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := BuildTimeline(timelineCircuit())
+	out := tl.Render(100)
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "~") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // 3 qubits + footer
+		t.Fatalf("render has %d lines", len(lines))
+	}
+	// q2 is all idle dots.
+	if strings.ContainsAny(strings.TrimPrefix(lines[2], "q2"), "#=~R") {
+		t.Fatalf("idle qubit row has marks: %s", lines[2])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nsPerCol=0 accepted")
+		}
+	}()
+	tl.Render(0)
+}

@@ -1,0 +1,62 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatSequence renders one feedback shot as a textual sequence diagram —
+// the Figure 9 (b) view: when the readout started, when the predictor
+// crossed its threshold, when the trigger was issued and arrived, when the
+// staged pulses fired, and how a misprediction recovered.
+func FormatSequence(site Site, out Outcome, readoutNs float64) string {
+	type ev struct {
+		t    float64
+		text string
+	}
+	var evs []ev
+	add := func(t float64, format string, args ...interface{}) {
+		evs = append(evs, ev{t, fmt.Sprintf(format, args...)})
+	}
+
+	add(0, "readout pulse starts on q%d", site.ReadQubit)
+	if out.Committed {
+		bd := out.Breakdown
+		if bd.DecisionNs > 0 {
+			add(bd.DecisionNs, "P_predict crosses threshold -> predict branch %d", out.Predicted)
+		}
+		add(out.Trigger.IssuedAtNs, "dynamic timing controller issues feedback trigger (%s)",
+			routeWord(out.Trigger.Remote))
+		add(out.Trigger.ArrivalNs(), "branch decider receives trigger; pulse staging begins")
+		if out.Correct {
+			if bd.FloorWaitNs > 0 {
+				add(readoutNs, "readout pulse ends (case-3 floor releases)")
+			}
+			add(out.LatencyNs, "branch %d pulses fire (feedback latency %.0f ns)",
+				out.Predicted, out.LatencyNs)
+		} else {
+			add(readoutNs, "readout pulse ends; classification contradicts prediction")
+			add(out.LatencyNs-out.RecoveryNs, "inverse program undoes the speculated branch (%.0f ns)", out.RecoveryNs)
+			add(out.LatencyNs, "correct branch commits (feedback latency %.0f ns)", out.LatencyNs)
+		}
+	} else {
+		add(readoutNs, "readout pulse ends")
+		add(out.LatencyNs, "conventional path: classify, prepare, play branch %d (%.0f ns)",
+			out.Predicted, out.LatencyNs)
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "t=%7.0f ns  %s\n", e.t, e.text)
+	}
+	return b.String()
+}
+
+func routeWord(remote bool) string {
+	if remote {
+		return "remote, via backplane"
+	}
+	return "local"
+}

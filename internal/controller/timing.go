@@ -1,0 +1,77 @@
+package controller
+
+import "fmt"
+
+// TriggerEvent records one feedback trigger issued by the dynamic timing
+// controller (§5.3, Figure 9): when the Bayesian predictor crosses its
+// threshold, the controller releases the branch circuit from its
+// conditional wait instead of a fixed time slot.
+type TriggerEvent struct {
+	// IssuedAtNs is the time (from readout start) the trigger was issued.
+	IssuedAtNs float64
+	// Remote indicates the trigger crossed FPGA boundaries.
+	Remote bool
+	// TransitNs is the transmission latency to the branch decider.
+	TransitNs float64
+	// Branch is the branch the trigger releases.
+	Branch int
+}
+
+// ArrivalNs returns when the branch decider receives the trigger.
+func (e TriggerEvent) ArrivalNs() float64 { return e.IssuedAtNs + e.TransitNs }
+
+func (e TriggerEvent) String() string {
+	kind := "local"
+	if e.Remote {
+		kind = "remote"
+	}
+	return fmt.Sprintf("trigger(branch=%d, %s, issued=%.0fns, arrives=%.0fns)",
+		e.Branch, kind, e.IssuedAtNs, e.ArrivalNs())
+}
+
+// TimingController is the dynamic timing unit: it converts predictor
+// commitments into feedback triggers and enforces static-schedule floors
+// (e.g. case-3 sites may not fire before the readout pulse ends).
+type TimingController struct {
+	units Units
+	// quantum of trigger issuance: triggers are aligned to fabric cycles.
+	clockNs float64
+}
+
+// NewTimingController returns a timing controller over the given units.
+func NewTimingController(u Units) *TimingController {
+	return &TimingController{units: u, clockNs: u.Clock}
+}
+
+// quantize aligns t to the next fabric clock edge.
+func (tc *TimingController) quantize(t float64) float64 {
+	cycles := int(t / tc.clockNs)
+	if float64(cycles)*tc.clockNs < t {
+		cycles++
+	}
+	return float64(cycles) * tc.clockNs
+}
+
+// Issue produces the trigger for a committed prediction: decisionNs is the
+// predictor's commit time, transitNs the interconnect latency toward the
+// branch decider, floorNs an optional earliest-release time (0 for none).
+func (tc *TimingController) Issue(decisionNs, transitNs, floorNs float64, branch int, remote bool) TriggerEvent {
+	issued := tc.quantize(decisionNs)
+	if arrive := issued + transitNs; arrive < floorNs {
+		// Delay issuance so the branch does not fire before its floor.
+		issued = tc.quantize(floorNs - transitNs)
+	}
+	return TriggerEvent{
+		IssuedAtNs: issued,
+		Remote:     remote,
+		TransitNs:  transitNs,
+		Branch:     branch,
+	}
+}
+
+// StaticSlot returns the conventional static-timing release point for a
+// feedback site: the end of the readout plus the full processing chain —
+// what every baseline controller waits for.
+func (tc *TimingController) StaticSlot(readoutNs float64) float64 {
+	return readoutNs + tc.units.Processing()
+}

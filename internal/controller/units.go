@@ -1,0 +1,61 @@
+// Package controller models the classical feedback controller hardware of
+// ARTERY (§5) and of the four baseline systems the paper compares against.
+//
+// All latency arithmetic uses the published unit latencies (§2.2, §6.1):
+// ADC processing 44 ns, state classification 24 ns, pulse preparation
+// 36 ns, DAC processing 56 ns, one serdes hop 48 ns, and a 250 MHz fabric
+// clock (4 ns cycles). The "latency wall" of Figure 2 — 500 ns minimum
+// readout for a useful qubit lifetime plus the 160 ns hardware floor —
+// falls out of these constants.
+package controller
+
+// Units are the hardware unit latencies of one feedback controller (ns).
+type Units struct {
+	ADC      float64 // ADC core + digital down conversion
+	Classify float64 // state classification (demodulate + discriminate)
+	Prep     float64 // pulse preparation (operation fetch + pulse library)
+	DAC      float64 // interpolation + DAC core
+	Serdes   float64 // one inter-FPGA serdes hop
+	Clock    float64 // fabric clock period
+}
+
+// DefaultUnits returns the paper's unit latencies.
+func DefaultUnits() Units {
+	return Units{ADC: 44, Classify: 24, Prep: 36, DAC: 56, Serdes: 48, Clock: 4}
+}
+
+// Processing returns the full classical processing chain latency
+// (ADC → classify → prep → DAC), 160 ns with the defaults.
+func (u Units) Processing() float64 { return u.ADC + u.Classify + u.Prep + u.DAC }
+
+// Readout-related constants (§2.2).
+const (
+	// ReadoutNs is the readout pulse duration of the evaluation device.
+	ReadoutNs = 2000.0
+	// MinUsefulReadoutNs is the minimum readout latency compatible with a
+	// useful qubit lifetime (Google's 500 ns operating point).
+	MinUsefulReadoutNs = 500.0
+)
+
+// LatencyWall returns Figure 2's 660 ns wall: the minimum useful readout
+// plus the hardware processing floor.
+func LatencyWall(u Units) float64 { return MinUsefulReadoutNs + u.Processing() }
+
+// DesignPoint is one quantum-processor design on Figure 2's readout-latency
+// versus qubit-lifetime trade-off.
+type DesignPoint struct {
+	Name      string
+	ReadoutNs float64
+	T1Us      float64
+}
+
+// Figure2DesignPoints returns the published design points: shortening the
+// readout requires stronger resonator coupling, which costs lifetime.
+func Figure2DesignPoints() []DesignPoint {
+	return []DesignPoint{
+		{Name: "Walter et al. [67]", ReadoutNs: 88, T1Us: 7.6},
+		{Name: "Google Sycamore [42]", ReadoutNs: 500, T1Us: 20},
+		{Name: "IBM Fez [41]", ReadoutNs: 1200, T1Us: 100},
+		{Name: "This work (18-Xmon)", ReadoutNs: 2000, T1Us: 125},
+	}
+}

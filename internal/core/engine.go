@@ -1,0 +1,334 @@
+// Package core is ARTERY's primary contribution assembled into an
+// executable feedback engine: it takes a feedback workload, classifies its
+// feedback sites with the Figure-3 pre-execution analysis, drives each
+// shot's readout pulses through a feedback controller (ARTERY or one of
+// the baselines), applies latency-dependent decoherence to a Monte-Carlo
+// state-vector simulation, and reports the latency / prediction-accuracy /
+// fidelity statistics the paper's evaluation tables and figures are built
+// from.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"artery/internal/circuit"
+	"artery/internal/controller"
+	"artery/internal/quantum"
+	"artery/internal/readout"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// Engine executes feedback workloads against one controller.
+type Engine struct {
+	Ctrl    controller.Controller
+	Channel *readout.Channel
+	Noise   *quantum.NoiseModel
+	// SimulateState enables the per-shot state-vector fidelity simulation
+	// (skip for latency-only sweeps or registers too wide to simulate).
+	SimulateState bool
+	// EnableDD executes feedback idle windows as X-echo (dynamical
+	// decoupling) sequences, refocusing the noise model's quasi-static
+	// dephasing — the paper applies DD to idle qubits in its QEC
+	// experiment (§6.2).
+	EnableDD bool
+}
+
+// NewEngine builds an engine; Noise defaults to the calibrated device model.
+func NewEngine(ctrl controller.Controller, ch *readout.Channel, noise *quantum.NoiseModel) *Engine {
+	if noise == nil {
+		noise = quantum.DeviceNoise()
+	}
+	return &Engine{Ctrl: ctrl, Channel: ch, Noise: noise, SimulateState: true}
+}
+
+// ShotResult summarizes one executed shot.
+type ShotResult struct {
+	// FeedbackLatencyNs is the summed feedback latency over all sites plus
+	// the workload's gate payload.
+	FeedbackLatencyNs float64
+	// Outcomes holds the per-site controller outcomes.
+	Outcomes []controller.Outcome
+	// Fidelity is |⟨ideal|noisy⟩|² at circuit end (NaN when state
+	// simulation is disabled or the ideal branch became unreachable).
+	Fidelity float64
+}
+
+// RunResult aggregates a workload run.
+type RunResult struct {
+	Workload   string
+	Controller string
+	Shots      int
+	// MeanLatencyNs is the average per-shot summed feedback latency.
+	MeanLatencyNs float64
+	// Accuracy is the fraction of committed predictions that were correct
+	// (1.0 for non-predictive baselines, which never commit).
+	Accuracy float64
+	// CommitRate is the fraction of feedback executions that committed a
+	// prediction before readout end.
+	CommitRate float64
+	// MeanFidelity averages shot fidelities (NaN without state simulation).
+	MeanFidelity float64
+	// MeanDecisionNs is the mean per-site feedback latency.
+	MeanDecisionNs float64
+	// Latencies holds each shot's total feedback latency (for quantiles).
+	Latencies []float64
+}
+
+// Run executes the workload for the given number of shots.
+func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
+	var fid stats.RunningMean
+	var perSite stats.RunningMean
+	committed, correct, sites := 0, 0, 0
+	for s := 0; s < shots; s++ {
+		sr := e.RunShot(wl, rng)
+		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
+		res.MeanLatencyNs += sr.FeedbackLatencyNs
+		if !math.IsNaN(sr.Fidelity) {
+			fid.Add(sr.Fidelity)
+		}
+		for _, o := range sr.Outcomes {
+			sites++
+			perSite.Add(o.LatencyNs)
+			if o.Committed {
+				committed++
+				if o.Correct {
+					correct++
+				}
+			}
+		}
+	}
+	res.MeanLatencyNs /= float64(shots)
+	res.MeanDecisionNs = perSite.Mean()
+	if committed > 0 {
+		res.Accuracy = float64(correct) / float64(committed)
+	} else {
+		res.Accuracy = 1 // baselines never predict, hence never mispredict
+	}
+	if sites > 0 {
+		res.CommitRate = float64(committed) / float64(sites)
+	}
+	if fid.N() > 0 {
+		res.MeanFidelity = fid.Mean()
+	} else {
+		res.MeanFidelity = math.NaN()
+	}
+	return res
+}
+
+// RunShot executes one shot of the workload.
+func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
+	c := wl.Circuit
+	analyses := circuit.AnalyzeAll(c)
+	simulate := e.SimulateState && c.NumQubits <= 16
+
+	var noisy, ideal *quantum.State
+	idealAlive := true
+	if simulate {
+		noisy = quantum.NewState(c.NumQubits)
+		ideal = quantum.NewState(c.NumQubits)
+		// Thermal initial excitation (e.g. the population active reset
+		// exists to remove). The ideal reference starts identically: reset
+		// must clean it up, so fidelity is judged against the same start.
+		for q, p := range wl.InitExciteP {
+			if rng.Bool(p) {
+				noisy.X(q)
+				ideal.X(q)
+			}
+		}
+	}
+
+	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
+	var detunings []float64
+	if simulate {
+		detunings = e.Noise.SampleDetunings(c.NumQubits, rng)
+	}
+	detuningOf := func(q int) float64 {
+		if detunings == nil {
+			return 0
+		}
+		return detunings[q]
+	}
+	siteIdx := 0
+	for _, in := range c.Ins {
+		switch in.Kind {
+		case circuit.OpGate:
+			if simulate {
+				e.applyGate(noisy, in.Gate, rng)
+				in.Gate.Apply(ideal)
+			}
+		case circuit.OpMeasure:
+			if simulate {
+				m := e.Noise.NoisyMeasure(noisy, in.Qubit, rng)
+				idealAlive = idealAlive && projectIdeal(ideal, in.Qubit, m)
+			}
+		case circuit.OpReset:
+			if simulate {
+				noisy.Reset(in.Qubit, rng)
+				ideal.Reset(in.Qubit, rng)
+			}
+		case circuit.OpFeedback:
+			fb := in.Feedback
+			a := analyses[siteIdx]
+			prior := wl.SiteP1[siteIdx]
+
+			// Physical qubit state at readout start.
+			var m int
+			if simulate {
+				m = noisy.Measure(fb.Qubit, rng)
+			} else {
+				if rng.Bool(prior) {
+					m = 1
+				}
+			}
+
+			pulse := e.Channel.Cal.Synthesize(m, rng)
+			truth := e.Channel.Classifier.ClassifyFull(pulse)
+			out := e.Ctrl.Feedback(e.siteFor(a, siteIdx, fb, prior), controller.Shot{Pulse: pulse, Truth: truth})
+			sr.Outcomes = append(sr.Outcomes, out)
+			sr.FeedbackLatencyNs += out.LatencyNs
+
+			if simulate {
+				// Latency-dependent idling: branch qubits wait for the
+				// feedback decision; the read qubit is pinned for at least
+				// the readout pulse. Idle windows optionally run as X-echo
+				// (DD) sequences, refocusing quasi-static dephasing; the
+				// measured qubit holds a classical state during readout, so
+				// it takes no echo.
+				for q := 0; q < c.NumQubits; q++ {
+					dt := out.LatencyNs
+					if q == fb.Qubit {
+						if dt < e.Channel.Cal.DurationNs {
+							dt = e.Channel.Cal.DurationNs
+						}
+						e.Noise.ApplyIdle(noisy, q, dt, rng)
+						continue
+					}
+					e.Noise.ApplyIdleDetuned(noisy, q, dt, detuningOf(q), e.EnableDD, rng)
+				}
+				// A wrongly pre-executed branch physically runs, is undone,
+				// and only then does the correct branch run: the extra gate
+				// churn costs real gate error.
+				if out.Committed && !out.Correct {
+					wrong := fb.OnOne
+					if out.Predicted == 0 {
+						wrong = fb.OnZero
+					}
+					e.applyBody(noisy, wrong, rng)
+					e.applyBody(noisy, circuit.InverseOf(wrong), rng)
+				}
+				// The hardware acts on its classification (truth), which may
+				// disagree with the physical state m on a readout error.
+				e.applyBody(noisy, bodyOf(fb, truth), rng)
+
+				// Ideal reference: perfect hardware follows the physical
+				// outcome instantly and noiselessly.
+				idealAlive = idealAlive && projectIdeal(ideal, fb.Qubit, m)
+				if idealAlive {
+					for _, bi := range bodyOf(fb, m) {
+						if bi.Kind == circuit.OpGate {
+							bi.Gate.Apply(ideal)
+						}
+					}
+				}
+			}
+			siteIdx++
+		}
+	}
+	if simulate {
+		if idealAlive {
+			sr.Fidelity = noisy.Fidelity(ideal)
+		} else {
+			sr.Fidelity = 0
+		}
+	}
+	return sr
+}
+
+// siteFor converts a pre-execution analysis into the controller's site
+// descriptor.
+func (e *Engine) siteFor(a *circuit.SiteAnalysis, idx int, fb *circuit.Feedback, prior float64) controller.Site {
+	branchQ := fb.Qubit
+	for q := range a.BranchQubit {
+		if q != fb.Qubit {
+			branchQ = q
+			break
+		}
+	}
+	site := controller.Site{
+		ID:          idx,
+		Case:        a.Case,
+		ReadQubit:   clampQubit(fb.Qubit),
+		BranchQubit: clampQubit(branchQ),
+		Prior:       prior,
+	}
+	if a.Case.PreExecutable() {
+		site.UndoOnOneNs = circuit.BodyDuration(a.RecoveryOnOne)
+		site.UndoOnZeroNs = circuit.BodyDuration(a.RecoveryOnZero)
+	}
+	return site
+}
+
+// clampQubit folds circuit qubit indices onto the 18-qubit paper topology.
+func clampQubit(q int) int {
+	const topoQubits = 18
+	if q < 0 {
+		return 0
+	}
+	return q % topoQubits
+}
+
+// applyGate applies one gate with its accompanying noise channels.
+func (e *Engine) applyGate(s *quantum.State, g circuit.Gate, rng *stats.RNG) {
+	g.Apply(s)
+	if g.Kind.TwoQubit() {
+		e.Noise.AfterGate2Q(s, g.Qubits[0], g.Qubits[1], rng)
+	} else if g.Kind != circuit.RZ { // virtual Z is error-free
+		e.Noise.AfterGate1Q(s, g.Qubits[0], rng)
+	}
+}
+
+// applyBody applies a branch body with noise, skipping non-gate entries.
+func (e *Engine) applyBody(s *quantum.State, body []circuit.Instruction, rng *stats.RNG) {
+	for _, in := range body {
+		if in.Kind == circuit.OpGate {
+			e.applyGate(s, in.Gate, rng)
+		}
+	}
+}
+
+func bodyOf(fb *circuit.Feedback, outcome int) []circuit.Instruction {
+	if outcome == 1 {
+		return fb.OnOne
+	}
+	return fb.OnZero
+}
+
+// projectIdeal collapses the ideal state onto outcome m of qubit q. It
+// returns false when the outcome has (near-)zero amplitude, meaning the
+// noisy trajectory left the ideal branch entirely.
+func projectIdeal(s *quantum.State, q, m int) bool {
+	p1 := s.Prob1(q)
+	pm := p1
+	if m == 0 {
+		pm = 1 - p1
+	}
+	if pm < 1e-12 {
+		return false
+	}
+	s.Project(q, m)
+	return true
+}
+
+// Validate is a convenience that panics with context when a workload is
+// inconsistent (used by cmd tools before long runs).
+func Validate(wl *workload.Workload) {
+	if err := wl.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+}

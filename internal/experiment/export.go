@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Export formats for regenerated tables, used by cmd/artery-bench -format:
+// downstream plotting scripts consume CSV or JSON rather than the aligned
+// text rendering.
+
+// WriteCSV emits the table as CSV: a header row, then the data rows; notes
+// become trailing comment-style rows prefixed with "#".
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := []string{fmt.Sprintf("# %s — %s", t.ID, t.Title)}
+	if err := cw.Write(meta); err != nil {
+		return fmt.Errorf("experiment: csv export: %w", err)
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiment: csv export: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: csv export: %w", err)
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return fmt.Errorf("experiment: csv export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTable is the JSON wire form of a Table.
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON emits the table as a JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jsonTable{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+	}); err != nil {
+		return fmt.Errorf("experiment: json export: %w", err)
+	}
+	return nil
+}
+
+// ParseTableJSON reads a table back from WriteJSON output (for tooling
+// that post-processes saved results).
+func ParseTableJSON(data []byte) (*Table, error) {
+	var jt jsonTable
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("experiment: parse table json: %w", err)
+	}
+	if jt.ID == "" || len(jt.Header) == 0 {
+		return nil, fmt.Errorf("experiment: table json missing id or header")
+	}
+	return &Table{ID: jt.ID, Title: jt.Title, Header: jt.Header, Rows: jt.Rows, Notes: jt.Notes}, nil
+}
+
+// WriteAs dispatches on format: "text", "csv" or "json".
+func (t *Table) WriteAs(w io.Writer, format string) error {
+	switch strings.ToLower(format) {
+	case "", "text":
+		t.Fprint(w)
+		return nil
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	default:
+		return fmt.Errorf("experiment: unknown export format %q", format)
+	}
+}

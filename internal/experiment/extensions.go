@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+
+	"artery/internal/predict"
+	"artery/internal/qec"
+	"artery/internal/readout"
+	"artery/internal/stats"
+)
+
+func init() {
+	ExtraRegistry["xtr-sprt"] = (*Suite).ExtraSPRT
+	ExtraRegistry["xtr-platform"] = (*Suite).ExtraPlatforms
+	ExtraRegistry["xtr-ksweep"] = (*Suite).ExtraHistoryDepth
+	ExtraRegistry["xtr-decoders"] = (*Suite).ExtraDecoders
+}
+
+// ExtraHistoryDepth sweeps the number of branch-history registers k (the
+// paper fixes k=6 without a reported sweep): deeper histories sharpen the
+// trajectory patterns but square the table, and beyond the SNR-limited
+// depth they stop paying.
+func (s *Suite) ExtraHistoryDepth() *Table {
+	t := &Table{
+		ID:     "Extra: branch-history depth",
+		Title:  "history register count k vs prediction quality",
+		Header: []string{"k", "committed accuracy", "mean decision (µs)", "commit rate", "table bytes"},
+	}
+	shots := 15 * s.Shots
+	for _, k := range []int{2, 4, 6, 8} {
+		table := readout.NewStateTableOpts(k, readout.MaxTimeBuckets, 5)
+		ch := readout.NewChannelWithTable(readout.DefaultCalibration(), 30, table, stats.NewRNG(s.Seed+uint64(50+k)))
+		acc, lat, commit := s.predictorQuality(ch, shots, uint64(2900+k))
+		t.AddRow(fmt.Sprint(k), pct(acc), us(lat), pct(commit), fmt.Sprint(table.SizeBytes()))
+	}
+	t.Note("the paper's default is k=6; table size grows as 2^k per time bucket")
+	return t
+}
+
+// ExtraDecoders compares the three decoders on the d=3 memory at matched
+// noise: the exact LUT, greedy matching, and union-find.
+func (s *Suite) ExtraDecoders() *Table {
+	code := qec.NewCode(3)
+	decoders := []qec.Decoder{
+		qec.NewLUTDecoder(code),
+		qec.NewGreedyDecoder(code),
+		qec.NewUnionFindDecoder(code),
+	}
+	trials := 80 * s.Shots
+	t := &Table{
+		ID:     "Extra: decoder comparison",
+		Title:  "d=3 memory logical error rate by decoder (10 cycles)",
+		Header: []string{"decoder", "LER"},
+	}
+	for di, dec := range decoders {
+		res := qec.RunMemory(qec.MemoryParams{
+			Code: code, Dec: dec, Cycles: 10, Trials: trials,
+			PData: 0.015, PMeas: 0.008,
+		}, stats.NewRNG(s.Seed+uint64(3000+di)))
+		t.AddRow(dec.Name(), pct(res.LogicalErrorRate()))
+	}
+	t.Note("the LUT is exact minimum-weight for d=3; greedy and union-find are its scalable stand-ins")
+	return t
+}
+
+// ExtraSPRT compares the paper's table-based reconciled predictor against
+// the sequential probability ratio test (Wald) on matched confidence
+// targets — the statistically optimal extension of the threshold rule.
+// SPRT accumulates exact Gaussian log-likelihoods and needs no trained
+// table, but assumes the parametric readout model; the table is model-free.
+func (s *Suite) ExtraSPRT() *Table {
+	ch := s.channel(30)
+	shots := 15 * s.Shots
+	t := &Table{
+		ID:    "Extra: SPRT vs trajectory table",
+		Title: "matched-confidence comparison of decision rules",
+		Header: []string{"prior P(1)",
+			"table acc", "table latency (µs)",
+			"sprt acc", "sprt latency (µs)"},
+	}
+	for pi, prior := range []float64{0.05, 0.30, 0.50} {
+		rng := stats.NewRNG(s.Seed + uint64(2600+pi))
+		var pulses []*readout.Pulse
+		for i := 0; i < shots; i++ {
+			state := 0
+			if rng.Bool(prior) {
+				state = 1
+			}
+			pulses = append(pulses, ch.Cal.Synthesize(state, rng))
+		}
+		table := predict.New(predict.Config{Theta0: 0.91, Theta1: 0.91, Mode: predict.ModeCombined}, ch)
+		table.SeedHistory(prior*60, (1-prior)*60)
+		accT, latT := table.Accuracy(pulses)
+		sprt := predict.NewSPRT(ch, 0.09, 0.09)
+		accS, latS := sprt.Accuracy(pulses, prior)
+		t.AddRow(fmt.Sprintf("%.2f", prior), pct(accT), us(latT), pct(accS), us(latS))
+	}
+	t.Note("α=β=0.09 targets the table's θ=0.91 confidence; SPRT trades the trained table for a parametric Gaussian model")
+	return t
+}
+
+// platformSpec scales the readout physics to other qubit platforms — the
+// paper claims the mechanism generalizes beyond superconducting hardware
+// (§2.1: neutral atoms, trapped ions). Times scale by orders of magnitude
+// while the classical processing stays fixed, which is exactly why
+// prediction matters most where the readout dominates.
+type platformSpec struct {
+	name string
+	// readoutNs and t1Ns define the platform's measurement and lifetime
+	// scales; snrScale adjusts per-sample SNR (ion fluorescence readout is
+	// photon-starved early, superconducting dispersive readout is not).
+	readoutNs float64
+	t1Ns      float64
+	snrScale  float64
+}
+
+// ExtraPlatforms evaluates the predictor's early-commit fraction of the
+// readout across platform timescales.
+func (s *Suite) ExtraPlatforms() *Table {
+	specs := []platformSpec{
+		{"superconducting (paper)", 2_000, 125_000, 1.0},
+		{"neutral atom", 20_000, 4_000_000, 0.7},
+		{"trapped ion", 200_000, 1e9, 0.5},
+	}
+	t := &Table{
+		ID:    "Extra: platform generalization",
+		Title: "prediction benefit across qubit platforms (balanced prior)",
+		Header: []string{"platform", "readout (µs)",
+			"mean decision (µs)", "fraction of readout", "committed accuracy"},
+	}
+	for pi, spec := range specs {
+		cal := readout.DefaultCalibration()
+		cal.DurationNs = spec.readoutNs
+		cal.T1Ns = spec.t1Ns
+		cal.NoiseSigma = cal.NoiseSigma / spec.snrScale
+		// The capture keeps 2000 samples per readout regardless of the
+		// platform's wall-clock scale (slower dynamics sample slower —
+		// fluorescence readout integrates photon counts over ms, not GSPS),
+		// so calibration cost stays flat across platforms.
+		cal.SampleRateGSPS = 2000 / spec.readoutNs
+		// Window scales with the readout so the table keeps ~66 windows.
+		windowNs := spec.readoutNs / 66
+		ch := readout.NewChannel(cal, windowNs, readout.DefaultK, stats.NewRNG(s.Seed+uint64(2700+pi)))
+		p := predict.New(predict.Config{Theta0: 0.91, Theta1: 0.91, Mode: predict.ModeCombined}, ch)
+		p.SeedHistory(50, 50)
+		rng := stats.NewRNG(s.Seed + uint64(2800+pi))
+		var pulses []*readout.Pulse
+		for i := 0; i < 6*s.Shots; i++ {
+			pulses = append(pulses, cal.Synthesize(i%2, rng))
+		}
+		acc, lat := p.Accuracy(pulses)
+		t.AddRow(spec.name,
+			fmt.Sprintf("%.1f", spec.readoutNs/1000),
+			us(lat), pct(lat/spec.readoutNs), pct(acc))
+	}
+	t.Note("the decision lands at a similar fraction of the readout on every platform; absolute savings grow with readout duration")
+	return t
+}

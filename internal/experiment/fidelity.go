@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+
+	"artery/internal/controller"
+	"artery/internal/core"
+	"artery/internal/predict"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// fig13Workloads enumerates the fidelity benchmarks at the deepest sweep
+// points of the paper's figure (QRW step 25, RCNOT/DQT distance 6,
+// RUS-QNN cycle 6), where idle-decoherence differences compound the most.
+// State simulation must be feasible (<= 16 qubits), so reset uses a single
+// qubit as the representative (reset fidelity is per-qubit
+// multiplicative).
+func fig13Workloads() []*workload.Workload {
+	return []*workload.Workload{
+		workload.QRW(25),
+		workload.RCNOT(6),
+		workload.RUSQNN(6),
+		workload.DQT(6),
+		workload.Reset(1),
+	}
+}
+
+// Figure13 reproduces the fidelity-improvement evaluation: mean
+// end-of-circuit fidelity per benchmark and controller, with ARTERY's
+// improvement factors over each baseline.
+func (s *Suite) Figure13() *Table {
+	t := &Table{
+		ID:     "Figure 13",
+		Title:  "Fidelity under feedback latency",
+		Header: []string{"benchmark", "QubiC", "HERQULES", "Salathe et al.", "Reuer et al.", "ARTERY"},
+	}
+	mk := func(name string, overhead float64) *core.Engine {
+		e := core.NewEngine(controller.NewBaseline(name, overhead, s.topo), s.channel(30), nil)
+		return e // state sim on
+	}
+	sums := make([]float64, 5)
+	for wi, wl := range fig13Workloads() {
+		engines := []*core.Engine{
+			mk("QubiC", controller.QubiCOverheadNs),
+			mk("HERQULES", controller.HERQULESOverheadNs),
+			mk("Salathe et al.", controller.SalatheOverheadNs),
+			mk("Reuer et al.", controller.ReuerOverheadNs),
+			s.fidelityArtery(),
+		}
+		row := []string{wl.Name}
+		for ei, e := range engines {
+			// Paired comparison: every controller replays the same noise
+			// stream (salt excludes the engine index), so fidelity
+			// differences reflect feedback latency, not sampling luck.
+			res := s.runCell(e, wl, uint64(1300+10*wi))
+			row = append(row, fmt.Sprintf("%.4f", res.MeanFidelity))
+			sums[ei] += res.MeanFidelity
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(fig13Workloads()))
+	t.Note("mean fidelity improvement vs QubiC %s, HERQULES %s, Salathe %s, Reuer %s (paper: 1.24x/1.22x/1.19x/1.29x)",
+		ratio(sums[4]/sums[0]), ratio(sums[4]/sums[1]), ratio(sums[4]/sums[2]), ratio(sums[4]/sums[3]))
+	_ = n
+	return t
+}
+
+// fidelityArtery builds an ARTERY engine with state simulation enabled.
+func (s *Suite) fidelityArtery() *core.Engine {
+	cfg := predict.Config{Theta0: 0.91, Theta1: 0.91, Mode: predict.ModeCombined}
+	ctrl := controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel(30)))
+	return core.NewEngine(ctrl, s.channel(30), nil)
+}
+
+// fig14Workloads enumerates the ablation benchmarks.
+func fig14Workloads() []*workload.Workload {
+	return []*workload.Workload{
+		workload.QECCycle(1),
+		workload.QRW(5),
+		workload.RCNOT(3),
+		workload.RUSQNN(3),
+		workload.DQT(3),
+		workload.Reset(1),
+	}
+}
+
+// ablationAccuracy measures the raw prediction-signal accuracy of one
+// feature mode on one workload: the branch the predictor would name at its
+// decision point (committed branch, or the posterior's argmax at readout
+// end when it never commits) versus the ground truth. This is the paper's
+// Figure-14 accuracy notion — history-only sits at the prior's hit rate
+// (0.4–0.7 on balanced workloads), not at the never-wrong commit rate.
+func (s *Suite) ablationAccuracy(wl *workloadT, mode predict.Mode, salt uint64) float64 {
+	ch := s.channel(30)
+	cfg := predict.Config{Theta0: 0.91, Theta1: 0.91, Mode: mode}
+	p := predict.New(cfg, ch)
+	rng := stats.NewRNG(s.Seed + salt)
+	ok, total := 0, 0
+	for shot := 0; shot < s.Shots; shot++ {
+		for _, prior := range wl.SiteP1 {
+			state := 0
+			if rng.Bool(prior) {
+				state = 1
+			}
+			pulse := ch.Cal.Synthesize(state, rng)
+			truth := ch.Classifier.ClassifyFull(pulse)
+			d := p.PredictWithHistory(pulse, prior)
+			guess := d.Branch
+			if !d.Committed {
+				// Forced call from the final posterior (no free fallback to
+				// the full-readout classification in this metric).
+				guess = 0
+				if mode == predict.ModeHistory {
+					if prior >= 0.5 {
+						guess = 1
+					}
+				} else if d.PFinal >= 0.5 {
+					guess = 1
+				}
+			}
+			if guess == truth {
+				ok++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ok) / float64(total)
+}
+
+// workloadT aliases the workload type for the ablation helper.
+type workloadT = workload.Workload
+
+// Figure14 reproduces the ablation of the prediction features: feedback
+// latency and prediction accuracy when using only historical data, only
+// readout-pulse analysis, or the combined reconciled predictor.
+func (s *Suite) Figure14() *Table {
+	t := &Table{
+		ID:    "Figure 14",
+		Title: "Ablation: history-only vs readout-only vs combined",
+		Header: []string{"benchmark",
+			"history lat (µs)", "history acc",
+			"readout lat (µs)", "readout acc",
+			"combined lat (µs)", "combined acc"},
+	}
+	modes := []predict.Mode{predict.ModeHistory, predict.ModeTrajectory, predict.ModeCombined}
+	sums := make([]float64, len(modes))
+	for wi, wl := range fig14Workloads() {
+		row := []string{wl.Name}
+		perFeedback := float64(maxInt(1, wl.NumFeedback()))
+		for mi, mode := range modes {
+			e := s.arteryEngine(mode, 0.91)
+			res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(1400+10*wi+mi)))
+			acc := s.ablationAccuracy(wl, mode, uint64(1450+10*wi+mi))
+			row = append(row, us(res.MeanLatencyNs/perFeedback), pct(acc))
+			sums[mi] += res.MeanLatencyNs / perFeedback
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(fig14Workloads()))
+	t.Note("mean per-feedback latency: history %.2f µs, readout %.2f µs, combined %.2f µs (paper: readout-only is 1.47x slower than combined)",
+		sums[0]/n/1000, sums[1]/n/1000, sums[2]/n/1000)
+	return t
+}

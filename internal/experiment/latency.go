@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+
+	"artery/internal/controller"
+	"artery/internal/core"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// Figure2 reproduces the latency-wall analysis: the readout-vs-lifetime
+// design points (left panel) and the feedback hardware breakdown with the
+// 660 ns wall (right panel).
+func (s *Suite) Figure2() *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Latency breakdown of quantum feedback (the 660 ns wall)",
+		Header: []string{"design point", "readout (ns)", "T1 (µs)"},
+	}
+	for _, p := range controller.Figure2DesignPoints() {
+		t.AddRow(p.Name, fmt.Sprintf("%.0f", p.ReadoutNs), fmt.Sprintf("%.1f", p.T1Us))
+	}
+	u := controller.DefaultUnits()
+	t.AddRow("", "", "")
+	t.AddRow("unit", "latency (ns)", "")
+	t.AddRow("ADC processing", fmt.Sprintf("%.0f", u.ADC), "")
+	t.AddRow("state classification", fmt.Sprintf("%.0f", u.Classify), "")
+	t.AddRow("pulse preparation", fmt.Sprintf("%.0f", u.Prep), "")
+	t.AddRow("DAC processing", fmt.Sprintf("%.0f", u.DAC), "")
+	t.AddRow("hardware floor", fmt.Sprintf("%.0f", u.Processing()), "")
+	t.AddRow("latency wall", fmt.Sprintf("%.0f", controller.LatencyWall(u)), "")
+	t.Note("wall = %.0f ns minimum useful readout + %.0f ns processing floor",
+		controller.MinUsefulReadoutNs, u.Processing())
+	return t
+}
+
+// Figure4 reproduces the motivational example: the readout distributions of
+// prior and posterior shot batches of a QRW feedback agree, and trajectory
+// states repeat with similar frequencies across the batches.
+func (s *Suite) Figure4() *Table {
+	ch := s.channel(30)
+	rng := stats.NewRNG(s.Seed + 4)
+	const batch = 500
+	const pOne = 0.58 // the QRW coin bias of the paper's example
+
+	sample := func() (frac1 float64, trajFreq map[string]int) {
+		trajFreq = map[string]int{}
+		ones := 0
+		for i := 0; i < batch; i++ {
+			state := 0
+			if rng.Bool(pOne) {
+				state = 1
+			}
+			p := ch.Cal.Synthesize(state, rng)
+			if ch.Classifier.ClassifyFull(p) == 1 {
+				ones++
+			}
+			// Trajectory state over 400 ns windows (the figure's marks).
+			bits := ""
+			for _, b := range ch.Classifier.WindowBits(p, 0) {
+				bits += fmt.Sprint(b)
+			}
+			key := bits[:4]
+			trajFreq[key]++
+		}
+		return float64(ones) / batch, trajFreq
+	}
+
+	prior1, trajPrior := sample()
+	post1, trajPost := sample()
+
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  "Motivational example: prior vs posterior shot statistics (QRW)",
+		Header: []string{"batch", "P(read 0)", "P(read 1)"},
+	}
+	t.AddRow("prior shots", fmt.Sprintf("%.2f", 1-prior1), fmt.Sprintf("%.2f", prior1))
+	t.AddRow("posterior shots", fmt.Sprintf("%.2f", 1-post1), fmt.Sprintf("%.2f", post1))
+	t.AddRow("", "", "")
+	t.AddRow("trajectory state", "prior freq", "posterior freq")
+	for _, key := range []string{"0000", "1111", "0001", "1110"} {
+		t.AddRow(key, fmt.Sprint(trajPrior[key]), fmt.Sprint(trajPost[key]))
+	}
+	t.Note("trajectory states are the first four 30 ns window classifications; matching frequencies across batches justify history-based prediction")
+	return t
+}
+
+// table1Benchmarks enumerates the Table-1 grid: benchmark family and the
+// parameter sweep.
+type table1Bench struct {
+	label string
+	make  func(param int, rng *stats.RNG) *workload.Workload
+	sweep []int
+}
+
+func table1Benchmarks() []table1Bench {
+	return []table1Bench{
+		{"QRW (#step)", func(p int, _ *stats.RNG) *workload.Workload { return workload.QRW(p) }, []int{1, 5, 15, 25}},
+		{"RCNOT (#depth)", func(p int, _ *stats.RNG) *workload.Workload { return workload.RCNOT(p) }, []int{1, 2, 3, 4}},
+		{"RUS-QNN (#cycle)", func(p int, _ *stats.RNG) *workload.Workload { return workload.RUSQNN(p) }, []int{1, 2, 3, 4}},
+		{"DQT (#distance)", func(p int, _ *stats.RNG) *workload.Workload { return workload.DQT(p) }, []int{1, 2, 3, 4}},
+		{"reset", func(int, *stats.RNG) *workload.Workload { return workload.Reset(1) }, []int{1}},
+		{"Random (#gate)", func(p int, rng *stats.RNG) *workload.Workload { return workload.Random(p, rng) }, []int{25, 50, 75, 100}},
+	}
+}
+
+// Table1 reproduces the feedback-latency evaluation: average feedback
+// latency (µs) of the five methods over the benchmark sweeps.
+func (s *Suite) Table1() *Table {
+	t := &Table{
+		ID:    "Table 1",
+		Title: "Evaluation of feedback latency (µs)",
+	}
+	t.Header = []string{"method"}
+	benches := table1Benchmarks()
+	type cellKey struct{ b, p int }
+	var cells []cellKey
+	for bi, b := range benches {
+		for pi, p := range b.sweep {
+			t.Header = append(t.Header, fmt.Sprintf("%s=%d", shortLabel(b.label), p))
+			cells = append(cells, cellKey{bi, pi})
+		}
+	}
+
+	engines := s.engines()
+	sums := make([]float64, len(engines))
+	rows := make([][]string, len(engines))
+	for ei, e := range engines {
+		rows[ei] = []string{e.Ctrl.Name()}
+	}
+	wlRng := stats.NewRNG(s.Seed + 100)
+	for _, ck := range cells {
+		b := benches[ck.b]
+		wl := b.make(b.sweep[ck.p], wlRng.Split())
+		for ei, e := range engines {
+			res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(ck.b*100+ck.p*10+ei)))
+			rows[ei] = append(rows[ei], us(res.MeanLatencyNs))
+			sums[ei] += res.MeanLatencyNs / float64(maxInt(1, wl.NumFeedback()))
+		}
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r)
+	}
+	// Headline: mean per-feedback latency and the ARTERY speedup vs QubiC,
+	// with a bootstrap CI over the grid cells.
+	n := float64(len(cells))
+	perCell := make([]float64, 0, len(cells))
+	for c := 1; c < len(rows[4]); c++ {
+		a := mustParse(rows[4][c])
+		q := mustParse(rows[0][c])
+		if a > 0 {
+			perCell = append(perCell, q/a)
+		}
+	}
+	ciLo, ciHi := stats.BootstrapCI(perCell, 0.95, 400, stats.NewRNG(s.Seed+999))
+	t.Note("mean per-feedback latency: QubiC %.2f µs, ARTERY %.2f µs -> speedup %s",
+		sums[0]/n/1000, sums[4]/n/1000, ratio(sums[0]/sums[4]))
+	t.Note("per-cell speedup 95%% bootstrap CI: [%.2fx, %.2fx]", ciLo, ciHi)
+	return t
+}
+
+// mustParse parses a formatted table cell back to a float (cells are
+// produced by this package, so a failure is a bug).
+func mustParse(cell string) float64 {
+	var v float64
+	if _, err := fmt.Sscanf(cell, "%f", &v); err != nil {
+		panic(fmt.Sprintf("experiment: unparseable cell %q", cell))
+	}
+	return v
+}
+
+func shortLabel(l string) string {
+	switch {
+	case len(l) == 0:
+		return l
+	default:
+		for i, r := range l {
+			if r == ' ' {
+				return l[:i]
+			}
+		}
+		return l
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runCell is a helper shared by fidelity/ablation experiments: run one
+// engine over one workload with a derived seed.
+func (s *Suite) runCell(e *core.Engine, wl *workload.Workload, salt uint64) core.RunResult {
+	return e.Run(wl, s.Shots, stats.NewRNG(s.Seed^salt))
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"artery/internal/interconnect"
+	"artery/internal/pulse"
+	"artery/internal/workload"
+)
+
+// table2Workloads enumerates the three compression benchmarks of Table 2.
+func table2Workloads() []*workload.Workload {
+	return []*workload.Workload{
+		workload.QECCycle(2),
+		workload.QRW(10),
+		workload.RCNOT(4),
+	}
+}
+
+// Table2 reproduces the adaptive pulse-sampling evaluation: per-DAC stream
+// bandwidth, DAC channels per FPGA, and decoder latency for the raw,
+// Huffman, run-length and combined codecs over the three benchmarks'
+// compiled pulse streams.
+func (s *Suite) Table2() *Table {
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "Evaluation of the adaptive pulse sampling",
+		Header: []string{"quantity", "benchmark", "raw", "huffman", "run-length", "huffman+run-length"},
+	}
+	type rowSet struct {
+		name    string
+		reports []pulse.SamplingReport
+	}
+	var sets []rowSet
+	for _, wl := range table2Workloads() {
+		streams := pulse.CompileCircuit(wl.Circuit)
+		var reports []pulse.SamplingReport
+		for _, c := range pulse.Codecs() {
+			reports = append(reports, pulse.AnalyzeSampling(c, streams))
+		}
+		sets = append(sets, rowSet{wl.Name, reports})
+	}
+	for _, set := range sets {
+		row := []string{"bandwidth (Gb/s)", set.name}
+		for _, r := range set.reports {
+			row = append(row, fmt.Sprintf("%.1f", r.BandwidthGbps))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, set := range sets {
+		row := []string{"#DAC / FPGA", set.name}
+		for _, r := range set.reports {
+			row = append(row, fmt.Sprint(r.DACsPerFPGA))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, set := range sets {
+		row := []string{"decode latency (ns)", set.name}
+		for _, r := range set.reports {
+			if r.DecodeLatencyNs == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", r.DecodeLatencyNs))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Aggregate headline: bandwidth gain of the combined codec, and the
+	// latency trade against an inter-FPGA serdes round.
+	var gain float64
+	for _, set := range sets {
+		gain += set.reports[0].BandwidthGbps / set.reports[3].BandwidthGbps
+	}
+	gain /= float64(len(sets))
+	maxDACs := 0
+	for _, set := range sets {
+		if d := set.reports[3].DACsPerFPGA; d > maxDACs {
+			maxDACs = d
+		}
+	}
+	t.Note("combined codec bandwidth gain %.1fx (paper: 4.7x avg, up to 6.2x); raw supports %d DACs, combined up to %d",
+		gain, sets[0].reports[0].DACsPerFPGA, maxDACs)
+	t.Note("decode latency trades against the %.0f ns serdes hop it avoids (§6.5)", interconnect.SerdesHopLatencyNs)
+	return t
+}

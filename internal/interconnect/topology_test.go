@@ -1,0 +1,132 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopologyShape(t *testing.T) {
+	top := PaperTopology()
+	if top.NumFPGAs() != 3 {
+		t.Fatalf("NumFPGAs = %d, want 3 (18 qubits / 6 per FPGA)", top.NumFPGAs())
+	}
+	if top.NumBackplanes() != 2 {
+		t.Fatalf("NumBackplanes = %d, want 2", top.NumBackplanes())
+	}
+}
+
+func TestFPGAAssignment(t *testing.T) {
+	top := PaperTopology()
+	if top.FPGAOf(0) != 0 || top.FPGAOf(5) != 0 {
+		t.Fatal("qubits 0-5 should be on FPGA 0")
+	}
+	if top.FPGAOf(6) != 1 || top.FPGAOf(17) != 2 {
+		t.Fatal("FPGA assignment wrong")
+	}
+	if top.BackplaneOf(0) != 0 || top.BackplaneOf(1) != 0 || top.BackplaneOf(2) != 1 {
+		t.Fatal("backplane assignment wrong")
+	}
+}
+
+func TestRouteLevels(t *testing.T) {
+	top := PaperTopology()
+	if l := top.RouteLevel(0, 3); l != LevelOnChip {
+		t.Fatalf("same-FPGA level = %v", l)
+	}
+	if l := top.RouteLevel(0, 7); l != LevelBackplane {
+		t.Fatalf("same-backplane level = %v", l)
+	}
+	if l := top.RouteLevel(0, 13); l != LevelInterBackplane {
+		t.Fatalf("cross-backplane level = %v", l)
+	}
+}
+
+func TestLatencyHierarchy(t *testing.T) {
+	top := PaperTopology()
+	l1 := top.Latency(0, 1)
+	l2 := top.Latency(0, 7)
+	l3 := top.Latency(0, 13)
+	if !(l1 < l2 && l2 < l3) {
+		t.Fatalf("latency hierarchy violated: %v %v %v", l1, l2, l3)
+	}
+	if l1 != OnChipLatencyNs {
+		t.Fatalf("on-chip latency %v", l1)
+	}
+	if l2 != 96 {
+		t.Fatalf("backplane latency %v, want 96 (2 serdes hops)", l2)
+	}
+}
+
+func TestLatencySymmetric(t *testing.T) {
+	top := PaperTopology()
+	f := func(a, b uint8) bool {
+		qa, qb := int(a)%18, int(b)%18
+		return top.Latency(qa, qb) == top.Latency(qb, qa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseLatency(t *testing.T) {
+	top := PaperTopology()
+	w := top.WorstCaseLatency()
+	if w != top.Latency(0, 13) {
+		t.Fatalf("worst case %v != cross-backplane latency", w)
+	}
+}
+
+func TestHierarchyBeatsFlat(t *testing.T) {
+	// The layered design must never be slower than a flat shared bus, and
+	// strictly faster for same-backplane traffic on multi-backplane systems.
+	top := NewTopology(48, 6, 2) // 8 FPGAs, 4 backplanes
+	for a := 0; a < 48; a += 5 {
+		for b := 0; b < 48; b += 7 {
+			if top.Latency(a, b) > top.FlatLatency(a, b) {
+				t.Fatalf("hierarchy slower than flat for (%d,%d)", a, b)
+			}
+		}
+	}
+	if !(top.Latency(0, 7) < top.FlatLatency(0, 7)) {
+		t.Fatal("same-backplane path not faster than flat bus")
+	}
+}
+
+func TestScalesToLargerSystems(t *testing.T) {
+	top := NewTopology(512, 8, 4)
+	if top.NumFPGAs() != 64 || top.NumBackplanes() != 16 {
+		t.Fatalf("scaling: %d FPGAs, %d backplanes", top.NumFPGAs(), top.NumBackplanes())
+	}
+	// Level-3 latency is constant regardless of system size (point-to-point
+	// layered routing), unlike the flat bus.
+	if top.Latency(0, 511) != PaperTopology().Latency(0, 13) {
+		t.Fatal("level-3 latency should not grow with system size")
+	}
+	if top.FlatLatency(0, 511) <= top.Latency(0, 511) {
+		t.Fatal("flat bus should degrade on large systems")
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewTopology(0, 1, 1) },
+		func() { NewTopology(1, 0, 1) },
+		func() { PaperTopology().FPGAOf(18) },
+		func() { PaperTopology().Latency(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelOnChip.String() != "on-chip" || Level(9).String() == "" {
+		t.Fatal("Level.String broken")
+	}
+}

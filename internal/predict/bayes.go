@@ -1,0 +1,248 @@
+// Package predict implements ARTERY's quantum branch prediction (§4): a
+// reconciled predictor that fuses the historical branch distribution of a
+// feedback site with a real-time trajectory classification of the partial
+// readout pulse through a Bayesian model, and commits a branch as soon as
+// the posterior crosses a confidence threshold.
+//
+// Classical CPU predictors (always-taken, two-bit saturating counter,
+// gshare) are included as baselines: they fail on quantum feedback because
+// superposition makes consecutive branch outcomes independent — exactly the
+// motivation the paper gives for a new design.
+package predict
+
+import (
+	"fmt"
+
+	"artery/internal/readout"
+	"artery/internal/stats"
+)
+
+// BayesCombine fuses the historical probability P_history_1 and the
+// trajectory-table probability P_read_1 with the paper's Bayesian model:
+//
+//	P_predict_1 = (Ph·Pr) / (Ph·Pr + (1−Ph)·(1−Pr))
+//
+// Inputs are clamped to (ε, 1−ε) so a saturated table entry can never
+// produce a division by zero or a hard 0/1 posterior.
+func BayesCombine(pHist, pRead float64) float64 {
+	const eps = 1e-6
+	pHist = clamp(pHist, eps, 1-eps)
+	pRead = clamp(pRead, eps, 1-eps)
+	num := pHist * pRead
+	return num / (num + (1-pHist)*(1-pRead))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mode selects which features the predictor uses — the Figure 14 ablation.
+type Mode int
+
+// Predictor feature modes.
+const (
+	ModeCombined   Mode = iota // history + readout trajectory (ARTERY)
+	ModeHistory                // historical branch distribution only
+	ModeTrajectory             // readout-pulse analysis only
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCombined:
+		return "combined"
+	case ModeHistory:
+		return "history-only"
+	case ModeTrajectory:
+		return "readout-only"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes one predictor instance.
+type Config struct {
+	Theta0 float64 // confidence threshold for committing branch 0
+	Theta1 float64 // confidence threshold for committing branch 1
+	Mode   Mode
+}
+
+// DefaultConfig returns the paper's evaluation configuration: symmetric
+// thresholds at the tuned 0.91 operating point (Figure 17).
+func DefaultConfig() Config {
+	return Config{Theta0: 0.91, Theta1: 0.91, Mode: ModeCombined}
+}
+
+// Validate checks threshold sanity.
+func (c Config) Validate() error {
+	if c.Theta0 <= 0.5 || c.Theta0 >= 1 || c.Theta1 <= 0.5 || c.Theta1 >= 1 {
+		return fmt.Errorf("predict: thresholds must lie in (0.5, 1): θ0=%v θ1=%v", c.Theta0, c.Theta1)
+	}
+	return nil
+}
+
+// PredictionPoint is one step of the iterative analysis: the posterior
+// after window Windows (1-based) at time TimeNs into the readout.
+type PredictionPoint struct {
+	Windows  int
+	TimeNs   float64
+	PRead1   float64
+	PPredict float64
+}
+
+// Decision is the outcome of predicting one shot.
+type Decision struct {
+	// Branch is the committed branch (0/1). When Committed is false the
+	// predictor never reached confidence and Branch is the full-readout
+	// classification instead (conventional path, no pre-execution).
+	Branch    int
+	Committed bool
+	// TimeNs is the readout time at which the branch became available:
+	// the threshold-crossing window boundary when Committed, otherwise the
+	// full readout duration.
+	TimeNs float64
+	// PFinal is the posterior at decision time.
+	PFinal float64
+	// Trace records the per-window posterior evolution (Figure 15a).
+	Trace []PredictionPoint
+}
+
+// Predictor is one feedback site's reconciled branch predictor. It owns the
+// site's historical Beta counter and consults the channel's pre-generated
+// trajectory state table.
+type Predictor struct {
+	cfg     Config
+	channel *readout.Channel
+	history *stats.BetaCounter
+}
+
+// New returns a predictor over a calibrated readout channel.
+// It panics if cfg is invalid.
+func New(cfg Config, ch *readout.Channel) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Predictor{cfg: cfg, channel: ch, history: stats.NewBetaCounter()}
+}
+
+// SeedHistory pre-loads the historical distribution with pseudo-counts, as
+// when prior shots of the same program have already executed.
+func (p *Predictor) SeedHistory(ones, zeros float64) {
+	p.history.Alpha += ones
+	p.history.Beta += zeros
+}
+
+// PHistory1 returns the current historical probability of branch 1.
+func (p *Predictor) PHistory1() float64 { return p.history.P() }
+
+// Observe updates the historical distribution with a shot's true outcome.
+// The paper performs this after each prediction at zero latency cost.
+func (p *Predictor) Observe(outcome int) { p.history.Observe(outcome == 1) }
+
+// UpdateTable refines the trajectory state table with a completed shot,
+// the between-program dynamic update of §4.
+func (p *Predictor) UpdateTable(pulse *readout.Pulse, outcome int) {
+	bits := p.channel.Classifier.WindowBits(pulse, 0)
+	for n := 1; n <= len(bits); n++ {
+		p.channel.Table.Update(bits[:n], outcome)
+	}
+}
+
+// Predict runs the iterative analysis over a shot's readout pulse and
+// returns the decision, using the predictor's own historical counter.
+func (p *Predictor) Predict(pulse *readout.Pulse) Decision {
+	return p.PredictWithHistory(pulse, p.history.P())
+}
+
+// PredictWithHistory runs the iterative analysis with an externally
+// supplied historical probability — used by the controller, which keeps
+// one historical distribution per feedback site (branch statistics of
+// different sites are independent, §4). The posterior is evaluated at
+// every window boundary; the branch commits at the first threshold
+// crossing.
+func (p *Predictor) PredictWithHistory(pulse *readout.Pulse, pHist float64) Decision {
+	windowNs := p.channel.Classifier.WindowNs
+	bits := p.channel.Classifier.WindowBits(pulse, 0)
+
+	var trace []PredictionPoint
+	for n := 1; n <= len(bits); n++ {
+		pRead := p.channel.Table.PRead1(bits[:n])
+		var post float64
+		switch p.cfg.Mode {
+		case ModeHistory:
+			post = pHist
+		case ModeTrajectory:
+			post = pRead
+		default:
+			post = BayesCombine(pHist, pRead)
+		}
+		t := float64(n) * windowNs
+		trace = append(trace, PredictionPoint{Windows: n, TimeNs: t, PRead1: pRead, PPredict: post})
+		if post >= p.cfg.Theta1 {
+			return Decision{Branch: 1, Committed: true, TimeNs: t, PFinal: post, Trace: trace}
+		}
+		if 1-post >= p.cfg.Theta0 {
+			return Decision{Branch: 0, Committed: true, TimeNs: t, PFinal: post, Trace: trace}
+		}
+		if p.cfg.Mode == ModeHistory {
+			// History never changes within a shot: if it cannot commit at
+			// the first window it never will.
+			break
+		}
+	}
+	// No commitment: fall back to the conventional full-readout path.
+	final := p.channel.Classifier.ClassifyFull(pulse)
+	pFinal := 0.0
+	if len(trace) > 0 {
+		pFinal = trace[len(trace)-1].PPredict
+	}
+	return Decision{
+		Branch:    final,
+		Committed: false,
+		TimeNs:    p.channel.Cal.DurationNs,
+		PFinal:    pFinal,
+		Trace:     trace,
+	}
+}
+
+// Accuracy measures prediction accuracy and mean commit time over a set of
+// labelled pulses (ground truth = full-pulse classification), without
+// mutating predictor state.
+func (p *Predictor) Accuracy(pulses []*readout.Pulse) (acc, meanTimeNs float64) {
+	if len(pulses) == 0 {
+		return 0, 0
+	}
+	ok := 0
+	var t stats.RunningMean
+	for _, pl := range pulses {
+		d := p.Predict(pl)
+		truth := p.channel.Classifier.ClassifyFull(pl)
+		if d.Branch == truth {
+			ok++
+		}
+		t.Add(d.TimeNs)
+	}
+	return float64(ok) / float64(len(pulses)), t.Mean()
+}
+
+// WindowNs exposes the channel's demodulation window length.
+func (p *Predictor) WindowNs() float64 { return p.channel.Classifier.WindowNs }
+
+// ReadoutDurationNs exposes the channel's full readout duration.
+func (p *Predictor) ReadoutDurationNs() float64 { return p.channel.Cal.DurationNs }
+
+// TruthOf returns the ground-truth branch outcome of a pulse.
+func (p *Predictor) TruthOf(pulse *readout.Pulse) int {
+	return p.channel.Classifier.ClassifyFull(pulse)
+}
+
+// EstimateLatencyBudget reports, for diagnostics, how much of the
+// commitment latency is pipeline math versus windows: the Bayesian model
+// is a multiply plus a FIFO and produces P_predict three FPGA cycles after
+// a window classification lands (§5.1).
+const BayesPipelineCycles = 3

@@ -1,0 +1,106 @@
+package predict
+
+// Classical is the interface of a conventional CPU branch predictor.
+// These are implemented to demonstrate the paper's first motivation: CPU
+// predictors assume temporally dependent, deterministic branches and break
+// down on quantum feedback, where each shot's outcome is an independent
+// Bernoulli draw.
+type Classical interface {
+	// Predict returns the predicted branch (0 or 1) for the next outcome.
+	Predict() int
+	// Update records the actual outcome.
+	Update(outcome int)
+	Name() string
+}
+
+// AlwaysTaken is the trivial static predictor.
+type AlwaysTaken struct{}
+
+// Name returns the predictor name.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// Predict always predicts branch 1.
+func (AlwaysTaken) Predict() int { return 1 }
+
+// Update is a no-op.
+func (AlwaysTaken) Update(int) {}
+
+// TwoBit is the classic two-bit saturating counter (Smith 1981).
+type TwoBit struct {
+	state int // 0,1: predict 0 — 2,3: predict 1
+}
+
+// Name returns the predictor name.
+func (*TwoBit) Name() string { return "two-bit" }
+
+// Predict returns the counter's current direction.
+func (t *TwoBit) Predict() int {
+	if t.state >= 2 {
+		return 1
+	}
+	return 0
+}
+
+// Update saturates the counter toward the observed outcome.
+func (t *TwoBit) Update(outcome int) {
+	if outcome == 1 {
+		if t.state < 3 {
+			t.state++
+		}
+	} else {
+		if t.state > 0 {
+			t.state--
+		}
+	}
+}
+
+// GShare is a global-history predictor: the recent h outcomes XOR-index a
+// table of two-bit counters (McFarling 1993). On quantum feedback the
+// history carries no information, so gshare degenerates to per-pattern
+// majority voting.
+type GShare struct {
+	historyBits int
+	history     uint32
+	table       []TwoBit
+}
+
+// NewGShare returns a gshare predictor with h history bits (table size 2^h).
+// It panics for h outside [1, 20].
+func NewGShare(h int) *GShare {
+	if h < 1 || h > 20 {
+		panic("predict: gshare history bits out of range")
+	}
+	return &GShare{historyBits: h, table: make([]TwoBit, 1<<uint(h))}
+}
+
+// Name returns the predictor name.
+func (g *GShare) Name() string { return "gshare" }
+
+func (g *GShare) index() uint32 {
+	return g.history & (uint32(len(g.table)) - 1)
+}
+
+// Predict returns the direction of the counter selected by global history.
+func (g *GShare) Predict() int { return g.table[g.index()].Predict() }
+
+// Update trains the selected counter and shifts the outcome into history.
+func (g *GShare) Update(outcome int) {
+	g.table[g.index()].Update(outcome)
+	g.history = (g.history<<1 | uint32(outcome)) & (1<<uint(g.historyBits) - 1)
+}
+
+// EvaluateClassical measures a classical predictor's accuracy on an
+// outcome sequence.
+func EvaluateClassical(p Classical, outcomes []int) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, o := range outcomes {
+		if p.Predict() == o {
+			ok++
+		}
+		p.Update(o)
+	}
+	return float64(ok) / float64(len(outcomes))
+}

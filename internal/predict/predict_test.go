@@ -1,0 +1,357 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/readout"
+	"artery/internal/stats"
+)
+
+func TestBayesCombineWorkedExample(t *testing.T) {
+	// The paper's §4 example: Ph=0.7, Pr=0.95 → P_predict ≈ 0.9779.
+	got := BayesCombine(0.7, 0.95)
+	want := 0.7 * 0.95 / (0.7*0.95 + 0.3*0.05)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BayesCombine = %v, want %v", got, want)
+	}
+	if got < 0.97 || got > 0.99 {
+		t.Fatalf("worked example out of expected range: %v", got)
+	}
+}
+
+func TestBayesCombineNeutralHistory(t *testing.T) {
+	// With an uninformative prior the posterior equals the evidence.
+	for _, pr := range []float64{0.1, 0.5, 0.9} {
+		if got := BayesCombine(0.5, pr); math.Abs(got-pr) > 1e-9 {
+			t.Fatalf("BayesCombine(0.5, %v) = %v", pr, got)
+		}
+	}
+}
+
+func TestBayesCombineBoundsProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		ph := math.Mod(math.Abs(a), 1)
+		pr := math.Mod(math.Abs(b), 1)
+		got := BayesCombine(ph, pr)
+		return got > 0 && got < 1 && !math.IsNaN(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBayesCombineMonotoneInEvidence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		ph := 0.05 + 0.9*rng.Float64()
+		p1 := 0.05 + 0.9*rng.Float64()
+		p2 := 0.05 + 0.9*rng.Float64()
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return BayesCombine(ph, p1) <= BayesCombine(ph, p2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBayesCombineExtremesSafe(t *testing.T) {
+	for _, v := range []float64{0, 1} {
+		got := BayesCombine(v, v)
+		if math.IsNaN(got) || got <= 0 || got >= 1 {
+			t.Fatalf("BayesCombine(%v,%v) = %v", v, v, got)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{
+		{Theta0: 0.5, Theta1: 0.9},
+		{Theta0: 0.9, Theta1: 1.0},
+		{Theta0: 0.3, Theta1: 0.9},
+	} {
+		if c.Validate() == nil {
+			t.Fatalf("config %+v accepted", c)
+		}
+	}
+	if DefaultConfig().Validate() != nil {
+		t.Fatal("default config invalid")
+	}
+}
+
+// sharedChannel builds one calibrated channel reused by the heavier tests.
+var sharedChannel = func() *readout.Channel {
+	return readout.NewChannel(readout.DefaultCalibration(), 30, 6, stats.NewRNG(1000))
+}()
+
+func TestPredictorCommitsEarlyWithStrongHistory(t *testing.T) {
+	// QEC-like site: history overwhelmingly 0 → commits branch 0 fast.
+	p := New(DefaultConfig(), sharedChannel)
+	p.SeedHistory(1, 400) // P_history_1 ≈ 0.0025 (paper: < 1% in QEC)
+	rng := stats.NewRNG(2)
+	pulse := sharedChannel.Cal.Synthesize(0, rng)
+	d := p.Predict(pulse)
+	if !d.Committed || d.Branch != 0 {
+		t.Fatalf("decision = %+v, want committed branch 0", d)
+	}
+	if d.TimeNs > 200 {
+		t.Fatalf("strong-history commit at %v ns, want early (< 200 ns)", d.TimeNs)
+	}
+}
+
+func TestPredictorUniformHistoryNeedsMoreReadout(t *testing.T) {
+	// QRW-like site: 50/50 history → decision driven by the pulse, taking
+	// longer than the history-dominated case.
+	p := New(DefaultConfig(), sharedChannel)
+	p.SeedHistory(200, 200)
+	rng := stats.NewRNG(3)
+	var early, committed int
+	const n = 100
+	for i := 0; i < n; i++ {
+		pulse := sharedChannel.Cal.Synthesize(i%2, rng)
+		d := p.Predict(pulse)
+		if d.Committed {
+			committed++
+			if d.TimeNs <= 30 {
+				early++
+			}
+		}
+	}
+	if committed < n/2 {
+		t.Fatalf("only %d/%d committed with uniform history", committed, n)
+	}
+	if early > n/4 {
+		t.Fatalf("%d first-window commits with 50/50 history — too many", early)
+	}
+}
+
+func TestPredictorAccuracyAboveNinety(t *testing.T) {
+	// Headline claim: > 90% prediction accuracy on a balanced workload.
+	p := New(DefaultConfig(), sharedChannel)
+	p.SeedHistory(100, 100)
+	rng := stats.NewRNG(4)
+	var pulses []*readout.Pulse
+	for i := 0; i < 600; i++ {
+		pulses = append(pulses, sharedChannel.Cal.Synthesize(i%2, rng))
+	}
+	acc, meanT := p.Accuracy(pulses)
+	if acc < 0.9 {
+		t.Fatalf("prediction accuracy %v, want > 0.9", acc)
+	}
+	if meanT >= sharedChannel.Cal.DurationNs {
+		t.Fatalf("mean decision time %v not earlier than full readout", meanT)
+	}
+}
+
+func TestPredictorFallbackUsesFullReadout(t *testing.T) {
+	// With extreme thresholds nothing commits; decisions take the full
+	// readout and match the conventional classification.
+	cfg := Config{Theta0: 0.9999999, Theta1: 0.9999999, Mode: ModeCombined}
+	p := New(cfg, sharedChannel)
+	rng := stats.NewRNG(5)
+	pulse := sharedChannel.Cal.Synthesize(1, rng)
+	d := p.Predict(pulse)
+	if d.Committed {
+		t.Fatalf("committed despite extreme thresholds: %+v", d)
+	}
+	if d.TimeNs != sharedChannel.Cal.DurationNs {
+		t.Fatalf("fallback time %v, want full readout", d.TimeNs)
+	}
+	if d.Branch != sharedChannel.Classifier.ClassifyFull(pulse) {
+		t.Fatal("fallback branch differs from conventional classification")
+	}
+}
+
+func TestModeHistoryDecidesAtFirstWindowOrNever(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeHistory
+	p := New(cfg, sharedChannel)
+	p.SeedHistory(500, 1)
+	rng := stats.NewRNG(6)
+	pulse := sharedChannel.Cal.Synthesize(1, rng)
+	d := p.Predict(pulse)
+	if !d.Committed || d.Branch != 1 || d.TimeNs != 30 {
+		t.Fatalf("history-only strong prior: %+v", d)
+	}
+	// Weak prior: never commits, exactly one trace point.
+	p2 := New(cfg, sharedChannel)
+	p2.SeedHistory(10, 10)
+	d2 := p2.Predict(pulse)
+	if d2.Committed {
+		t.Fatalf("history-only weak prior committed: %+v", d2)
+	}
+	if len(d2.Trace) != 1 {
+		t.Fatalf("history-only trace length %d, want 1", len(d2.Trace))
+	}
+}
+
+func TestModeTrajectoryIgnoresHistory(t *testing.T) {
+	// Trajectory-only decisions must be byte-identical regardless of the
+	// historical distribution.
+	cfg := DefaultConfig()
+	cfg.Mode = ModeTrajectory
+	pA := New(cfg, sharedChannel)
+	pA.SeedHistory(1000, 1)
+	pB := New(cfg, sharedChannel)
+	pB.SeedHistory(1, 1000)
+	rng := stats.NewRNG(7)
+	for i := 0; i < 50; i++ {
+		pulse := sharedChannel.Cal.Synthesize(i%2, rng)
+		dA, dB := pA.Predict(pulse), pB.Predict(pulse)
+		if dA.Branch != dB.Branch || dA.TimeNs != dB.TimeNs || dA.Committed != dB.Committed {
+			t.Fatalf("history leaked into trajectory-only decision: %+v vs %+v", dA, dB)
+		}
+	}
+}
+
+func TestCombinedFasterThanTrajectoryOnly(t *testing.T) {
+	// With a strong prior, fusing history must commit no later on average
+	// than the pulse alone — the Figure 14 ablation direction.
+	rng := stats.NewRNG(8)
+	var pulses []*readout.Pulse
+	for i := 0; i < 200; i++ {
+		state := 0
+		if rng.Bool(0.05) {
+			state = 1
+		}
+		pulses = append(pulses, sharedChannel.Cal.Synthesize(state, rng))
+	}
+	comb := New(DefaultConfig(), sharedChannel)
+	comb.SeedHistory(5, 95)
+	cfgT := DefaultConfig()
+	cfgT.Mode = ModeTrajectory
+	traj := New(cfgT, sharedChannel)
+	_, tComb := comb.Accuracy(pulses)
+	_, tTraj := traj.Accuracy(pulses)
+	if tComb >= tTraj {
+		t.Fatalf("combined (%v ns) not faster than trajectory-only (%v ns)", tComb, tTraj)
+	}
+}
+
+func TestObserveShiftsHistory(t *testing.T) {
+	p := New(DefaultConfig(), sharedChannel)
+	before := p.PHistory1()
+	for i := 0; i < 20; i++ {
+		p.Observe(1)
+	}
+	if p.PHistory1() <= before {
+		t.Fatal("Observe(1) did not raise P_history_1")
+	}
+}
+
+func TestUpdateTableRefines(t *testing.T) {
+	ch := readout.NewChannel(readout.DefaultCalibration(), 30, 6, stats.NewRNG(9))
+	p := New(DefaultConfig(), ch)
+	rng := stats.NewRNG(10)
+	pulse := ch.Cal.Synthesize(1, rng)
+	bits := ch.Classifier.WindowBits(pulse, 0)
+	before := ch.Table.PRead1(bits)
+	p.UpdateTable(pulse, 1)
+	after := ch.Table.PRead1(bits)
+	if after < before {
+		t.Fatalf("table update lowered P for an observed-1 trajectory: %v -> %v", before, after)
+	}
+}
+
+func TestTraceMonotoneTime(t *testing.T) {
+	p := New(DefaultConfig(), sharedChannel)
+	rng := stats.NewRNG(11)
+	d := p.Predict(sharedChannel.Cal.Synthesize(1, rng))
+	for i := 1; i < len(d.Trace); i++ {
+		if d.Trace[i].TimeNs <= d.Trace[i-1].TimeNs {
+			t.Fatal("trace times not increasing")
+		}
+	}
+	if len(d.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	New(Config{Theta0: 0.2, Theta1: 0.2}, sharedChannel)
+}
+
+func TestAlwaysTaken(t *testing.T) {
+	acc := EvaluateClassical(AlwaysTaken{}, []int{1, 1, 0, 1})
+	if acc != 0.75 {
+		t.Fatalf("accuracy %v, want 0.75", acc)
+	}
+}
+
+func TestTwoBitSaturation(t *testing.T) {
+	p := &TwoBit{}
+	if p.Predict() != 0 {
+		t.Fatal("initial prediction should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		p.Update(1)
+	}
+	if p.Predict() != 1 {
+		t.Fatal("did not learn 1s")
+	}
+	// One 0 must not flip a saturated counter.
+	p.Update(0)
+	if p.Predict() != 1 {
+		t.Fatal("saturated counter flipped on a single miss")
+	}
+	p.Update(0)
+	p.Update(0)
+	if p.Predict() != 0 {
+		t.Fatal("did not unlearn after repeated 0s")
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// Deterministic alternating pattern: gshare learns it (near) perfectly —
+	// that is its design point.
+	g := NewGShare(4)
+	outcomes := make([]int, 400)
+	for i := range outcomes {
+		outcomes[i] = i % 2
+	}
+	acc := EvaluateClassical(g, outcomes)
+	if acc < 0.9 {
+		t.Fatalf("gshare on deterministic alternation: %v", acc)
+	}
+}
+
+func TestClassicalPredictorsFailOnQuantumRandomness(t *testing.T) {
+	// On iid 50/50 outcomes every classical predictor sits at ~50% — the
+	// paper's motivation for a quantum-specific design.
+	rng := stats.NewRNG(12)
+	outcomes := make([]int, 4000)
+	for i := range outcomes {
+		if rng.Bool(0.5) {
+			outcomes[i] = 1
+		}
+	}
+	for _, p := range []Classical{AlwaysTaken{}, &TwoBit{}, NewGShare(6)} {
+		acc := EvaluateClassical(p, outcomes)
+		if math.Abs(acc-0.5) > 0.05 {
+			t.Fatalf("%s achieved %v on iid coin flips", p.Name(), acc)
+		}
+	}
+}
+
+func TestGSharePanicsOnBadHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad history bits accepted")
+		}
+	}()
+	NewGShare(0)
+}
+
+func TestEvaluateClassicalEmpty(t *testing.T) {
+	if EvaluateClassical(AlwaysTaken{}, nil) != 0 {
+		t.Fatal("empty evaluation should be 0")
+	}
+}

@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"artery/internal/readout"
+)
+
+// SPRT is a sequential-probability-ratio-test branch predictor — the
+// statistically optimal sequential decision rule (Wald) and a natural
+// extension of the paper's table-based design. Instead of vectorizing the
+// trajectory into k bits and looking up a pre-generated probability, SPRT
+// accumulates the exact Gaussian log-likelihood ratio of each disjoint
+// demodulation window's IQ point and commits when the ratio leaves the
+// (α, β) error band:
+//
+//	LLR_n = Σ_w ( |x_w − c0|² − |x_w − c1|² ) / (2σ_w²)  + ln(prior odds)
+//	commit 1 when LLR ≥ ln((1−β)/α);  commit 0 when LLR ≤ ln(β/(1−α))
+//
+// α bounds the false-1 rate, β the false-0 rate. The per-window noise σ_w
+// follows analytically from the channel calibration (AWGN σ per quadrature
+// integrated over L samples), so no training table is required — the cost
+// is that SPRT needs the parametric Gaussian model to be right, while the
+// paper's table is model-free. The xtr-sprt experiment compares them.
+type SPRT struct {
+	channel *readout.Channel
+	alpha   float64
+	beta    float64
+	// Cached per-window geometry.
+	c0, c1  readout.IQ
+	sigmaW  float64
+	upperTh float64
+	lowerTh float64
+}
+
+// NewSPRT builds an SPRT predictor over a calibrated channel with error
+// budgets alpha (false-1) and beta (false-0). It panics when the budgets
+// are outside (0, 0.5).
+func NewSPRT(ch *readout.Channel, alpha, beta float64) *SPRT {
+	if alpha <= 0 || alpha >= 0.5 || beta <= 0 || beta >= 0.5 {
+		panic(fmt.Sprintf("predict: SPRT error budgets out of range: α=%v β=%v", alpha, beta))
+	}
+	L := float64(ch.Cal.WindowSamples(ch.Classifier.WindowNs))
+	// Window-mean noise per quadrature: σ·√L/(L+1) (see readout.Demodulate).
+	sigmaW := ch.Cal.NoiseSigma * math.Sqrt(L) / (L + 1)
+	return &SPRT{
+		channel: ch,
+		alpha:   alpha,
+		beta:    beta,
+		c0:      ch.Classifier.F0,
+		c1:      ch.Classifier.F1,
+		sigmaW:  sigmaW,
+		upperTh: math.Log((1 - beta) / alpha),
+		lowerTh: math.Log(beta / (1 - alpha)),
+	}
+}
+
+// Predict runs the sequential test over the shot's disjoint demodulation
+// windows, starting from the site's historical prior.
+func (s *SPRT) Predict(pulse *readout.Pulse, prior float64) Decision {
+	const eps = 1e-6
+	prior = clamp(prior, eps, 1-eps)
+	llr := math.Log(prior / (1 - prior))
+	windowNs := s.channel.Classifier.WindowNs
+	traj := s.channel.Cal.Trajectory(pulse, windowNs, 0)
+	inv2s2 := 1 / (2 * s.sigmaW * s.sigmaW)
+
+	var trace []PredictionPoint
+	for i, pt := range traj {
+		llr += (pt.Dist2(s.c0) - pt.Dist2(s.c1)) * inv2s2
+		t := float64(i+1) * windowNs
+		post := 1 / (1 + math.Exp(-llr))
+		trace = append(trace, PredictionPoint{Windows: i + 1, TimeNs: t, PRead1: post, PPredict: post})
+		if llr >= s.upperTh {
+			return Decision{Branch: 1, Committed: true, TimeNs: t, PFinal: post, Trace: trace}
+		}
+		if llr <= s.lowerTh {
+			return Decision{Branch: 0, Committed: true, TimeNs: t, PFinal: post, Trace: trace}
+		}
+	}
+	// Ran out of pulse: fall back to the conventional classification.
+	final := s.channel.Classifier.ClassifyFull(pulse)
+	pFinal := 0.0
+	if len(trace) > 0 {
+		pFinal = trace[len(trace)-1].PPredict
+	}
+	return Decision{
+		Branch:    final,
+		Committed: false,
+		TimeNs:    s.channel.Cal.DurationNs,
+		PFinal:    pFinal,
+		Trace:     trace,
+	}
+}
+
+// Accuracy evaluates the SPRT on labelled pulses, mirroring
+// Predictor.Accuracy.
+func (s *SPRT) Accuracy(pulses []*readout.Pulse, prior float64) (acc, meanTimeNs float64) {
+	if len(pulses) == 0 {
+		return 0, 0
+	}
+	ok := 0
+	var sum float64
+	for _, pl := range pulses {
+		d := s.Predict(pl, prior)
+		if d.Branch == s.channel.Classifier.ClassifyFull(pl) {
+			ok++
+		}
+		sum += d.TimeNs
+	}
+	return float64(ok) / float64(len(pulses)), sum / float64(len(pulses))
+}

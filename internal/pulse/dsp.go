@@ -1,0 +1,118 @@
+package pulse
+
+import (
+	"fmt"
+	"math"
+)
+
+// DSP blocks of the DAC datapath (Figure 7b): the interpolation filter
+// that upsamples fabric-rate samples to the converter rate, and the
+// numerically controlled oscillator (NCO) that digitally mixes a baseband
+// envelope up to the qubit's drive frequency. The evaluation configures
+// 2x interpolation with the NCO bypassed (§6.1); both are modeled here so
+// the datapath can also run in the NCO-enabled configuration.
+
+// Interpolate2x upsamples the waveform by two using a linear-phase
+// half-band filter (the standard DAC interpolation structure): even output
+// samples pass the input through; odd samples are interpolated by the
+// symmetric kernel. The result has 2*len(w) samples at twice the rate.
+func Interpolate2x(w Waveform) Waveform {
+	if len(w) == 0 {
+		return Waveform{}
+	}
+	// 7-tap half-band kernel midpoint coefficients (windowed sinc):
+	// h[±1] = 0.6079, h[±3] = -0.1349 (normalized to unit DC gain at the
+	// midpoint phase: 2*(0.6079 - 0.1349) ≈ 0.946 ≈ 1 with passband ripple).
+	const c1, c3 = 0.6079, -0.1349
+	at := func(i int) float64 {
+		if i < 0 {
+			return float64(w[0])
+		}
+		if i >= len(w) {
+			return float64(w[len(w)-1])
+		}
+		return float64(w[i])
+	}
+	out := make(Waveform, 2*len(w))
+	for i := range w {
+		out[2*i] = w[i]
+		mid := c3*at(i-1) + c1*at(i) + c1*at(i+1) + c3*at(i+2)
+		out[2*i+1] = clampSample(mid)
+	}
+	return out
+}
+
+func clampSample(x float64) int16 {
+	v := math.Round(x)
+	if v > math.MaxInt16 {
+		v = math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		v = math.MinInt16
+	}
+	return int16(v)
+}
+
+// NCO is a numerically controlled oscillator: a phase accumulator driving
+// a sine lookup, used to digitally mix a baseband envelope to the carrier.
+type NCO struct {
+	// PhaseStep is the per-sample phase increment in turns (frequency /
+	// sample rate).
+	PhaseStep float64
+	phase     float64
+}
+
+// NewNCO returns an oscillator producing freqGHz at the given sample rate.
+// It panics when the frequency violates Nyquist.
+func NewNCO(freqGHz, sampleRateGSPS float64) *NCO {
+	if sampleRateGSPS <= 0 || math.Abs(freqGHz) > sampleRateGSPS/2 {
+		panic(fmt.Sprintf("pulse: NCO frequency %v GHz violates Nyquist at %v GSPS", freqGHz, sampleRateGSPS))
+	}
+	return &NCO{PhaseStep: freqGHz / sampleRateGSPS}
+}
+
+// Mix multiplies the envelope by the oscillator, advancing the phase
+// accumulator — the digital upconversion of a baseband pulse.
+func (n *NCO) Mix(envelope Waveform) Waveform {
+	out := make(Waveform, len(envelope))
+	for i, s := range envelope {
+		out[i] = clampSample(float64(s) * math.Cos(2*math.Pi*n.phase))
+		n.phase += n.PhaseStep
+		if n.phase >= 1 {
+			n.phase -= 1
+		}
+	}
+	return out
+}
+
+// Reset rewinds the phase accumulator (pulse-aligned phase coherence).
+func (n *NCO) Reset() { n.phase = 0 }
+
+// DACPath is the configured converter datapath: optional NCO mixing
+// followed by interpolation to the converter rate.
+type DACPath struct {
+	// InterpolationFactor must currently be 1 or 2 (§6.1 uses 2).
+	InterpolationFactor int
+	// NCO is nil when bypassed (the evaluation configuration).
+	NCO *NCO
+}
+
+// PaperDACPath returns the evaluation configuration: 2x interpolation,
+// NCO bypassed.
+func PaperDACPath() *DACPath { return &DACPath{InterpolationFactor: 2} }
+
+// Process runs a fabric-rate waveform through the datapath.
+func (p *DACPath) Process(w Waveform) (Waveform, error) {
+	out := w
+	if p.NCO != nil {
+		out = p.NCO.Mix(out)
+	}
+	switch p.InterpolationFactor {
+	case 1:
+	case 2:
+		out = Interpolate2x(out)
+	default:
+		return nil, fmt.Errorf("pulse: unsupported interpolation factor %d", p.InterpolationFactor)
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package pulse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolate2xLength(t *testing.T) {
+	w := GaussianXY(30, 1, 0.25, 0)
+	up := Interpolate2x(w)
+	if len(up) != 2*len(w) {
+		t.Fatalf("upsampled length %d, want %d", len(up), 2*len(w))
+	}
+	if len(Interpolate2x(nil)) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestInterpolate2xPassesThroughEvenSamples(t *testing.T) {
+	w := Waveform{100, -200, 300, 150}
+	up := Interpolate2x(w)
+	for i, s := range w {
+		if up[2*i] != s {
+			t.Fatalf("even sample %d changed: %d vs %d", i, up[2*i], s)
+		}
+	}
+}
+
+func TestInterpolate2xSmoothOnSlowEnvelope(t *testing.T) {
+	// A slowly varying envelope interpolates close to the midpoint average.
+	w := make(Waveform, 64)
+	for i := range w {
+		w[i] = int16(10000 * math.Sin(float64(i)*0.1))
+	}
+	up := Interpolate2x(w)
+	for i := 4; i < len(w)-4; i++ {
+		mid := float64(up[2*i+1])
+		avg := (float64(w[i]) + float64(w[i+1])) / 2
+		if math.Abs(mid-avg) > 600 {
+			t.Fatalf("midpoint %d far from local average: %v vs %v", i, mid, avg)
+		}
+	}
+}
+
+func TestInterpolate2xDoesNotOverflow(t *testing.T) {
+	w := Waveform{math.MaxInt16, math.MaxInt16, math.MaxInt16, math.MaxInt16}
+	for _, s := range Interpolate2x(w) {
+		if s < 0 {
+			t.Fatalf("overflowed to %d", s)
+		}
+	}
+}
+
+func TestNCOFrequency(t *testing.T) {
+	// Mixing a DC envelope produces a cosine at the programmed frequency:
+	// count zero crossings over a known span.
+	n := NewNCO(0.1, 1.0) // 0.1 cycles/sample
+	env := make(Waveform, 1000)
+	for i := range env {
+		env[i] = 10000
+	}
+	out := n.Mix(env)
+	crossings := 0
+	for i := 1; i < len(out); i++ {
+		if (out[i-1] >= 0) != (out[i] >= 0) {
+			crossings++
+		}
+	}
+	// 0.1 cycles/sample × 1000 samples = 100 periods = 200 crossings.
+	if crossings < 195 || crossings > 205 {
+		t.Fatalf("zero crossings %d, want ~200", crossings)
+	}
+}
+
+func TestNCOPhaseContinuity(t *testing.T) {
+	n := NewNCO(0.05, 1.0)
+	env := make(Waveform, 40)
+	for i := range env {
+		env[i] = 10000
+	}
+	a := n.Mix(env[:20])
+	b := n.Mix(env[20:])
+	n.Reset()
+	whole := n.Mix(env)
+	for i := 0; i < 20; i++ {
+		if a[i] != whole[i] || b[i] != whole[20+i] {
+			t.Fatal("NCO phase not continuous across Mix calls")
+		}
+	}
+}
+
+func TestNCONyquistPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("super-Nyquist NCO accepted")
+		}
+	}()
+	NewNCO(0.9, 1.0)
+}
+
+func TestDACPathPaperConfig(t *testing.T) {
+	p := PaperDACPath()
+	w := GaussianXY(30, 1, 0.25, 0)
+	out, err := p.Process(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2*len(w) {
+		t.Fatalf("paper path output %d samples, want 2x", len(out))
+	}
+	// Energy roughly doubles with sample count (same analog waveform).
+	if out.Energy() < w.Energy() {
+		t.Fatal("interpolation lost energy")
+	}
+}
+
+func TestDACPathWithNCO(t *testing.T) {
+	p := &DACPath{InterpolationFactor: 2, NCO: NewNCO(0.2, DACSampleRateGSPS)}
+	env := FlatTopCZ(60, 0.8) // baseband envelope
+	out, err := p.Process(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mixed output oscillates (sign changes), the envelope does not.
+	signChanges := 0
+	for i := 1; i < len(out); i++ {
+		if (out[i-1] >= 0) != (out[i] >= 0) {
+			signChanges++
+		}
+	}
+	if signChanges < 10 {
+		t.Fatalf("NCO mixing produced %d sign changes", signChanges)
+	}
+}
+
+func TestDACPathRejectsBadFactor(t *testing.T) {
+	p := &DACPath{InterpolationFactor: 3}
+	if _, err := p.Process(Waveform{1}); err == nil {
+		t.Fatal("unsupported interpolation factor accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package pulse
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// HuffmanCodec is a canonical byte-wise Huffman coder, the second stage of
+// the adaptive pulse sampling design (§5.4). The encoded stream embeds the
+// canonical code-length table so the hardware decoder can rebuild its
+// lookup ROM (the "Huffman table" of Figure 10) without side channels.
+//
+// Stream format:
+//
+//	origLen  uint32 LE — number of payload bytes before compression
+//	lengths  [256]byte — canonical code length per symbol (0 = unused)
+//	payload  bit-packed codes, MSB-first within each byte
+type HuffmanCodec struct{}
+
+// Name returns the codec's display name.
+func (HuffmanCodec) Name() string { return "huffman" }
+
+type huffNode struct {
+	freq        int
+	symbol      int // -1 for internal
+	left, right *huffNode
+	// order is a tiebreaker that keeps the heap deterministic.
+	order int
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths for each byte of src.
+func codeLengths(src []byte) [256]byte {
+	var lengths [256]byte
+	var freq [256]int
+	for _, b := range src {
+		freq[b]++
+	}
+	h := &huffHeap{}
+	order := 0
+	for s, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{freq: f, symbol: s, order: order})
+			order++
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		lengths[(*h)[0].symbol] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, symbol: -1, left: a, right: b, order: order})
+		order++
+	}
+	root := heap.Pop(h).(*huffNode)
+	var walk func(n *huffNode, depth byte)
+	walk = func(n *huffNode, depth byte) {
+		if n.symbol >= 0 {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (value, length) from code lengths:
+// symbols sorted by (length, symbol) receive consecutive codes.
+func canonicalCodes(lengths *[256]byte) (codes [256]uint32) {
+	type sym struct {
+		s int
+		l byte
+	}
+	var syms []sym
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sym{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].s < syms[j].s
+	})
+	code := uint32(0)
+	prevLen := byte(0)
+	for _, sm := range syms {
+		code <<= uint(sm.l - prevLen)
+		codes[sm.s] = code
+		code++
+		prevLen = sm.l
+	}
+	return codes
+}
+
+type bitWriter struct {
+	buf []byte
+	cur byte
+	n   uint // bits used in cur
+}
+
+func (w *bitWriter) writeBits(code uint32, length byte) {
+	for i := int(length) - 1; i >= 0; i-- {
+		bit := (code >> uint(i)) & 1
+		w.cur = w.cur<<1 | byte(bit)
+		w.n++
+		if w.n == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.n = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.n > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.n))
+		w.cur, w.n = 0, 0
+	}
+}
+
+// Encode compresses src with canonical Huffman coding.
+func (HuffmanCodec) Encode(src []byte) []byte {
+	lengths := codeLengths(src)
+	codes := canonicalCodes(&lengths)
+	out := make([]byte, 4, 4+256+len(src)/2)
+	binary.LittleEndian.PutUint32(out, uint32(len(src)))
+	out = append(out, lengths[:]...)
+	w := bitWriter{buf: out}
+	for _, b := range src {
+		w.writeBits(codes[b], lengths[b])
+	}
+	w.flush()
+	return w.buf
+}
+
+// Decode expands a stream produced by Encode.
+func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
+	if len(src) < 4+256 {
+		return nil, fmt.Errorf("pulse: huffman stream too short (%d bytes)", len(src))
+	}
+	origLen := int(binary.LittleEndian.Uint32(src))
+	var lengths [256]byte
+	copy(lengths[:], src[4:4+256])
+	payload := src[4+256:]
+	if origLen == 0 {
+		return []byte{}, nil
+	}
+
+	// Build a canonical decoding table: for each code length, the first
+	// code value and the index of its first symbol.
+	type sym struct {
+		s int
+		l byte
+	}
+	var syms []sym
+	maxLen := byte(0)
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sym{s, l})
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("pulse: huffman stream has no symbols but %d bytes expected", origLen)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].s < syms[j].s
+	})
+	firstCode := make([]uint32, maxLen+2)
+	firstSym := make([]int, maxLen+2)
+	symbols := make([]byte, len(syms))
+	for i, sm := range syms {
+		symbols[i] = byte(sm.s)
+	}
+	{
+		code := uint32(0)
+		idx := 0
+		for l := byte(1); l <= maxLen; l++ {
+			code <<= 1
+			firstCode[l] = code
+			firstSym[l] = idx
+			for idx < len(syms) && syms[idx].l == l {
+				code++
+				idx++
+			}
+		}
+		firstSym[maxLen+1] = len(syms)
+	}
+
+	out := make([]byte, 0, origLen)
+	var code uint32
+	var length byte
+	bitIdx := 0
+	totalBits := len(payload) * 8
+	for len(out) < origLen {
+		if bitIdx >= totalBits {
+			return nil, fmt.Errorf("pulse: huffman stream truncated at %d/%d bytes", len(out), origLen)
+		}
+		bit := (payload[bitIdx/8] >> uint(7-bitIdx%8)) & 1
+		bitIdx++
+		code = code<<1 | uint32(bit)
+		length++
+		if length > maxLen {
+			return nil, fmt.Errorf("pulse: invalid huffman code (length %d > max %d)", length, maxLen)
+		}
+		// Count of codes with this length:
+		n := 0
+		if int(length)+1 < len(firstSym) {
+			n = firstSym[length+1] - firstSym[length]
+		} else {
+			n = len(syms) - firstSym[length]
+		}
+		// A code of this length is valid if it falls within the assigned range.
+		if n > 0 && code >= firstCode[length] && code < firstCode[length]+uint32(n) {
+			out = append(out, symbols[firstSym[length]+int(code-firstCode[length])])
+			code, length = 0, 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package pulse
+
+import (
+	"fmt"
+
+	"artery/internal/circuit"
+)
+
+// Library is the pre-encoded pulse lookup table of the feedback controller
+// (§5.1 "pulse preparation"): branch circuits are compiled to pulse streams
+// at calibration time, compressed, and fetched by address when the branch
+// decider fires.
+type Library struct {
+	codec   Codec
+	entries []libEntry
+	index   map[string]int
+}
+
+type libEntry struct {
+	key     string
+	encoded []byte
+	rawLen  int
+}
+
+// NewLibrary returns an empty library using codec for storage encoding.
+func NewLibrary(codec Codec) *Library {
+	return &Library{codec: codec, index: map[string]int{}}
+}
+
+// Store compiles and stores a waveform under key, returning its address.
+// Storing an existing key overwrites it and keeps the address.
+func (l *Library) Store(key string, w Waveform) int {
+	raw := w.Bytes()
+	enc := l.codec.Encode(raw)
+	if addr, ok := l.index[key]; ok {
+		l.entries[addr] = libEntry{key: key, encoded: enc, rawLen: len(raw)}
+		return addr
+	}
+	addr := len(l.entries)
+	l.entries = append(l.entries, libEntry{key: key, encoded: enc, rawLen: len(raw)})
+	l.index[key] = addr
+	return addr
+}
+
+// Address returns the address of key, or -1 when absent.
+func (l *Library) Address(key string) int {
+	if addr, ok := l.index[key]; ok {
+		return addr
+	}
+	return -1
+}
+
+// Fetch decodes and returns the waveform at addr, modeling the decoder on
+// the feedback path.
+func (l *Library) Fetch(addr int) (Waveform, error) {
+	if addr < 0 || addr >= len(l.entries) {
+		return nil, fmt.Errorf("pulse: library address %d out of range", addr)
+	}
+	raw, err := l.codec.Decode(l.entries[addr].encoded)
+	if err != nil {
+		return nil, fmt.Errorf("pulse: library fetch %q: %w", l.entries[addr].key, err)
+	}
+	return FromBytes(raw)
+}
+
+// StoredBytes returns the total encoded size of the library, which must fit
+// the paper's 1.4 MB on-chip storage constraint.
+func (l *Library) StoredBytes() int {
+	n := 0
+	for _, e := range l.entries {
+		n += len(e.encoded)
+	}
+	return n
+}
+
+// RawBytes returns the total pre-compression size of the library.
+func (l *Library) RawBytes() int {
+	n := 0
+	for _, e := range l.entries {
+		n += e.rawLen
+	}
+	return n
+}
+
+// Len returns the number of stored entries.
+func (l *Library) Len() int { return len(l.entries) }
+
+// GateWaveform synthesizes the calibrated waveform of one gate. XY drives
+// encode the rotation angle in the envelope amplitude; the phase selects
+// the rotation axis; virtual RZ emits no pulse.
+func GateWaveform(g circuit.Gate) Waveform {
+	switch g.Kind {
+	case circuit.RZ:
+		return Waveform{} // virtual: frame update only
+	case circuit.RX:
+		return GaussianXY(XYPulseNs, g.Angle/3.14159265358979, 0.25, 0)
+	case circuit.RY:
+		return GaussianXY(XYPulseNs, g.Angle/3.14159265358979, 0.25, 1.5707963267948966)
+	case circuit.X:
+		return GaussianXY(XYPulseNs, 1, 0.25, 0)
+	case circuit.Y:
+		return GaussianXY(XYPulseNs, 1, 0.25, 1.5707963267948966)
+	case circuit.Z:
+		return Waveform{} // virtual
+	case circuit.H, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg:
+		// Compiled to one XY pulse plus frame updates on hardware.
+		return GaussianXY(XYPulseNs, 0.5, 0.25, 0.7853981633974483)
+	case circuit.CZ:
+		return FlatTopCZ(CZPulseNs, 0.8)
+	case circuit.CNOT:
+		// H · CZ · H on the target: two XY pulses around the flux pulse.
+		return Concat(
+			GaussianXY(XYPulseNs, 0.5, 0.25, 0),
+			FlatTopCZ(CZPulseNs, 0.8),
+			GaussianXY(XYPulseNs, 0.5, 0.25, 0),
+		)
+	case circuit.SWAP:
+		return Concat(FlatTopCZ(CZPulseNs, 0.8), FlatTopCZ(CZPulseNs, 0.8), FlatTopCZ(CZPulseNs, 0.8))
+	default:
+		panic(fmt.Sprintf("pulse: no waveform for gate %v", g.Kind))
+	}
+}
+
+// GateKey returns the library key for a gate (angle-quantized so calibrated
+// pulses are shared across shots, maximizing reuse — the compressibility
+// the paper exploits).
+func GateKey(g circuit.Gate) string {
+	switch g.Kind {
+	case circuit.RX, circuit.RY, circuit.RZ:
+		return fmt.Sprintf("%v/%.4f", g.Kind, g.Angle)
+	default:
+		return g.Kind.String()
+	}
+}
+
+// CompileCircuit synthesizes the per-qubit XY/Z control-channel DAC sample
+// streams of a circuit following its ASAP schedule: each qubit channel
+// receives its gate pulses at their scheduled start times with zero (idle)
+// samples in between. During measurements and feedback readouts the
+// control channels idle (the 2 µs readout tone plays on the dedicated,
+// frequency-multiplexed readout line, not on the compressed control
+// stream); feedback sites contribute the worst-case branch body (OnOne)
+// on the branch qubits after the readout window, which is what the
+// controller must provision for.
+func CompileCircuit(c *circuit.Circuit) map[int]Waveform {
+	d := circuit.BuildDAG(c)
+	streams := make(map[int]Waveform, c.NumQubits)
+	for q := 0; q < c.NumQubits; q++ {
+		streams[q] = Waveform{}
+	}
+	extend := func(q int, until float64) {
+		need := samplesFor(until) - len(streams[q])
+		if need > 0 {
+			streams[q] = append(streams[q], make(Waveform, need)...)
+		}
+	}
+	emit := func(q int, start float64, w Waveform) {
+		extend(q, start)
+		streams[q] = append(streams[q], w...)
+	}
+	for i, in := range c.Ins {
+		start := d.Start[i]
+		switch in.Kind {
+		case circuit.OpGate:
+			w := GateWaveform(in.Gate)
+			for _, q := range in.Gate.QubitList() {
+				emit(q, start, w)
+			}
+		case circuit.OpMeasure, circuit.OpReset:
+			extend(in.Qubit, start+ReadoutPulseNs) // control channel idles
+		case circuit.OpFeedback:
+			fb := in.Feedback
+			extend(fb.Qubit, start+ReadoutPulseNs) // control channel idles
+			t := start + ReadoutPulseNs
+			for _, b := range fb.OnOne {
+				if b.Kind != circuit.OpGate {
+					continue
+				}
+				w := GateWaveform(b.Gate)
+				for _, q := range b.Gate.QubitList() {
+					emit(q, t, w)
+				}
+				t += b.Gate.Kind.Duration()
+			}
+		}
+	}
+	// Pad all channels to a common length.
+	maxLen := 0
+	for _, w := range streams {
+		if len(w) > maxLen {
+			maxLen = len(w)
+		}
+	}
+	for q := range streams {
+		if n := maxLen - len(streams[q]); n > 0 {
+			streams[q] = append(streams[q], make(Waveform, n)...)
+		}
+	}
+	return streams
+}
+
+// BuildLibrary stores every distinct gate pulse of a circuit in a library.
+func BuildLibrary(c *circuit.Circuit, codec Codec) *Library {
+	lib := NewLibrary(codec)
+	var visit func(ins []circuit.Instruction)
+	visit = func(ins []circuit.Instruction) {
+		for _, in := range ins {
+			switch in.Kind {
+			case circuit.OpGate:
+				if w := GateWaveform(in.Gate); len(w) > 0 {
+					lib.Store(GateKey(in.Gate), w)
+				}
+			case circuit.OpMeasure, circuit.OpReset:
+				lib.Store("readout", ReadoutTone(ReadoutPulseNs, 0.6, 0.05))
+			case circuit.OpFeedback:
+				lib.Store("readout", ReadoutTone(ReadoutPulseNs, 0.6, 0.05))
+				visit(in.Feedback.OnOne)
+				visit(in.Feedback.OnZero)
+			}
+		}
+	}
+	visit(c.Ins)
+	return lib
+}

@@ -1,0 +1,412 @@
+package pulse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/circuit"
+	"artery/internal/stats"
+)
+
+func TestWaveformSampleCounts(t *testing.T) {
+	if n := len(GaussianXY(30, 1, 0.25, 0)); n != 120 {
+		t.Fatalf("30 ns XY pulse has %d samples, want 120", n)
+	}
+	if n := len(FlatTopCZ(60, 0.8)); n != 240 {
+		t.Fatalf("60 ns CZ pulse has %d samples, want 240", n)
+	}
+	if n := len(ReadoutTone(2000, 0.6, 0.05)); n != 8000 {
+		t.Fatalf("2 µs readout has %d samples, want 8000", n)
+	}
+	if n := len(Idle(100)); n != 400 {
+		t.Fatalf("idle has %d samples, want 400", n)
+	}
+}
+
+func TestWaveformDuration(t *testing.T) {
+	w := GaussianXY(30, 1, 0.25, 0)
+	if d := w.DurationNs(); math.Abs(d-30) > 1e-9 {
+		t.Fatalf("DurationNs = %v, want 30", d)
+	}
+}
+
+func TestGaussianEnvelopeShape(t *testing.T) {
+	w := GaussianXY(30, 1, 0, 0) // no carrier: pure envelope
+	// Peak in the middle, near-zero at the edges, symmetric.
+	mid := len(w) / 2
+	if w[mid] < w[0] || w[mid] < w[len(w)-1] {
+		t.Fatal("Gaussian peak not in the middle")
+	}
+	if math.Abs(float64(w[0])) > float64(fullScale)/10 {
+		t.Fatalf("edge sample too large: %d", w[0])
+	}
+	for i := 0; i < len(w)/2; i++ {
+		if d := int(w[i]) - int(w[len(w)-1-i]); d < -1 || d > 1 {
+			t.Fatalf("envelope asymmetric at %d: %d vs %d", i, w[i], w[len(w)-1-i])
+		}
+	}
+}
+
+func TestFlatTopShape(t *testing.T) {
+	w := FlatTopCZ(60, 0.8)
+	mid := len(w) / 2
+	want := quantize(0.8)
+	if w[mid] != want {
+		t.Fatalf("flat-top center = %d, want %d", w[mid], want)
+	}
+	if w[0] != 0 {
+		t.Fatalf("flat-top should ramp from 0, got %d", w[0])
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	w := Waveform{0, 1, -1, 32767, -32768, 12345, -12345}
+	got, err := FromBytes(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if got[i] != w[i] {
+			t.Fatalf("sample %d: %d != %d", i, got[i], w[i])
+		}
+	}
+}
+
+func TestFromBytesOddLength(t *testing.T) {
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("odd-length stream accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	w := Concat(Waveform{1, 2}, Waveform{3}, nil, Waveform{4})
+	if len(w) != 4 || w[0] != 1 || w[3] != 4 {
+		t.Fatalf("Concat = %v", w)
+	}
+}
+
+func TestRLERoundTripKnown(t *testing.T) {
+	c := RLECodec{}
+	src := []byte{0, 0, 0, 0, 5, 5, 7}
+	enc := c.Encode(src)
+	if len(enc) != 6 { // run(0x4)=2 + run(5x2)=2 + literal(7)=2
+		t.Fatalf("encoded length %d, want 6", len(enc))
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip: %v != %v", dec, src)
+	}
+}
+
+func TestRLECompressesZeros(t *testing.T) {
+	c := RLECodec{}
+	src := make([]byte, 100000) // all idle
+	enc := c.Encode(src)
+	if len(enc) >= len(src)/100 {
+		t.Fatalf("RLE barely compressed zeros: %d bytes", len(enc))
+	}
+}
+
+func TestRLERejectsCorrupt(t *testing.T) {
+	c := RLECodec{}
+	if _, err := c.Decode([]byte{1, 2}); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	if _, err := c.Decode([]byte{0, 0, 9}); err == nil {
+		t.Fatal("zero run accepted")
+	}
+}
+
+func TestRLELongRun(t *testing.T) {
+	c := RLECodec{}
+	src := make([]byte, 200000)
+	for i := range src {
+		src[i] = 0xAB
+	}
+	dec, err := c.Decode(c.Encode(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("long-run round trip failed")
+	}
+}
+
+func TestHuffmanRoundTripKnown(t *testing.T) {
+	c := HuffmanCodec{}
+	src := []byte("abracadabra, a compressible string string string")
+	dec, err := c.Decode(c.Encode(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip failed: %q", dec)
+	}
+}
+
+func TestHuffmanEmptyAndSingleSymbol(t *testing.T) {
+	c := HuffmanCodec{}
+	for _, src := range [][]byte{{}, {9}, bytes.Repeat([]byte{7}, 1000)} {
+		dec, err := c.Decode(c.Encode(src))
+		if err != nil {
+			t.Fatalf("len %d: %v", len(src), err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("len %d round trip failed", len(src))
+		}
+	}
+}
+
+func TestHuffmanCompressesSkewed(t *testing.T) {
+	c := HuffmanCodec{}
+	src := make([]byte, 50000)
+	rng := stats.NewRNG(1)
+	for i := range src {
+		if rng.Bool(0.05) {
+			src[i] = byte(rng.Intn(256))
+		}
+	}
+	enc := c.Encode(src)
+	if len(enc) >= len(src)/2 {
+		t.Fatalf("Huffman did not compress skewed stream: %d of %d", len(enc), len(src))
+	}
+}
+
+func TestHuffmanRejectsTruncated(t *testing.T) {
+	c := HuffmanCodec{}
+	enc := c.Encode([]byte("some reasonably long payload for truncation"))
+	if _, err := c.Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := c.Decode([]byte{1, 2}); err == nil {
+		t.Fatal("too-short stream accepted")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	codecs := Codecs()
+	f := func(data []byte) bool {
+		for _, c := range codecs {
+			dec, err := c.Decode(c.Encode(data))
+			if err != nil || !bytes.Equal(dec, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundTripOnRealPulses(t *testing.T) {
+	w := Concat(
+		GaussianXY(30, 1, 0.25, 0), Idle(200), FlatTopCZ(60, 0.8),
+		Idle(500), ReadoutTone(2000, 0.6, 0.05), Idle(1000),
+	)
+	raw := w.Bytes()
+	for _, c := range Codecs() {
+		dec, err := c.Decode(c.Encode(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(dec, raw) {
+			t.Fatalf("%s: pulse round trip failed", c.Name())
+		}
+	}
+}
+
+func TestCombinedBeatsIndividualOnPulseStreams(t *testing.T) {
+	// The Table-2 ordering: combined < RLE < Huffman < raw on sparse pulse
+	// streams.
+	w := Concat(
+		GaussianXY(30, 1, 0.25, 0), Idle(800), GaussianXY(30, 1, 0.25, 0),
+		Idle(800), FlatTopCZ(60, 0.8), Idle(2000),
+	)
+	raw := w.Bytes()
+	rRaw := Ratio(RawCodec{}, raw)
+	rHuff := Ratio(HuffmanCodec{}, raw)
+	rRLE := Ratio(RLECodec{}, raw)
+	rComb := Ratio(CombinedCodec{}, raw)
+	if !(rComb < rRLE && rRLE < rHuff && rHuff < rRaw) {
+		t.Fatalf("compression ordering violated: comb=%.3f rle=%.3f huff=%.3f raw=%.3f",
+			rComb, rRLE, rHuff, rRaw)
+	}
+}
+
+func TestLibraryStoreFetch(t *testing.T) {
+	lib := NewLibrary(CombinedCodec{})
+	w := GaussianXY(30, 1, 0.25, 0)
+	addr := lib.Store("x", w)
+	if lib.Address("x") != addr {
+		t.Fatal("Address mismatch")
+	}
+	got, err := lib.Fetch(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w) {
+		t.Fatalf("fetched %d samples, want %d", len(got), len(w))
+	}
+	for i := range w {
+		if got[i] != w[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	if lib.Address("missing") != -1 {
+		t.Fatal("missing key should give -1")
+	}
+	if _, err := lib.Fetch(99); err == nil {
+		t.Fatal("out-of-range fetch accepted")
+	}
+}
+
+func TestLibraryOverwriteKeepsAddress(t *testing.T) {
+	lib := NewLibrary(RawCodec{})
+	a1 := lib.Store("k", Waveform{1})
+	a2 := lib.Store("k", Waveform{2, 3})
+	if a1 != a2 || lib.Len() != 1 {
+		t.Fatalf("overwrite created new entry: %d %d len=%d", a1, a2, lib.Len())
+	}
+	w, _ := lib.Fetch(a1)
+	if len(w) != 2 {
+		t.Fatal("overwrite did not replace waveform")
+	}
+}
+
+func TestLibraryCompression(t *testing.T) {
+	lib := NewLibrary(CombinedCodec{})
+	lib.Store("readout", ReadoutTone(2000, 0.6, 0.05))
+	lib.Store("idle", Idle(2000))
+	if lib.StoredBytes() >= lib.RawBytes() {
+		t.Fatalf("library did not compress: %d >= %d", lib.StoredBytes(), lib.RawBytes())
+	}
+}
+
+func TestGateWaveformDurations(t *testing.T) {
+	if w := GateWaveform(circuit.NewGate1(circuit.X, 0)); math.Abs(w.DurationNs()-30) > 1e-9 {
+		t.Fatalf("X pulse duration %v", w.DurationNs())
+	}
+	if w := GateWaveform(circuit.NewGate2(circuit.CZ, 0, 1)); math.Abs(w.DurationNs()-60) > 1e-9 {
+		t.Fatalf("CZ pulse duration %v", w.DurationNs())
+	}
+	if w := GateWaveform(circuit.NewRot(circuit.RZ, 0, 1)); len(w) != 0 {
+		t.Fatal("virtual RZ emitted samples")
+	}
+}
+
+func TestCompileCircuitStreams(t *testing.T) {
+	c := circuit.New(2)
+	c.AddGate(circuit.NewGate1(circuit.X, 0))
+	c.AddGate(circuit.NewGate2(circuit.CZ, 0, 1))
+	streams := CompileCircuit(c)
+	if len(streams) != 2 {
+		t.Fatalf("streams for %d qubits", len(streams))
+	}
+	if len(streams[0]) != len(streams[1]) {
+		t.Fatal("channels not padded to equal length")
+	}
+	// q0: 30 ns X then 60 ns CZ = 90 ns = 360 samples.
+	if len(streams[0]) != 360 {
+		t.Fatalf("stream length %d, want 360", len(streams[0]))
+	}
+	// q1 idles during the X pulse: first 120 samples are zero.
+	for i := 0; i < 120; i++ {
+		if streams[1][i] != 0 {
+			t.Fatalf("q1 not idle at sample %d", i)
+		}
+	}
+}
+
+func TestCompileCircuitFeedback(t *testing.T) {
+	c := circuit.New(2)
+	fb := &circuit.Feedback{Qubit: 0, OnOne: circuit.Gates(circuit.NewGate1(circuit.X, 1))}
+	c.AddFeedback(fb)
+	streams := CompileCircuit(c)
+	// Readout on q0 (8000 samples) followed by the branch X on q1.
+	if n := len(streams[0]); n != 8120 {
+		t.Fatalf("feedback stream length %d, want 8120", n)
+	}
+	// Branch pulse present on q1 after the readout window.
+	nonZero := false
+	for _, s := range streams[1][8000:] {
+		if s != 0 {
+			nonZero = true
+			break
+		}
+	}
+	if !nonZero {
+		t.Fatal("branch pulse missing from q1 channel")
+	}
+}
+
+func TestBuildLibraryCoversGates(t *testing.T) {
+	c := circuit.New(2)
+	c.AddGate(circuit.NewGate1(circuit.X, 0))
+	c.AddGate(circuit.NewGate1(circuit.X, 1)) // same pulse, same key
+	c.AddFeedback(&circuit.Feedback{Qubit: 0, OnOne: circuit.Gates(circuit.NewGate1(circuit.Y, 1))})
+	lib := BuildLibrary(c, RawCodec{})
+	if lib.Address("x") < 0 || lib.Address("y") < 0 || lib.Address("readout") < 0 {
+		t.Fatal("library missing expected entries")
+	}
+	if lib.Len() != 3 {
+		t.Fatalf("library has %d entries, want 3 (x, y, readout)", lib.Len())
+	}
+}
+
+func TestAnalyzeSamplingShape(t *testing.T) {
+	// A realistic sparse stream: mostly idle with scattered pulses.
+	streams := map[int]Waveform{
+		0: Concat(GaussianXY(30, 1, 0.25, 0), Idle(1000), FlatTopCZ(60, 0.8), Idle(3000)),
+		1: Concat(Idle(2000), GaussianXY(30, 1, 0.25, 0), Idle(2060)),
+	}
+	var reports []SamplingReport
+	for _, c := range Codecs() {
+		reports = append(reports, AnalyzeSampling(c, streams))
+	}
+	raw, huff, rle, comb := reports[0], reports[1], reports[2], reports[3]
+	if raw.BandwidthGbps != 64 {
+		t.Fatalf("raw bandwidth %v, want 64", raw.BandwidthGbps)
+	}
+	if raw.DACsPerFPGA != 4 {
+		t.Fatalf("raw DACs %d, want 4", raw.DACsPerFPGA)
+	}
+	if !(comb.BandwidthGbps < rle.BandwidthGbps && rle.BandwidthGbps < huff.BandwidthGbps) {
+		t.Fatalf("bandwidth ordering violated: %v %v %v",
+			comb.BandwidthGbps, rle.BandwidthGbps, huff.BandwidthGbps)
+	}
+	if comb.DACsPerFPGA <= raw.DACsPerFPGA {
+		t.Fatal("combined codec did not increase DAC density")
+	}
+	if raw.DecodeLatencyNs != 0 {
+		t.Fatal("raw path should have no decode latency")
+	}
+	for _, r := range reports[1:] {
+		if r.DecodeLatencyNs < 4 || r.DecodeLatencyNs > 60 {
+			t.Fatalf("%s decode latency %v ns out of plausible range", r.Codec, r.DecodeLatencyNs)
+		}
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	if quantize(10) != math.MaxInt16 {
+		t.Fatal("positive overflow not clamped")
+	}
+	if quantize(-10) != math.MinInt16 {
+		t.Fatal("negative overflow not clamped")
+	}
+}
+
+func TestEnergyPositive(t *testing.T) {
+	if GaussianXY(30, 1, 0.25, 0).Energy() <= 0 {
+		t.Fatal("pulse has no energy")
+	}
+	if Idle(100).Energy() != 0 {
+		t.Fatal("idle has energy")
+	}
+}

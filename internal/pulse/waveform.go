@@ -1,0 +1,154 @@
+// Package pulse implements ARTERY's pulse subsystem: gate-pulse waveform
+// synthesis, the pre-encoded pulse library, the run-length and canonical
+// Huffman codecs of the adaptive pulse sampling design (§5.4), and the
+// bandwidth/DAC-density model behind Table 2.
+//
+// Quantum control pulses are mostly idle (zero) samples punctuated by short
+// repeated envelopes, which is why compression multiplies the number of DAC
+// channels one FPGA can feed across a fixed AXI budget.
+package pulse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hardware constants from §6.1 of the paper.
+const (
+	DACSampleRateGSPS = 4.0  // DAC sampling rate: 4 GSPS
+	DACResolutionBits = 16   // AD9164: 16-bit samples
+	XYPulseNs         = 30.0 // RX/RY drive pulse duration
+	CZPulseNs         = 60.0 // CZ flux pulse duration
+	ReadoutPulseNs    = 2000.0
+	// AXIBandwidthGbps is the on-chip AXI budget per FPGA. The paper's
+	// raw configuration supports exactly 4 DACs at 64 Gb/s each.
+	AXIBandwidthGbps = 256.0
+	// RawDACBandwidthGbps is the uncompressed stream rate of one DAC:
+	// 4 GSPS x 16 bit = 64 Gb/s (Table 2's "Raw pulse" row).
+	RawDACBandwidthGbps = DACSampleRateGSPS * DACResolutionBits
+)
+
+// Waveform is a sequence of signed 16-bit DAC samples.
+type Waveform []int16
+
+// samplesFor returns the sample count of a pulse lasting durNs nanoseconds.
+func samplesFor(durNs float64) int {
+	return int(math.Round(durNs * DACSampleRateGSPS))
+}
+
+// amplitude scale: use a moderate fraction of full scale so envelope
+// arithmetic cannot overflow int16.
+const fullScale = 24000
+
+// GaussianXY synthesizes a Gaussian-envelope microwave pulse of the given
+// duration modulated at freqGHz, with amplitude amp in [0,1] and phase
+// phi — the standard single-qubit XY drive. The rotation angle maps to the
+// envelope area; amp=1 is a π pulse.
+func GaussianXY(durNs float64, amp, freqGHz, phi float64) Waveform {
+	n := samplesFor(durNs)
+	w := make(Waveform, n)
+	sigma := float64(n) / 5 // +-2.5σ support, conventional truncation
+	mid := float64(n-1) / 2
+	for i := 0; i < n; i++ {
+		x := (float64(i) - mid) / sigma
+		env := math.Exp(-x * x / 2)
+		carrier := math.Cos(2*math.Pi*freqGHz*float64(i)/DACSampleRateGSPS + phi)
+		w[i] = quantize(amp * env * carrier)
+	}
+	return w
+}
+
+// FlatTopCZ synthesizes the flux pulse of a CZ gate: cosine-ramped flat-top,
+// no carrier (baseband flux).
+func FlatTopCZ(durNs float64, amp float64) Waveform {
+	n := samplesFor(durNs)
+	w := make(Waveform, n)
+	ramp := n / 6
+	for i := 0; i < n; i++ {
+		env := 1.0
+		switch {
+		case i < ramp:
+			env = 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(ramp)))
+		case i >= n-ramp:
+			env = 0.5 * (1 - math.Cos(math.Pi*float64(n-1-i)/float64(ramp)))
+		}
+		w[i] = quantize(amp * env)
+	}
+	return w
+}
+
+// ReadoutTone synthesizes the long rectangular measurement tone at the
+// readout-resonator intermediate frequency.
+func ReadoutTone(durNs float64, amp, freqGHz float64) Waveform {
+	n := samplesFor(durNs)
+	w := make(Waveform, n)
+	for i := 0; i < n; i++ {
+		w[i] = quantize(amp * math.Cos(2*math.Pi*freqGHz*float64(i)/DACSampleRateGSPS))
+	}
+	return w
+}
+
+// Idle returns durNs of zero samples.
+func Idle(durNs float64) Waveform { return make(Waveform, samplesFor(durNs)) }
+
+func quantize(x float64) int16 {
+	v := math.Round(x * fullScale)
+	if v > math.MaxInt16 {
+		v = math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		v = math.MinInt16
+	}
+	return int16(v)
+}
+
+// Concat joins waveforms into one stream.
+func Concat(ws ...Waveform) Waveform {
+	n := 0
+	for _, w := range ws {
+		n += len(w)
+	}
+	out := make(Waveform, 0, n)
+	for _, w := range ws {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// Bytes serializes the waveform little-endian (2 bytes per sample), the
+// layout sent over the AXI bus to the DAC interface.
+func (w Waveform) Bytes() []byte {
+	b := make([]byte, 2*len(w))
+	for i, s := range w {
+		u := uint16(s)
+		b[2*i] = byte(u)
+		b[2*i+1] = byte(u >> 8)
+	}
+	return b
+}
+
+// FromBytes parses a little-endian sample stream. It fails on odd lengths.
+func FromBytes(b []byte) (Waveform, error) {
+	if len(b)%2 != 0 {
+		return nil, fmt.Errorf("pulse: odd byte stream length %d", len(b))
+	}
+	w := make(Waveform, len(b)/2)
+	for i := range w {
+		w[i] = int16(uint16(b[2*i]) | uint16(b[2*i+1])<<8)
+	}
+	return w, nil
+}
+
+// DurationNs returns the wall-clock duration of the waveform.
+func (w Waveform) DurationNs() float64 {
+	return float64(len(w)) / DACSampleRateGSPS
+}
+
+// Energy returns the sum of squared samples (for tests and diagnostics).
+func (w Waveform) Energy() float64 {
+	e := 0.0
+	for _, s := range w {
+		e += float64(s) * float64(s)
+	}
+	return e
+}

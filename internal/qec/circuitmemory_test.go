@@ -1,0 +1,91 @@
+package qec
+
+import (
+	"testing"
+
+	"artery/internal/stats"
+)
+
+func TestCircuitMemoryNoiselessNeverFails(t *testing.T) {
+	c := NewCode(3)
+	res := RunCircuitMemory(CircuitMemoryParams{
+		Code: c, Dec: NewLUTDecoder(c), Cycles: 5, Trials: 40,
+	}, stats.NewRNG(1))
+	if res.LogicalFails != 0 {
+		t.Fatalf("noiseless circuit memory failed %d/%d", res.LogicalFails, res.Trials)
+	}
+}
+
+func TestCircuitMemoryErrorGrowsWithCycles(t *testing.T) {
+	c := NewCode(3)
+	p := CircuitMemoryParams{
+		Code: c, Dec: NewLUTDecoder(c), Trials: 400,
+		P1Q: 0.001, P2Q: 0.002, PMeas: 0.01, PIdleData: 0.015,
+	}
+	rng := stats.NewRNG(2)
+	p.Cycles = 2
+	early := RunCircuitMemory(p, rng).LogicalErrorRate()
+	p.Cycles = 12
+	late := RunCircuitMemory(p, rng).LogicalErrorRate()
+	if late <= early {
+		t.Fatalf("circuit-level LER not growing with cycles: %v -> %v", early, late)
+	}
+}
+
+func TestCircuitMemoryErrorGrowsWithGateNoise(t *testing.T) {
+	c := NewCode(3)
+	rng := stats.NewRNG(3)
+	p := CircuitMemoryParams{Code: c, Dec: NewLUTDecoder(c), Cycles: 6, Trials: 500, PMeas: 0.005}
+	p.P2Q = 0.001
+	low := RunCircuitMemory(p, rng).LogicalErrorRate()
+	p.P2Q = 0.02
+	high := RunCircuitMemory(p, rng).LogicalErrorRate()
+	if high <= low {
+		t.Fatalf("circuit-level LER not increasing in gate error: %v -> %v", low, high)
+	}
+}
+
+func TestCircuitMemoryTracksPhenomenologicalModel(t *testing.T) {
+	// With gate noise off, the circuit-level simulation must agree with the
+	// phenomenological Pauli-frame model at matched idle/measurement rates
+	// (this cross-validates the tableau path end to end).
+	c := NewCode(3)
+	rng := stats.NewRNG(4)
+	const cycles, trials = 8, 1200
+	const pIdle, pMeas = 0.02, 0.01
+	circ := RunCircuitMemory(CircuitMemoryParams{
+		Code: c, Dec: NewLUTDecoder(c), Cycles: cycles, Trials: trials,
+		PIdleData: pIdle, PMeas: pMeas,
+	}, rng).LogicalErrorRate()
+	phen := RunMemory(MemoryParams{
+		Code: c, Dec: NewLUTDecoder(c), Cycles: cycles, Trials: trials,
+		PData: pIdle, PMeas: pMeas,
+	}, rng).LogicalErrorRate()
+	// Same order of magnitude and within a loose band (different residual
+	// handling of measurement errors makes them differ in detail).
+	if circ > 2.5*phen+0.03 || phen > 2.5*circ+0.03 {
+		t.Fatalf("circuit-level %v vs phenomenological %v diverge", circ, phen)
+	}
+}
+
+func TestCircuitMemoryD5WithUnionFind(t *testing.T) {
+	// The circuit-level path must scale past the LUT regime: d=5 with the
+	// union-find decoder on a 49-qubit tableau.
+	c := NewCode(5)
+	res := RunCircuitMemory(CircuitMemoryParams{
+		Code: c, Dec: NewUnionFindDecoder(c), Cycles: 4, Trials: 120,
+		P1Q: 0.0005, P2Q: 0.001, PMeas: 0.005, PIdleData: 0.005,
+	}, stats.NewRNG(5))
+	if ler := res.LogicalErrorRate(); ler > 0.2 {
+		t.Fatalf("d=5 circuit-level LER %v implausibly high at low noise", ler)
+	}
+}
+
+func TestCircuitMemoryPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incomplete params accepted")
+		}
+	}()
+	RunCircuitMemory(CircuitMemoryParams{}, stats.NewRNG(1))
+}

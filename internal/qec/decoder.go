@@ -1,0 +1,258 @@
+package qec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Decoder maps a Z-stabilizer syndrome (as a bitmask over the code's Z
+// checks, in StabilizersOf(StabZ) order) to an X correction (bitmask over
+// data qubits). The same machinery decodes Z errors from X syndromes by
+// symmetry; the memory experiment tracks X errors / Z checks, which is the
+// error type the paper's data-qubit pre-correction targets.
+type Decoder interface {
+	DecodeX(syndrome uint32) (correction uint64)
+	Name() string
+}
+
+// LUTDecoder is the exhaustively built lookup-table decoder: for every
+// syndrome it stores a minimum-weight X-error pattern producing it.
+// For d=3 (512 error patterns, 16 syndromes) this is exact minimum-weight
+// decoding — the PyMatching-generated table of §6.1.
+type LUTDecoder struct {
+	code  *Code
+	table []uint64 // syndrome -> min-weight correction
+	known []bool
+}
+
+// NewLUTDecoder builds the table by enumerating X-error patterns in order
+// of increasing weight. It panics for codes with more than 16 data qubits
+// (use the greedy decoder beyond d=3).
+func NewLUTDecoder(c *Code) *LUTDecoder {
+	if c.NumData > 16 {
+		panic(fmt.Sprintf("qec: LUT decoder infeasible for %d data qubits", c.NumData))
+	}
+	nZ := len(c.StabilizersOf(StabZ))
+	d := &LUTDecoder{
+		code:  c,
+		table: make([]uint64, 1<<uint(nZ)),
+		known: make([]bool, 1<<uint(nZ)),
+	}
+	// Enumerate patterns sorted by weight via repeated passes.
+	patterns := 1 << uint(c.NumData)
+	for w := 0; w <= c.NumData; w++ {
+		for p := 0; p < patterns; p++ {
+			if bits.OnesCount(uint(p)) != w {
+				continue
+			}
+			syn := d.syndromeBits(uint64(p))
+			if !d.known[syn] {
+				d.known[syn] = true
+				d.table[syn] = uint64(p)
+			}
+		}
+		done := true
+		for _, k := range d.known {
+			if !k {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return d
+}
+
+// Name returns "lut".
+func (d *LUTDecoder) Name() string { return "lut" }
+
+func (d *LUTDecoder) syndromeBits(xerr uint64) uint32 {
+	errMap := map[int]bool{}
+	for q := 0; q < d.code.NumData; q++ {
+		if xerr&(1<<uint(q)) != 0 {
+			errMap[q] = true
+		}
+	}
+	bitsOut := d.code.SyndromeOfX(errMap)
+	var s uint32
+	for i, b := range bitsOut {
+		if b == 1 {
+			s |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// DecodeX returns the stored minimum-weight correction for the syndrome.
+func (d *LUTDecoder) DecodeX(syndrome uint32) uint64 {
+	if int(syndrome) >= len(d.table) || !d.known[syndrome] {
+		return 0
+	}
+	return d.table[syndrome]
+}
+
+// GreedyDecoder pairs triggered Z checks greedily by their diagonal-walk
+// distance on the dual lattice and applies the X chain between each pair,
+// or walks a lone check to the nearest absorbing boundary (the top/bottom
+// edges, where Z plaquettes are dropped in the rotated layout). It is not
+// minimum-weight-perfect matching but decodes single errors exactly and
+// scales to large d — the scalable stand-in for PyMatching in the
+// Figure-12d estimation.
+//
+// Geometry: Z plaquettes occupy dual-lattice positions with odd i+j; their
+// neighbors in the Z sublattice are the four diagonal positions, and the
+// step (di, dj) ∈ {±1}² from plaquette (i, j) crosses exactly the data
+// qubit (i + (di−1)/2, j + (dj−1)/2).
+type GreedyDecoder struct {
+	code *Code
+	zIdx []int // stabilizer indices of Z checks, syndrome-bit order
+}
+
+// NewGreedyDecoder returns a greedy matching decoder for the code.
+func NewGreedyDecoder(c *Code) *GreedyDecoder {
+	return &GreedyDecoder{code: c, zIdx: c.StabilizersOf(StabZ)}
+}
+
+// Name returns "greedy".
+func (g *GreedyDecoder) Name() string { return "greedy" }
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// diagDist is the number of diagonal steps between two Z plaquettes.
+func diagDist(a, b Stabilizer) int {
+	di, dj := absInt(a.Row-b.Row), absInt(a.Col-b.Col)
+	if dj > di {
+		return dj
+	}
+	return di
+}
+
+// boundaryDist is the number of diagonal steps from a Z plaquette to the
+// nearest absorbing (top/bottom) boundary.
+func (g *GreedyDecoder) boundaryDist(s Stabilizer) int {
+	d := g.code.Distance
+	if s.Row <= d-s.Row {
+		return s.Row
+	}
+	return d - s.Row
+}
+
+// DecodeX pairs lit syndrome bits and flips diagonal chains between them.
+func (g *GreedyDecoder) DecodeX(syndrome uint32) uint64 {
+	c := g.code
+	var lit []Stabilizer
+	for i, si := range g.zIdx {
+		if syndrome&(1<<uint(i)) != 0 {
+			lit = append(lit, c.Stabilizers[si])
+		}
+	}
+	var correction uint64
+	used := make([]bool, len(lit))
+	for i := range lit {
+		if used[i] {
+			continue
+		}
+		// Find the nearest unused partner.
+		best, bestDist := -1, 1<<30
+		for j := i + 1; j < len(lit); j++ {
+			if used[j] {
+				continue
+			}
+			if dist := diagDist(lit[i], lit[j]); dist < bestDist {
+				best, bestDist = j, dist
+			}
+		}
+		bDist := g.boundaryDist(lit[i])
+		if best >= 0 && bestDist <= bDist {
+			used[i], used[best] = true, true
+			correction ^= g.walk(lit[i].Row, lit[i].Col, lit[best].Row, lit[best].Col)
+		} else {
+			used[i] = true
+			ti := 0
+			if lit[i].Row > g.code.Distance-lit[i].Row {
+				ti = g.code.Distance
+			}
+			correction ^= g.walkToRow(lit[i].Row, lit[i].Col, ti)
+		}
+	}
+	return correction
+}
+
+func sgn(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// crossQubit returns the data-qubit bit crossed by a diagonal step
+// (di, dj) from plaquette (i, j).
+func (g *GreedyDecoder) crossQubit(i, j, di, dj int) uint64 {
+	d := g.code.Distance
+	r := i + (di-1)/2
+	c := j + (dj-1)/2
+	if r < 0 || r >= d || c < 0 || c >= d {
+		return 0 // step exits the lattice; nothing to flip
+	}
+	return 1 << uint(r*d+c)
+}
+
+// walk flips the data qubits crossed by a diagonal walk from plaquette
+// (i, j) to (ti, tj), zigzagging in the exhausted dimension.
+func (g *GreedyDecoder) walk(i, j, ti, tj int) uint64 {
+	d := g.code.Distance
+	var corr uint64
+	zig := 1
+	for guard := 0; (i != ti || j != tj) && guard < 4*d*d; guard++ {
+		di, dj := sgn(ti-i), sgn(tj-j)
+		if di == 0 {
+			di = zig
+			if i+di < 0 || i+di > d {
+				di = -di
+			}
+			zig = -zig
+		}
+		if dj == 0 {
+			dj = zig
+			if j+dj < 0 || j+dj > d {
+				dj = -dj
+			}
+			zig = -zig
+		}
+		corr ^= g.crossQubit(i, j, di, dj)
+		i += di
+		j += dj
+	}
+	return corr
+}
+
+// walkToRow walks a plaquette to the absorbing boundary row (0 or d),
+// zigzagging the column within the lattice.
+func (g *GreedyDecoder) walkToRow(i, j, ti int) uint64 {
+	d := g.code.Distance
+	var corr uint64
+	zig := 1
+	for guard := 0; i != ti && guard < 2*d; guard++ {
+		di := sgn(ti - i)
+		dj := zig
+		if j+dj < 0 || j+dj > d {
+			dj = -dj
+		}
+		zig = -zig
+		corr ^= g.crossQubit(i, j, di, dj)
+		i += di
+		j += dj
+	}
+	return corr
+}

@@ -1,0 +1,390 @@
+package qec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/stabilizer"
+	"artery/internal/stats"
+)
+
+func TestCodeCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		c := NewCode(d)
+		if c.NumData != d*d {
+			t.Fatalf("d=%d: %d data qubits", d, c.NumData)
+		}
+		if got, want := c.NumStabilizers(), d*d-1; got != want {
+			t.Fatalf("d=%d: %d stabilizers, want %d", d, got, want)
+		}
+		nX := len(c.StabilizersOf(StabX))
+		nZ := len(c.StabilizersOf(StabZ))
+		if nX != nZ || nX+nZ != d*d-1 {
+			t.Fatalf("d=%d: %d X + %d Z stabilizers", d, nX, nZ)
+		}
+	}
+}
+
+func TestCodePanicsOnBadDistance(t *testing.T) {
+	for _, d := range []int{1, 2, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("d=%d accepted", d)
+				}
+			}()
+			NewCode(d)
+		}()
+	}
+}
+
+func TestStabilizerWeights(t *testing.T) {
+	c := NewCode(5)
+	for _, s := range c.Stabilizers {
+		if w := len(s.Support); w != 2 && w != 4 {
+			t.Fatalf("stabilizer weight %d", w)
+		}
+	}
+}
+
+func TestStabilizersCommute(t *testing.T) {
+	// X-type and Z-type checks must overlap on an even number of qubits.
+	for _, d := range []int{3, 5} {
+		c := NewCode(d)
+		for _, xi := range c.StabilizersOf(StabX) {
+			for _, zi := range c.StabilizersOf(StabZ) {
+				overlap := 0
+				for _, a := range c.Stabilizers[xi].Support {
+					for _, b := range c.Stabilizers[zi].Support {
+						if a == b {
+							overlap++
+						}
+					}
+				}
+				if overlap%2 != 0 {
+					t.Fatalf("d=%d: stabilizers %d,%d anticommute", d, xi, zi)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		c := NewCode(d)
+		if len(c.LogicalX) != d || len(c.LogicalZ) != d {
+			t.Fatalf("logical operator weights wrong")
+		}
+		// Logical X (column of X's) must commute with every Z check.
+		lx := map[int]bool{}
+		for _, q := range c.LogicalX {
+			lx[q] = true
+		}
+		for _, b := range c.SyndromeOfX(lx) {
+			if b != 0 {
+				t.Fatalf("d=%d: logical X triggers a Z check", d)
+			}
+		}
+		// Logical Z (row of Z's) must commute with every X check.
+		lz := map[int]bool{}
+		for _, q := range c.LogicalZ {
+			lz[q] = true
+		}
+		for _, b := range c.SyndromeOfZ(lz) {
+			if b != 0 {
+				t.Fatalf("d=%d: logical Z triggers an X check", d)
+			}
+		}
+		// They must anticommute with each other (odd overlap).
+		overlap := 0
+		for _, a := range c.LogicalX {
+			for _, b := range c.LogicalZ {
+				if a == b {
+					overlap++
+				}
+			}
+		}
+		if overlap%2 != 1 {
+			t.Fatalf("d=%d: logical X and Z overlap on %d qubits", d, overlap)
+		}
+	}
+}
+
+func TestSingleErrorsDetectableAndCorrectableD3(t *testing.T) {
+	// Distance 3 corrects any single X error: every single-error syndrome is
+	// non-zero, and two single errors sharing a syndrome must be
+	// stabilizer-equivalent (their product flips no logical operator) —
+	// boundary degeneracy is allowed in the rotated layout.
+	c := NewCode(3)
+	seen := map[uint32]int{}
+	for q := 0; q < 9; q++ {
+		syn := syndromeMask(c, 1<<uint(q))
+		if syn == 0 {
+			t.Fatalf("single X on %d is syndrome-free", q)
+		}
+		if prev, dup := seen[syn]; dup {
+			product := uint64(1<<uint(q)) | uint64(1<<uint(prev))
+			if flipsLogicalZ(c, product) {
+				t.Fatalf("qubits %d and %d share syndrome but differ by a logical", prev, q)
+			}
+		} else {
+			seen[syn] = q
+		}
+	}
+}
+
+func TestLUTDecoderCorrectsAllSingleErrors(t *testing.T) {
+	c := NewCode(3)
+	dec := NewLUTDecoder(c)
+	for q := 0; q < 9; q++ {
+		err := uint64(1) << uint(q)
+		corr := dec.DecodeX(syndromeMask(c, err))
+		residual := err ^ corr
+		if syndromeMask(c, residual) != 0 {
+			t.Fatalf("qubit %d: residual has syndrome", q)
+		}
+		if flipsLogicalZ(c, residual) {
+			t.Fatalf("qubit %d: correction causes logical error", q)
+		}
+	}
+}
+
+func TestLUTDecoderMinimumWeight(t *testing.T) {
+	// Every stored correction must be a minimum-weight representative:
+	// no lighter pattern yields the same syndrome.
+	c := NewCode(3)
+	dec := NewLUTDecoder(c)
+	for syn := uint32(0); syn < 16; syn++ {
+		corr := dec.DecodeX(syn)
+		w := bits.OnesCount64(corr)
+		for p := uint64(0); p < 512; p++ {
+			if bits.OnesCount64(p) < w && syndromeMask(c, p) == syn {
+				t.Fatalf("syndrome %b: stored weight %d but weight %d exists",
+					syn, w, bits.OnesCount64(p))
+			}
+		}
+	}
+}
+
+func TestLUTDecoderResidualAlwaysSyndromeFreeProperty(t *testing.T) {
+	c := NewCode(3)
+	dec := NewLUTDecoder(c)
+	f := func(pattern uint16) bool {
+		err := uint64(pattern) & 0x1FF // 9 data qubits
+		corr := dec.DecodeX(syndromeMask(c, err))
+		return syndromeMask(c, err^corr) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDecoderSingleErrors(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := NewCode(d)
+		dec := NewGreedyDecoder(c)
+		for q := 0; q < c.NumData; q++ {
+			err := uint64(1) << uint(q)
+			corr := dec.DecodeX(syndromeMask(c, err))
+			residual := err ^ corr
+			if syndromeMask(c, residual) != 0 {
+				t.Fatalf("d=%d qubit %d: residual syndrome nonzero", d, q)
+			}
+			if flipsLogicalZ(c, residual) {
+				t.Fatalf("d=%d qubit %d: greedy decode caused logical flip", d, q)
+			}
+		}
+	}
+}
+
+func TestGreedyMatchesLUTOnD3Singles(t *testing.T) {
+	c := NewCode(3)
+	lut := NewLUTDecoder(c)
+	greedy := NewGreedyDecoder(c)
+	for q := 0; q < 9; q++ {
+		syn := syndromeMask(c, 1<<uint(q))
+		rLut := (uint64(1) << uint(q)) ^ lut.DecodeX(syn)
+		rGreedy := (uint64(1) << uint(q)) ^ greedy.DecodeX(syn)
+		if flipsLogicalZ(c, rLut) != flipsLogicalZ(c, rGreedy) {
+			t.Fatalf("qubit %d: decoders disagree on logical outcome", q)
+		}
+	}
+}
+
+func TestMemoryNoNoiseNoErrors(t *testing.T) {
+	c := NewCode(3)
+	res := RunMemory(MemoryParams{
+		Code: c, Dec: NewLUTDecoder(c), Cycles: 10, Trials: 50, PData: 0, PMeas: 0,
+	}, stats.NewRNG(1))
+	if res.LogicalFails != 0 {
+		t.Fatalf("noiseless memory failed %d times", res.LogicalFails)
+	}
+}
+
+func TestMemoryErrorGrowsWithCycles(t *testing.T) {
+	c := NewCode(3)
+	dec := NewLUTDecoder(c)
+	rng := stats.NewRNG(2)
+	p := MemoryParams{Code: c, Dec: dec, Trials: 1500, PData: 0.02, PMeas: 0.01}
+	p.Cycles = 2
+	early := RunMemory(p, rng).LogicalErrorRate()
+	p.Cycles = 20
+	late := RunMemory(p, rng).LogicalErrorRate()
+	if late <= early {
+		t.Fatalf("LER did not grow with cycles: %v -> %v", early, late)
+	}
+}
+
+func TestMemoryErrorGrowsWithNoise(t *testing.T) {
+	c := NewCode(3)
+	dec := NewLUTDecoder(c)
+	rng := stats.NewRNG(3)
+	p := MemoryParams{Code: c, Dec: dec, Cycles: 10, Trials: 1500, PMeas: 0.005}
+	p.PData = 0.005
+	low := RunMemory(p, rng).LogicalErrorRate()
+	p.PData = 0.05
+	high := RunMemory(p, rng).LogicalErrorRate()
+	if high <= low {
+		t.Fatalf("LER not increasing in physical error: %v -> %v", low, high)
+	}
+}
+
+func TestMemoryCorrectionHelps(t *testing.T) {
+	// The decoder must beat a no-op decoder at moderate noise.
+	c := NewCode(3)
+	rng := stats.NewRNG(4)
+	p := MemoryParams{Code: c, Dec: NewLUTDecoder(c), Cycles: 8, Trials: 2000, PData: 0.02, PMeas: 0.0}
+	with := RunMemory(p, rng).LogicalErrorRate()
+	p.Dec = nopDecoder{}
+	without := RunMemory(p, rng).LogicalErrorRate()
+	if with >= without {
+		t.Fatalf("decoding (%v) did not beat no decoding (%v)", with, without)
+	}
+}
+
+type nopDecoder struct{}
+
+func (nopDecoder) DecodeX(uint32) uint64 { return 0 }
+func (nopDecoder) Name() string          { return "nop" }
+
+func TestPDataFromLatency(t *testing.T) {
+	// Longer cycles and higher exposure increase the flip probability.
+	base := PDataFromLatency(2310, 125_000, 1.0, 0.003)
+	slow := PDataFromLatency(2450, 125_000, 1.9, 0.003)
+	if slow <= base {
+		t.Fatalf("exposure scaling broken: %v <= %v", slow, base)
+	}
+	if base < 0.003 || base > 0.05 {
+		t.Fatalf("base PData %v out of plausible range", base)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid latency params accepted")
+		}
+	}()
+	PDataFromLatency(-1, 1, 1, 0)
+}
+
+func TestBenefitModelShape(t *testing.T) {
+	m := DefaultBenefitModel()
+	// Positive benefit at small d, decreasing with d.
+	prev := m.SavedPerCycleNs(3)
+	if prev <= 0 {
+		t.Fatalf("no benefit at d=3: %v", prev)
+	}
+	for d := 5; d <= 15; d += 2 {
+		cur := m.SavedPerCycleNs(d)
+		if cur >= prev {
+			t.Fatalf("benefit not decreasing at d=%d: %v >= %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBenefitCrossoverAtPaperDistance(t *testing.T) {
+	m := DefaultBenefitModel()
+	if got := m.LastBeneficialDistance(); got != 13 {
+		t.Fatalf("last beneficial distance %d, want 13 (paper's upper bound)", got)
+	}
+	if m.SavedPerCycleNs(13) <= 0 {
+		t.Fatal("d=13 should still save time")
+	}
+	if m.SavedPerCycleNs(15) > 0 {
+		t.Fatal("d=15 should not save time")
+	}
+}
+
+func TestBenefitPOkBounds(t *testing.T) {
+	m := DefaultBenefitModel()
+	f := func(dRaw uint8) bool {
+		d := 3 + 2*int(dRaw%20)
+		p := m.POk(d)
+		return p > 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSurfaceCodeOnTableau encodes the d=3 logical |0⟩ on the stabilizer
+// simulator by measuring all stabilizers, then verifies (a) repeated
+// stabilizer measurement is deterministic, and (b) an injected single X
+// error triggers exactly the Z checks the abstract code predicts.
+func TestSurfaceCodeOnTableau(t *testing.T) {
+	c := NewCode(3)
+	rng := stats.NewRNG(5)
+	// Qubits 0..8 data, 9..16 ancillas (one per stabilizer).
+	tb := stabilizer.New(9 + c.NumStabilizers())
+
+	measureStab := func(si int) int {
+		s := c.Stabilizers[si]
+		anc := 9 + si
+		tb.Reset(anc, rng)
+		if s.Kind == StabX {
+			tb.H(anc)
+			for _, q := range s.Support {
+				tb.CNOT(anc, q)
+			}
+			tb.H(anc)
+		} else {
+			for _, q := range s.Support {
+				tb.CNOT(q, anc)
+			}
+		}
+		return tb.Measure(anc, rng)
+	}
+
+	// Project into the code space and record the frame.
+	frame := make([]int, c.NumStabilizers())
+	for si := range c.Stabilizers {
+		frame[si] = measureStab(si)
+	}
+	// A second round must reproduce the frame exactly (stabilizers commute
+	// and the state is now in a joint eigenstate).
+	for si := range c.Stabilizers {
+		if m := measureStab(si); m != frame[si] {
+			t.Fatalf("stabilizer %d changed outcome: %d -> %d", si, frame[si], m)
+		}
+	}
+	// Inject X on data qubit 4 (center) and diff the syndromes.
+	tb.X(4)
+	zIdx := c.StabilizersOf(StabZ)
+	wantSyn := c.SyndromeOfX(map[int]bool{4: true})
+	for k, si := range zIdx {
+		m := measureStab(si)
+		flipped := 0
+		if m != frame[si] {
+			flipped = 1
+		}
+		if flipped != wantSyn[k] {
+			t.Fatalf("Z check %d: tableau flip=%d, abstract=%d", si, flipped, wantSyn[k])
+		}
+	}
+}
+
+func TestWeightOf(t *testing.T) {
+	if WeightOf(0b1011) != 3 {
+		t.Fatal("WeightOf broken")
+	}
+}

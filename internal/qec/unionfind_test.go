@@ -1,0 +1,110 @@
+package qec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"artery/internal/stats"
+)
+
+func TestUnionFindSingleErrors(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := NewCode(d)
+		dec := NewUnionFindDecoder(c)
+		for q := 0; q < c.NumData; q++ {
+			err := uint64(1) << uint(q)
+			corr := dec.DecodeX(syndromeMask(c, err))
+			residual := err ^ corr
+			if syndromeMask(c, residual) != 0 {
+				t.Fatalf("d=%d qubit %d: residual syndrome nonzero", d, q)
+			}
+			if flipsLogicalZ(c, residual) {
+				t.Fatalf("d=%d qubit %d: union-find caused logical flip", d, q)
+			}
+		}
+	}
+}
+
+func TestUnionFindEmptySyndrome(t *testing.T) {
+	c := NewCode(3)
+	dec := NewUnionFindDecoder(c)
+	if corr := dec.DecodeX(0); corr != 0 {
+		t.Fatalf("empty syndrome produced correction %b", corr)
+	}
+}
+
+func TestUnionFindResidualSyndromeFreeProperty(t *testing.T) {
+	// Whatever the error pattern, the correction must cancel the syndrome
+	// (validity — the defining property of a decoder).
+	for _, d := range []int{3, 5} {
+		c := NewCode(d)
+		dec := NewUnionFindDecoder(c)
+		f := func(pattern uint64) bool {
+			err := pattern & ((1 << uint(c.NumData)) - 1)
+			corr := dec.DecodeX(syndromeMask(c, err))
+			return syndromeMask(c, err^corr) == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestUnionFindTwoSeparatedErrors(t *testing.T) {
+	// Two errors in distant corners of a d=5 code form two independent
+	// clusters; both must be corrected without a logical flip.
+	c := NewCode(5)
+	dec := NewUnionFindDecoder(c)
+	err := uint64(1)<<0 | uint64(1)<<uint(c.NumData-1)
+	corr := dec.DecodeX(syndromeMask(c, err))
+	residual := err ^ corr
+	if syndromeMask(c, residual) != 0 {
+		t.Fatal("residual syndrome nonzero")
+	}
+	if flipsLogicalZ(c, residual) {
+		t.Fatal("separated errors decoded to a logical flip")
+	}
+}
+
+func TestUnionFindMemoryBelowGreedyOrClose(t *testing.T) {
+	// At moderate noise on d=5, union-find must perform at least comparably
+	// to the greedy decoder (it is the more principled construction).
+	c := NewCode(5)
+	p := MemoryParams{Code: c, Cycles: 6, Trials: 1200, PData: 0.01, PMeas: 0.005}
+	p.Dec = NewUnionFindDecoder(c)
+	ufLER := RunMemory(p, stats.NewRNG(1)).LogicalErrorRate()
+	p.Dec = NewGreedyDecoder(c)
+	grLER := RunMemory(p, stats.NewRNG(1)).LogicalErrorRate()
+	if ufLER > grLER*1.5+0.02 {
+		t.Fatalf("union-find LER %v much worse than greedy %v", ufLER, grLER)
+	}
+}
+
+func TestUnionFindMatchesLUTLogicalOutcomeOnSingles(t *testing.T) {
+	c := NewCode(3)
+	lut := NewLUTDecoder(c)
+	uf := NewUnionFindDecoder(c)
+	for q := 0; q < 9; q++ {
+		syn := syndromeMask(c, 1<<uint(q))
+		rLut := (uint64(1) << uint(q)) ^ lut.DecodeX(syn)
+		rUF := (uint64(1) << uint(q)) ^ uf.DecodeX(syn)
+		if flipsLogicalZ(c, rLut) != flipsLogicalZ(c, rUF) {
+			t.Fatalf("qubit %d: union-find and LUT disagree on logical outcome", q)
+		}
+	}
+}
+
+func TestUnionFindSuppresssesErrorsAtLowNoise(t *testing.T) {
+	// d=5 with union-find at low physical noise must beat the unencoded
+	// qubit (error-suppression sanity check).
+	c := NewCode(5)
+	p := MemoryParams{
+		Code: c, Dec: NewUnionFindDecoder(c), Cycles: 5, Trials: 3000,
+		PData: 0.004, PMeas: 0.002,
+	}
+	ler := RunMemory(p, stats.NewRNG(2)).LogicalErrorRate()
+	// Unencoded: 1-(1-p)^cycles ≈ 2%.
+	if ler > 0.02 {
+		t.Fatalf("d=5 union-find LER %v not below unencoded rate", ler)
+	}
+}

@@ -1,0 +1,225 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/stats"
+)
+
+func TestDensityInit(t *testing.T) {
+	d := NewDensity(2)
+	if real(d.Trace()) != 1 {
+		t.Fatalf("trace %v", d.Trace())
+	}
+	if d.Purity() != 1 {
+		t.Fatalf("purity %v", d.Purity())
+	}
+	if d.At(0, 0) != 1 {
+		t.Fatal("not |00⟩⟨00|")
+	}
+}
+
+func TestDensityPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewDensity(0) },
+		func() { NewDensity(11) },
+		func() { NewDensity(2).Apply1Q(2, 1, 0, 0, 1) },
+		func() { NewDensity(2).CZ(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDensityMatchesStateOnUnitaries(t *testing.T) {
+	// A pure state evolved as a density matrix must match |ψ⟩⟨ψ| of the
+	// state-vector evolution for every gate.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		s := NewState(3)
+		d := NewDensity(3)
+		for step := 0; step < 12; step++ {
+			q := rng.Intn(3)
+			switch rng.Intn(6) {
+			case 0:
+				th := rng.Float64() * 2 * math.Pi
+				s.RX(q, th)
+				d.RX(q, th)
+			case 1:
+				th := rng.Float64() * 2 * math.Pi
+				s.RY(q, th)
+				d.RY(q, th)
+			case 2:
+				th := rng.Float64() * 2 * math.Pi
+				s.RZ(q, th)
+				d.RZ(q, th)
+			case 3:
+				s.H(q)
+				d.H(q)
+			case 4:
+				p := (q + 1) % 3
+				s.CZ(q, p)
+				d.CZ(q, p)
+			default:
+				p := (q + 1) % 3
+				s.CNOT(q, p)
+				d.CNOT(q, p)
+			}
+		}
+		ref := FromState(s)
+		return d.DistanceFrom(ref) < 1e-9 && math.Abs(d.Purity()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensityProb1MatchesState(t *testing.T) {
+	s := NewState(2)
+	s.RY(0, 1.234)
+	s.CZ(0, 1)
+	s.H(1)
+	d := FromState(s)
+	for q := 0; q < 2; q++ {
+		if math.Abs(d.Prob1(q)-s.Prob1(q)) > 1e-12 {
+			t.Fatalf("Prob1 mismatch on q%d", q)
+		}
+	}
+}
+
+func TestAmplitudeDampingExact(t *testing.T) {
+	// |1⟩⟨1| under damping γ: population γ moves to |0⟩, coherence scales
+	// by √(1-γ).
+	d := NewDensity(1)
+	d.X(0)
+	d.AmplitudeDamping(0, 0.3)
+	if p := d.Prob1(0); math.Abs(p-0.7) > 1e-12 {
+		t.Fatalf("excited population %v, want 0.7", p)
+	}
+	// |+⟩ coherence: ρ01 = 0.5·√(1-γ).
+	d2 := NewDensity(1)
+	d2.H(0)
+	d2.AmplitudeDamping(0, 0.36)
+	if c := real(d2.At(0, 1)); math.Abs(c-0.5*0.8) > 1e-12 {
+		t.Fatalf("coherence %v, want 0.4", c)
+	}
+	if tr := real(d2.Trace()); math.Abs(tr-1) > 1e-12 {
+		t.Fatalf("trace %v after damping", tr)
+	}
+}
+
+func TestPhaseFlipKillsCoherence(t *testing.T) {
+	d := NewDensity(1)
+	d.H(0)
+	d.PhaseFlip(0, 0.5) // fully dephasing
+	if c := real(d.At(0, 1)); math.Abs(c) > 1e-12 {
+		t.Fatalf("coherence %v after full dephasing", c)
+	}
+	if p := d.Prob1(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("population changed: %v", p)
+	}
+}
+
+func TestDepolarizeToMixed(t *testing.T) {
+	d := NewDensity(1)
+	d.Depolarize(0, 0.75) // p=3/4 is the fully depolarizing point
+	if p := d.Prob1(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("not maximally mixed: Prob1 = %v", p)
+	}
+	if pur := d.Purity(); math.Abs(pur-0.5) > 1e-12 {
+		t.Fatalf("purity %v, want 0.5", pur)
+	}
+}
+
+// TestTrajectoriesConvergeToChannel is the keystone validation: the
+// Monte-Carlo state-vector noise sampling must average to the exact
+// density-matrix channel. This is the correctness argument behind every
+// fidelity number in the evaluation.
+func TestTrajectoriesConvergeToChannel(t *testing.T) {
+	nm := &NoiseModel{T1: 1000, T2: 800}
+	const dt = 400.0
+
+	// Exact: |+⟩ on q0 entangled with q1, idle both.
+	exact := NewDensity(2)
+	exact.H(0)
+	exact.CNOT(0, 1)
+	exact.ApplyIdle(nm, 0, dt)
+	exact.ApplyIdle(nm, 1, dt)
+
+	avg := SampleTrajectories(2, 6000, 42, func(s *State, rng *stats.RNG) {
+		s.H(0)
+		s.CNOT(0, 1)
+		nm.ApplyIdle(s, 0, dt, rng)
+		nm.ApplyIdle(s, 1, dt, rng)
+	})
+
+	if dist := avg.DistanceFrom(exact); dist > 0.05 {
+		t.Fatalf("trajectory average deviates from exact channel: ‖Δ‖_F = %v", dist)
+	}
+}
+
+func TestTrajectoriesConvergeDepolarizing(t *testing.T) {
+	nm := &NoiseModel{T1: math.Inf(1), T2: math.Inf(1)}
+	exact := NewDensity(1)
+	exact.H(0)
+	exact.Depolarize(0, 0.4)
+
+	avg := SampleTrajectories(1, 8000, 7, func(s *State, rng *stats.RNG) {
+		s.H(0)
+		nm.ApplyDepolarizing(s, 0, 0.4, rng)
+	})
+	if dist := avg.DistanceFrom(exact); dist > 0.04 {
+		t.Fatalf("depolarizing trajectories deviate: %v", dist)
+	}
+}
+
+func TestFidelityWithState(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	d := FromState(s)
+	if f := d.FidelityWithState(s); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity %v", f)
+	}
+	o := NewState(2)
+	o.X(0) // orthogonal to |+0⟩? ⟨10|+0⟩ = 1/√2, fidelity 0.5
+	if f := d.FidelityWithState(o); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("cross fidelity %v, want 0.5", f)
+	}
+}
+
+func TestAverageOfStatesMixes(t *testing.T) {
+	a := NewState(1)
+	b := NewState(1)
+	b.X(0)
+	d := AverageOfStates([]*State{a, b})
+	if p := d.Prob1(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("ensemble Prob1 %v", p)
+	}
+	if pur := d.Purity(); math.Abs(pur-0.5) > 1e-12 {
+		t.Fatalf("ensemble purity %v", pur)
+	}
+}
+
+func TestDensityTracePreservedUnderChannelsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		d := NewDensity(2)
+		d.RY(0, rng.Float64()*math.Pi)
+		d.CNOT(0, 1)
+		d.AmplitudeDamping(0, rng.Float64())
+		d.PhaseFlip(1, rng.Float64()/2)
+		d.Depolarize(0, rng.Float64()*0.74)
+		return math.Abs(real(d.Trace())-1) < 1e-9 && math.Abs(imag(d.Trace())) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// The device basis gates (§6.1 of the paper): RX, RY, RZ and CZ.
+// RZ is "virtual" on hardware (a frame update); here it is an exact
+// diagonal unitary. The named Clifford gates below are provided as
+// conveniences for the workloads and tests.
+
+// RX applies a rotation of the given angle (radians) about the X axis.
+func (s *State) RX(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	is := complex(0, -math.Sin(theta/2))
+	s.Apply1Q(q, c, is, is, c)
+}
+
+// RY applies a rotation about the Y axis.
+func (s *State) RY(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	sn := complex(math.Sin(theta/2), 0)
+	s.Apply1Q(q, c, -sn, sn, c)
+}
+
+// RZ applies a rotation about the Z axis.
+func (s *State) RZ(q int, theta float64) {
+	em := cmplx.Exp(complex(0, -theta/2))
+	ep := cmplx.Exp(complex(0, theta/2))
+	s.Apply1Q(q, em, 0, 0, ep)
+}
+
+// X applies the Pauli-X (bit flip) gate.
+func (s *State) X(q int) { s.Apply1Q(q, 0, 1, 1, 0) }
+
+// Y applies the Pauli-Y gate.
+func (s *State) Y(q int) { s.Apply1Q(q, 0, complex(0, -1), complex(0, 1), 0) }
+
+// Z applies the Pauli-Z (phase flip) gate.
+func (s *State) Z(q int) { s.Apply1Q(q, 1, 0, 0, -1) }
+
+// H applies the Hadamard gate.
+func (s *State) H(q int) {
+	h := complex(1/math.Sqrt2, 0)
+	s.Apply1Q(q, h, h, h, -h)
+}
+
+// S applies the phase gate diag(1, i).
+func (s *State) S(q int) { s.Apply1Q(q, 1, 0, 0, complex(0, 1)) }
+
+// Sdg applies the inverse phase gate diag(1, -i).
+func (s *State) Sdg(q int) { s.Apply1Q(q, 1, 0, 0, complex(0, -1)) }
+
+// T applies the T gate diag(1, e^{iπ/4}).
+func (s *State) T(q int) {
+	s.Apply1Q(q, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+}
+
+// Tdg applies the inverse T gate.
+func (s *State) Tdg(q int) {
+	s.Apply1Q(q, 1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4)))
+}
+
+// CZ applies a controlled-Z between qubits a and b (symmetric).
+func (s *State) CZ(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic("quantum: CZ with identical qubits")
+	}
+	mask := (1 << uint(a)) | (1 << uint(b))
+	for i := range s.amp {
+		if i&mask == mask {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// CNOT applies a controlled-X with the given control and target. On the
+// paper's hardware CNOT is compiled as H(t)·CZ·H(t); here it is exact.
+func (s *State) CNOT(control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("quantum: CNOT with identical qubits")
+	}
+	cb, tb := 1<<uint(control), 1<<uint(target)
+	for i := range s.amp {
+		// Swap amplitude pairs where control=1, visiting target=0 only.
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// SWAP exchanges the states of qubits a and b.
+func (s *State) SWAP(a, b int) {
+	s.CNOT(a, b)
+	s.CNOT(b, a)
+	s.CNOT(a, b)
+}

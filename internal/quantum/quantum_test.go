@@ -1,0 +1,553 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/stats"
+)
+
+const eps = 1e-10
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func TestNewStateIsZero(t *testing.T) {
+	s := NewState(3)
+	if s.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d", s.NumQubits())
+	}
+	if s.Amplitude(0) != 1 {
+		t.Fatalf("amp[0] = %v", s.Amplitude(0))
+	}
+	for i := 1; i < 8; i++ {
+		if s.Amplitude(i) != 0 {
+			t.Fatalf("amp[%d] = %v", i, s.Amplitude(i))
+		}
+	}
+}
+
+func TestNewStatePanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, -1, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewState(%d) did not panic", n)
+				}
+			}()
+			NewState(n)
+		}()
+	}
+}
+
+func TestXFlipsBit(t *testing.T) {
+	s := NewState(2)
+	s.X(1)
+	if !approxEq(real(s.Amplitude(2)), 1) {
+		t.Fatalf("X(1) did not produce |10⟩: %v", s.Probabilities())
+	}
+}
+
+func TestHSuperposition(t *testing.T) {
+	s := NewState(1)
+	s.H(0)
+	if !approxEq(s.Prob1(0), 0.5) {
+		t.Fatalf("Prob1 after H = %v", s.Prob1(0))
+	}
+	s.H(0) // H is self-inverse
+	if !approxEq(s.Prob1(0), 0) {
+		t.Fatalf("H·H != I: Prob1 = %v", s.Prob1(0))
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// XYZ = iI up to global phase; verify X² = Y² = Z² = I on a random state.
+	rng := stats.NewRNG(1)
+	s := randomState(2, rng)
+	for _, gate := range []func(int){s.X, s.Y, s.Z} {
+		before := s.Clone()
+		gate(0)
+		gate(0)
+		if f := s.Fidelity(before); !approxEq(f, 1) {
+			t.Fatalf("Pauli² != I, fidelity %v", f)
+		}
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	p := s.Probabilities()
+	if !approxEq(p[0], 0.5) || !approxEq(p[3], 0.5) || !approxEq(p[1], 0) || !approxEq(p[2], 0) {
+		t.Fatalf("Bell state probabilities wrong: %v", p)
+	}
+}
+
+func TestCZPhase(t *testing.T) {
+	s := NewState(2)
+	s.X(0)
+	s.X(1)
+	s.CZ(0, 1)
+	if !approxEq(real(s.Amplitude(3)), -1) {
+		t.Fatalf("CZ|11⟩ != -|11⟩: %v", s.Amplitude(3))
+	}
+	// CZ on |01⟩ is identity.
+	s2 := NewState(2)
+	s2.X(0)
+	s2.CZ(0, 1)
+	if !approxEq(real(s2.Amplitude(1)), 1) {
+		t.Fatalf("CZ|01⟩ changed state")
+	}
+}
+
+func TestCNOTViaCZ(t *testing.T) {
+	// CNOT(c,t) == H(t)·CZ(c,t)·H(t), the hardware compilation.
+	rng := stats.NewRNG(2)
+	a := randomState(3, rng)
+	b := a.Clone()
+	a.CNOT(1, 2)
+	b.H(2)
+	b.CZ(1, 2)
+	b.H(2)
+	if f := a.Fidelity(b); !approxEq(f, 1) {
+		t.Fatalf("CNOT != H·CZ·H, fidelity %v", f)
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	s := NewState(2)
+	s.X(0)
+	s.SWAP(0, 1)
+	if !approxEq(s.Prob1(1), 1) || !approxEq(s.Prob1(0), 0) {
+		t.Fatalf("SWAP failed: %v", s.Probabilities())
+	}
+}
+
+func TestRotationPeriodicity(t *testing.T) {
+	// RX(2π) = -I (global phase), so fidelity with original is 1.
+	rng := stats.NewRNG(3)
+	s := randomState(1, rng)
+	ref := s.Clone()
+	s.RX(0, 2*math.Pi)
+	if f := s.Fidelity(ref); !approxEq(f, 1) {
+		t.Fatalf("RX(2π) fidelity %v", f)
+	}
+	s.RY(0, 2*math.Pi)
+	if f := s.Fidelity(ref); !approxEq(f, 1) {
+		t.Fatalf("RY(2π) fidelity %v", f)
+	}
+}
+
+func TestRXPiIsX(t *testing.T) {
+	s := NewState(1)
+	s.RX(0, math.Pi)
+	if !approxEq(s.Prob1(0), 1) {
+		t.Fatalf("RX(π)|0⟩ != |1⟩: %v", s.Prob1(0))
+	}
+}
+
+func TestRZPhases(t *testing.T) {
+	s := NewState(1)
+	s.H(0)
+	s.RZ(0, math.Pi) // equivalent to Z up to global phase
+	s.H(0)
+	if !approxEq(s.Prob1(0), 1) {
+		t.Fatalf("H·RZ(π)·H != X: %v", s.Prob1(0))
+	}
+}
+
+func TestSTGates(t *testing.T) {
+	// S = T², and S·Sdg = I.
+	rng := stats.NewRNG(4)
+	a := randomState(1, rng)
+	b := a.Clone()
+	a.S(0)
+	b.T(0)
+	b.T(0)
+	if f := a.Fidelity(b); !approxEq(f, 1) {
+		t.Fatalf("T² != S: %v", f)
+	}
+	a.Sdg(0)
+	a.Tdg(0)
+	a.Tdg(0)
+	c := b.Clone()
+	b.Sdg(0)
+	b.S(0)
+	if f := b.Fidelity(c); !approxEq(f, 1) {
+		t.Fatalf("S·Sdg != I: %v", f)
+	}
+}
+
+func TestNormPreservationProperty(t *testing.T) {
+	f := func(seed uint64, nGates uint8) bool {
+		rng := stats.NewRNG(seed)
+		s := randomState(3, rng)
+		applyRandomGates(s, int(nGates%32), rng)
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ones := 0
+	const shots = 20000
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		s.RY(0, 2*math.Asin(math.Sqrt(0.3))) // Prob1 = 0.3
+		ones += s.Measure(0, rng)
+	}
+	frac := float64(ones) / shots
+	if math.Abs(frac-0.3) > 0.015 {
+		t.Fatalf("measured frequency %v, want ~0.3", frac)
+	}
+}
+
+func TestMeasureCollapses(t *testing.T) {
+	rng := stats.NewRNG(6)
+	s := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	m := s.Measure(0, rng)
+	// After measuring one half of a Bell pair the other must agree.
+	if p := s.Prob1(1); !approxEq(p, float64(m)) {
+		t.Fatalf("entangled partner disagrees: m=%d p=%v", m, p)
+	}
+	// Second measurement must repeat.
+	if m2 := s.Measure(0, rng); m2 != m {
+		t.Fatalf("repeated measurement differs: %d then %d", m, m2)
+	}
+}
+
+func TestReset(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for i := 0; i < 50; i++ {
+		s := NewState(1)
+		s.H(0)
+		s.Reset(0, rng)
+		if !approxEq(s.Prob1(0), 0) {
+			t.Fatalf("Reset left Prob1 = %v", s.Prob1(0))
+		}
+	}
+}
+
+func TestFidelityBounds(t *testing.T) {
+	rng := stats.NewRNG(8)
+	a := randomState(3, rng)
+	if f := a.Fidelity(a); !approxEq(f, 1) {
+		t.Fatalf("self fidelity %v", f)
+	}
+	b := a.Clone()
+	b.X(0)
+	b.X(1)
+	b.X(2)
+	f := a.Fidelity(b)
+	if f < 0 || f > 1 {
+		t.Fatalf("fidelity out of bounds: %v", f)
+	}
+}
+
+func TestTeleportation(t *testing.T) {
+	// Standard teleportation circuit with feed-forward corrections must move
+	// an arbitrary state from qubit 0 to qubit 2.
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		theta := rng.Float64() * math.Pi
+		phi := rng.Float64() * 2 * math.Pi
+
+		want := NewState(1)
+		want.RY(0, theta)
+		want.RZ(0, phi)
+
+		s := NewState(3)
+		s.RY(0, theta)
+		s.RZ(0, phi)
+		// Bell pair on 1,2.
+		s.H(1)
+		s.CNOT(1, 2)
+		// Bell measurement of 0,1.
+		s.CNOT(0, 1)
+		s.H(0)
+		m0 := s.Measure(0, rng)
+		m1 := s.Measure(1, rng)
+		if m1 == 1 {
+			s.X(2)
+		}
+		if m0 == 1 {
+			s.Z(2)
+		}
+		// Compare marginal on qubit 2 against the prepared state by
+		// undoing the preparation: the result must be |0⟩.
+		s.RZ(2, -phi)
+		s.RY(2, -theta)
+		if p := s.Prob1(2); !approxEq(p, 0) {
+			t.Fatalf("teleportation failed: residual Prob1 = %v", p)
+		}
+	}
+}
+
+func TestAmplitudeDampingStatistics(t *testing.T) {
+	// Starting in |1⟩, after idle time t the shot-averaged survival must be
+	// exp(-t/T1).
+	nm := &NoiseModel{T1: 1000, T2: math.Inf(1)}
+	rng := stats.NewRNG(10)
+	const shots = 20000
+	survive := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		s.X(0)
+		nm.ApplyIdle(s, 0, 500, rng)
+		if s.Prob1(0) > 0.5 {
+			survive++
+		}
+	}
+	want := math.Exp(-0.5)
+	got := float64(survive) / shots
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("survival %v, want ~%v", got, want)
+	}
+}
+
+func TestDephasingKillsCoherence(t *testing.T) {
+	// |+⟩ idled for t >> T2 should give Prob1 ≈ 0.5 but X-basis coherence ≈ 0:
+	// measuring in X basis yields ~50/50 instead of deterministic +.
+	nm := &NoiseModel{T1: math.Inf(1), T2: 100}
+	rng := stats.NewRNG(11)
+	const shots = 4000
+	plus := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		s.H(0)
+		nm.ApplyIdle(s, 0, 1000, rng)
+		s.H(0)
+		if s.Measure(0, rng) == 0 {
+			plus++
+		}
+	}
+	frac := float64(plus) / shots
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("dephased |+⟩ X-basis frequency %v, want ~0.5", frac)
+	}
+}
+
+func TestNoIdleNoiseWhenIdealOrZeroTime(t *testing.T) {
+	nm := Ideal()
+	rng := stats.NewRNG(12)
+	s := NewState(1)
+	s.H(0)
+	ref := s.Clone()
+	nm.ApplyIdle(s, 0, 1e9, rng)
+	if f := s.Fidelity(ref); !approxEq(f, 1) {
+		t.Fatalf("ideal model changed state: %v", f)
+	}
+	nm2 := DeviceNoise()
+	nm2.ApplyIdle(s, 0, 0, rng)
+	if f := s.Fidelity(ref); !approxEq(f, 1) {
+		t.Fatalf("zero-time idle changed state: %v", f)
+	}
+}
+
+func TestDepolarizingRate(t *testing.T) {
+	nm := &NoiseModel{T1: math.Inf(1), T2: math.Inf(1)}
+	rng := stats.NewRNG(13)
+	const shots = 30000
+	flipped := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		nm.ApplyDepolarizing(s, 0, 0.3, rng)
+		// X and Y flip |0⟩; Z does not. So flip rate = 0.3 * 2/3 = 0.2.
+		if s.Prob1(0) > 0.5 {
+			flipped++
+		}
+	}
+	frac := float64(flipped) / shots
+	if math.Abs(frac-0.2) > 0.01 {
+		t.Fatalf("depolarizing flip rate %v, want ~0.2", frac)
+	}
+}
+
+func TestNoisyMeasureAssignmentError(t *testing.T) {
+	nm := &NoiseModel{T1: math.Inf(1), T2: math.Inf(1), ReadoutError: 0.25}
+	rng := stats.NewRNG(14)
+	const shots = 20000
+	ones := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		ones += nm.NoisyMeasure(s, 0, rng)
+	}
+	frac := float64(ones) / shots
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("assignment error rate %v, want ~0.25", frac)
+	}
+}
+
+func TestApply2QMatchesComposition(t *testing.T) {
+	// A 4x4 CZ matrix through Apply2Q must equal the native CZ.
+	var cz [4][4]complex128
+	cz[0][0], cz[1][1], cz[2][2] = 1, 1, 1
+	cz[3][3] = -1
+	rng := stats.NewRNG(15)
+	a := randomState(3, rng)
+	b := a.Clone()
+	a.CZ(0, 2)
+	b.Apply2Q(0, 2, &cz)
+	if f := a.Fidelity(b); !approxEq(f, 1) {
+		t.Fatalf("Apply2Q CZ mismatch: %v", f)
+	}
+}
+
+func TestGateQubitRangePanics(t *testing.T) {
+	s := NewState(2)
+	cases := []func(){
+		func() { s.X(2) },
+		func() { s.CZ(0, 0) },
+		func() { s.CNOT(1, 1) },
+		func() { s.Apply2Q(0, 0, &[4][4]complex128{}) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewState(1)
+	c := s.Clone()
+	s.X(0)
+	if !approxEq(c.Prob1(0), 0) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+// randomState prepares a Haar-ish random product-entangled state by applying
+// random rotations and entanglers.
+func randomState(n int, rng *stats.RNG) *State {
+	s := NewState(n)
+	for q := 0; q < n; q++ {
+		s.RY(q, rng.Float64()*math.Pi)
+		s.RZ(q, rng.Float64()*2*math.Pi)
+	}
+	for q := 0; q+1 < n; q++ {
+		s.CZ(q, q+1)
+		s.RY(q, rng.Float64()*math.Pi)
+	}
+	return s
+}
+
+func applyRandomGates(s *State, k int, rng *stats.RNG) {
+	n := s.NumQubits()
+	for i := 0; i < k; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(5) {
+		case 0:
+			s.RX(q, rng.Float64()*2*math.Pi)
+		case 1:
+			s.RY(q, rng.Float64()*2*math.Pi)
+		case 2:
+			s.RZ(q, rng.Float64()*2*math.Pi)
+		case 3:
+			s.H(q)
+		default:
+			p := rng.Intn(n)
+			if p != q {
+				s.CZ(q, p)
+			}
+		}
+	}
+}
+
+func TestGlobalPhaseInvarianceOfFidelity(t *testing.T) {
+	rng := stats.NewRNG(16)
+	a := randomState(2, rng)
+	b := a.Clone()
+	// Multiply b by a global phase.
+	ph := cmplx.Exp(complex(0, 1.234))
+	for i := range b.amp {
+		b.amp[i] *= ph
+	}
+	if f := a.Fidelity(b); !approxEq(f, 1) {
+		t.Fatalf("fidelity not phase invariant: %v", f)
+	}
+}
+
+func TestQuasiStaticDetunings(t *testing.T) {
+	rng := stats.NewRNG(30)
+	nm := DeviceNoise()
+	if nm.SampleDetunings(4, rng) != nil {
+		t.Fatal("default model should have no quasi-static component")
+	}
+	nm.QuasiStaticSigma = 1e-4
+	d := nm.SampleDetunings(4, rng)
+	if len(d) != 4 {
+		t.Fatalf("detunings length %d", len(d))
+	}
+	allZero := true
+	for _, v := range d {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("sampled detunings all zero")
+	}
+}
+
+func TestEchoRefocusesQuasiStaticDephasing(t *testing.T) {
+	// A |+⟩ state idling with a frozen detuning loses phase without an
+	// echo and keeps it with one.
+	nm := Ideal()
+	rng := stats.NewRNG(31)
+	const detuning = 0.002 // rad/ns
+	const dt = 1000.0
+
+	plain := NewState(1)
+	plain.H(0)
+	nm.ApplyIdleDetuned(plain, 0, dt, detuning, false, rng)
+	plain.H(0)
+	// Accrued phase 2 rad: P(0) = cos²(1) ≈ 0.29.
+	if p := plain.Prob1(0); p < 0.5 {
+		t.Fatalf("no-echo idle kept coherence: Prob1 = %v", p)
+	}
+
+	echoed := NewState(1)
+	echoed.H(0)
+	nm.ApplyIdleDetuned(echoed, 0, dt, detuning, true, rng)
+	echoed.H(0)
+	if p := echoed.Prob1(0); p > 1e-9 {
+		t.Fatalf("echo failed to refocus: Prob1 = %v", p)
+	}
+}
+
+func TestEchoT1Composition(t *testing.T) {
+	// The echo halves the |1⟩ dwell time: starting in |1⟩, the qubit ends
+	// in |1⟩ iff it survived the first half (it sits in |0⟩ for the second)
+	// or decayed in both halves. With a = exp(-dt/2T1):
+	// P(end |1⟩) = a + (1-a)².
+	nm := &NoiseModel{T1: 1000, T2: math.Inf(1)}
+	rng := stats.NewRNG(32)
+	const shots = 8000
+	survive := 0
+	for i := 0; i < shots; i++ {
+		s := NewState(1)
+		s.X(0)
+		nm.ApplyIdleDetuned(s, 0, 500, 0, true, rng)
+		if s.Prob1(0) > 0.5 {
+			survive++
+		}
+	}
+	a := math.Exp(-0.25)
+	want := a + (1-a)*(1-a)
+	if got := float64(survive) / shots; math.Abs(got-want) > 0.03 {
+		t.Fatalf("echoed survival %v, want ~%v", got, want)
+	}
+}

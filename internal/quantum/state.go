@@ -1,0 +1,196 @@
+// Package quantum implements a Monte-Carlo state-vector simulator for small
+// quantum registers.
+//
+// It is the substrate that stands in for the paper's 18-qubit Xmon
+// superconducting processor: gates are ideal unitaries, and hardware
+// imperfections (T1 relaxation, T2 dephasing, depolarizing gate error,
+// readout assignment error) are applied as stochastic quantum-trajectory
+// channels, so averaging over shots reproduces the corresponding density-
+// matrix evolution. The basis gate set matches the paper's device:
+// RX, RY, RZ (virtual) and CZ, plus the derived Clifford gates used by the
+// workloads.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"artery/internal/stats"
+)
+
+// State is the state vector of an n-qubit register. Qubit 0 is the least
+// significant bit of the basis-state index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns an n-qubit register initialized to |0...0⟩.
+// It panics for n outside [1, 24] (24 qubits = 256 MiB of amplitudes,
+// a sane ceiling for this simulator).
+func NewState(n int) *State {
+	if n < 1 || n > 24 {
+		panic(fmt.Sprintf("quantum: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Amplitude returns the amplitude of basis state i.
+func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
+
+// Norm returns the 2-norm of the state vector (1 for a valid state).
+func (s *State) Norm() float64 {
+	sum := 0.0
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, s.n))
+	}
+}
+
+// Apply1Q applies the 2x2 unitary {{u00,u01},{u10,u11}} to qubit q.
+func (s *State) Apply1Q(q int, u00, u01, u10, u11 complex128) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = u00*a0 + u01*a1
+		s.amp[j] = u10*a0 + u11*a1
+	}
+}
+
+// Apply2Q applies a 4x4 unitary u (row-major, basis order |q2 q1⟩ =
+// |00⟩,|01⟩,|10⟩,|11⟩ with q1 the low bit) to qubits q1 and q2.
+func (s *State) Apply2Q(q1, q2 int, u *[4][4]complex128) {
+	s.checkQubit(q1)
+	s.checkQubit(q2)
+	if q1 == q2 {
+		panic("quantum: Apply2Q with identical qubits")
+	}
+	b1, b2 := 1<<uint(q1), 1<<uint(q2)
+	for i := 0; i < len(s.amp); i++ {
+		if i&b1 != 0 || i&b2 != 0 {
+			continue
+		}
+		idx := [4]int{i, i | b1, i | b2, i | b1 | b2}
+		var in [4]complex128
+		for k, x := range idx {
+			in[k] = s.amp[x]
+		}
+		for r, x := range idx {
+			s.amp[x] = u[r][0]*in[0] + u[r][1]*in[1] + u[r][2]*in[2] + u[r][3]*in[3]
+		}
+	}
+}
+
+// Prob1 returns the probability that measuring qubit q yields 1.
+func (s *State) Prob1(q int) float64 {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	p := 0.0
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Measure performs a projective Z measurement of qubit q, collapsing the
+// state, and returns the outcome bit.
+func (s *State) Measure(q int, rng *stats.RNG) int {
+	p1 := s.Prob1(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.project(q, outcome)
+	return outcome
+}
+
+// Project collapses qubit q onto the given outcome and renormalizes,
+// without sampling — used to condition a reference state on an outcome
+// observed elsewhere (e.g. the ideal branch of a fidelity comparison).
+// It panics if the outcome has zero probability.
+func (s *State) Project(q, outcome int) {
+	s.checkQubit(q)
+	if outcome != 0 && outcome != 1 {
+		panic("quantum: Project outcome must be 0 or 1")
+	}
+	s.project(q, outcome)
+}
+
+// project collapses qubit q onto the given outcome and renormalizes.
+func (s *State) project(q, outcome int) {
+	bit := 1 << uint(q)
+	norm := 0.0
+	for i, a := range s.amp {
+		has1 := i&bit != 0
+		if (outcome == 1) != has1 {
+			s.amp[i] = 0
+		} else {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if norm == 0 {
+		panic("quantum: projection onto zero-probability outcome")
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+}
+
+// Reset measures qubit q and, if the outcome is 1, applies X, leaving the
+// qubit in |0⟩. It returns the pre-reset measurement outcome.
+func (s *State) Reset(q int, rng *stats.RNG) int {
+	m := s.Measure(q, rng)
+	if m == 1 {
+		s.X(q)
+	}
+	return m
+}
+
+// Fidelity returns |⟨s|o⟩|², the state fidelity between two pure states.
+// It panics if the registers have different widths.
+func (s *State) Fidelity(o *State) float64 {
+	if s.n != o.n {
+		panic("quantum: Fidelity between different register sizes")
+	}
+	var ip complex128
+	for i := range s.amp {
+		ip += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Probabilities returns the full basis-state probability distribution.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}

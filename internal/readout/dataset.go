@@ -1,0 +1,107 @@
+package readout
+
+import (
+	"artery/internal/stats"
+)
+
+// Dataset is the synthetic stand-in for the paper's captured corpus of
+// 4,000 readout pulses (§6.1): 1,000 training sequences for parameter
+// fitting and 3,000 for latency/accuracy evaluation.
+type Dataset struct {
+	Cal   *Calibration
+	Train []*Pulse
+	Test  []*Pulse
+	// Outcomes are the ground-truth branch outcomes (full-pulse
+	// classification) for the corresponding Test pulses, filled by Label.
+	TrainOutcomes []int
+	TestOutcomes  []int
+}
+
+// Paper dataset sizing (§6.1).
+const (
+	DatasetSize  = 4000
+	TrainSize    = 1000
+	TestSize     = DatasetSize - TrainSize
+	DefaultK     = 6    // branch-history registers
+	DefaultWinNs = 30.0 // demodulation window length
+)
+
+// GenerateDataset synthesizes a pulse corpus with the given probability of
+// preparing |1⟩ (use 0.5 for calibration corpora; workload-specific priors
+// are applied by the workload generators). The split is 1,000/3,000 as in
+// the paper.
+func GenerateDataset(cal *Calibration, p1 float64, rng *stats.RNG) *Dataset {
+	d := &Dataset{Cal: cal}
+	for i := 0; i < DatasetSize; i++ {
+		state := 0
+		if rng.Bool(p1) {
+			state = 1
+		}
+		p := cal.Synthesize(state, rng)
+		if i < TrainSize {
+			d.Train = append(d.Train, p)
+		} else {
+			d.Test = append(d.Test, p)
+		}
+	}
+	return d
+}
+
+// Label computes the ground-truth outcomes of all pulses with classifier c.
+func (d *Dataset) Label(c *Classifier) {
+	d.TrainOutcomes = make([]int, len(d.Train))
+	for i, p := range d.Train {
+		d.TrainOutcomes[i] = c.ClassifyFull(p)
+	}
+	d.TestOutcomes = make([]int, len(d.Test))
+	for i, p := range d.Test {
+		d.TestOutcomes[i] = c.ClassifyFull(p)
+	}
+}
+
+// Channel bundles everything one readout line needs at run time: the
+// calibration, a trained classifier and a trained trajectory state table.
+// It is what the feedback controller instantiates per qubit.
+type Channel struct {
+	Cal        *Calibration
+	Classifier *Classifier
+	Table      *StateTable
+}
+
+// NewChannel calibrates a full readout channel from a balanced training
+// corpus: it generates the dataset, fits cluster centers, labels outcomes
+// and pre-generates the trajectory state table.
+func NewChannel(cal *Calibration, windowNs float64, k int, rng *stats.RNG) *Channel {
+	return NewChannelWithTable(cal, windowNs, NewStateTable(k), rng)
+}
+
+// NewChannelWithTable calibrates a channel into a caller-provided (empty)
+// state table — the hook the ablation experiments use to compare table
+// configurations (single-bucket vs time-bucketed, smoothing strengths) on
+// identical training data.
+func NewChannelWithTable(cal *Calibration, windowNs float64, table *StateTable, rng *stats.RNG) *Channel {
+	ds := GenerateDataset(cal, 0.5, rng)
+	cls := NewClassifier(cal, windowNs, ds.Train)
+	ds.Label(cls)
+	bits := make([][]int, len(ds.Train))
+	for i, p := range ds.Train {
+		bits[i] = cls.WindowBits(p, 0)
+	}
+	table.Train(bits, ds.TrainOutcomes)
+	return &Channel{Cal: cal, Classifier: cls, Table: table}
+}
+
+// Accuracy evaluates full-pulse classification accuracy of the channel on
+// a labelled test set against prepared states (assignment fidelity).
+func (ch *Channel) Accuracy(pulses []*Pulse) float64 {
+	if len(pulses) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, p := range pulses {
+		if ch.Classifier.ClassifyFull(p) == p.Prepared {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pulses))
+}

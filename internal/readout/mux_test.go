@@ -1,0 +1,123 @@
+package readout
+
+import (
+	"math"
+	"testing"
+
+	"artery/internal/stats"
+)
+
+func TestMuxGroupCarriersDistinct(t *testing.T) {
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	seen := map[float64]bool{}
+	for _, c := range g.Cals {
+		if seen[c.CarrierCycles] {
+			t.Fatal("duplicate carrier frequency")
+		}
+		seen[c.CarrierCycles] = true
+	}
+}
+
+func TestMuxGroupPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewMuxGroup(DefaultCalibration(), 0) },
+		func() { NewMuxGroup(DefaultCalibration(), 9) },
+		func() { NewMuxGroup(DefaultCalibration(), 2).Synthesize([]int{1}, stats.NewRNG(1)) },
+		func() { NewMuxGroup(DefaultCalibration(), 1).Synthesize([]int{2}, stats.NewRNG(1)) },
+		func() { CalibrateMux(NewMuxGroup(DefaultCalibration(), 2), 30, 3, stats.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMuxSeparatesThreeQubits(t *testing.T) {
+	// The paper's configuration: 3 qubits per readout line. Each qubit must
+	// be recoverable from the shared waveform with high fidelity.
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	rng := stats.NewRNG(2)
+	chans := CalibrateMux(g, 30, 400, rng)
+	for k, mc := range chans {
+		acc := mc.Accuracy(300, rng)
+		if acc < 0.95 {
+			t.Fatalf("mux qubit %d assignment fidelity %v, want >= 0.95", k, acc)
+		}
+	}
+}
+
+func TestMuxStatesIndependent(t *testing.T) {
+	// Flipping neighbor states must not flip qubit 0's classification:
+	// classify the same noise realization under different neighbor states.
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	rng := stats.NewRNG(3)
+	chans := CalibrateMux(g, 30, 400, rng)
+	mc := chans[0]
+	agree := 0
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		mpA := g.Synthesize([]int{1, 0, 0}, rng)
+		mpB := g.Synthesize([]int{1, 1, 1}, rng)
+		a, b := mc.Classify(mpA), mc.Classify(mpB)
+		if a == 1 {
+			agree++
+		}
+		if b == 1 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / (2 * trials); frac < 0.95 {
+		t.Fatalf("qubit 0 classification degraded by neighbors: %v", frac)
+	}
+}
+
+func TestMuxDecayRecorded(t *testing.T) {
+	base := DefaultCalibration()
+	base.T1Ns = 200 // decay almost surely
+	g := NewMuxGroup(base, 2)
+	rng := stats.NewRNG(4)
+	mp := g.Synthesize([]int{1, 0}, rng)
+	if math.IsInf(mp.DecayedAtNs[0], 1) {
+		t.Fatal("fast-T1 qubit did not decay")
+	}
+	if !math.IsInf(mp.DecayedAtNs[1], 1) {
+		t.Fatal("|0⟩ qubit decayed")
+	}
+}
+
+func TestMuxQubitPulseMetadata(t *testing.T) {
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	rng := stats.NewRNG(5)
+	mp := g.Synthesize([]int{0, 1, 0}, rng)
+	p1 := mp.QubitPulse(1)
+	if p1.Prepared != 1 {
+		t.Fatal("QubitPulse lost prepared state")
+	}
+	if len(p1.Samples) != g.Cals[0].Samples() {
+		t.Fatal("QubitPulse sample count wrong")
+	}
+}
+
+func TestMuxCrosstalkBoundedVsSingle(t *testing.T) {
+	// Multiplexing costs some fidelity relative to a dedicated line, but
+	// the penalty must be small (the device still calibrates to ~99 %).
+	rng := stats.NewRNG(6)
+	single := NewChannel(DefaultCalibration(), 30, 6, stats.NewRNG(7))
+	var pulses []*Pulse
+	for i := 0; i < 300; i++ {
+		pulses = append(pulses, single.Cal.Synthesize(i%2, rng))
+	}
+	singleAcc := single.Accuracy(pulses)
+
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	chans := CalibrateMux(g, 30, 400, rng)
+	muxAcc := chans[1].Accuracy(300, rng)
+	if muxAcc < singleAcc-0.05 {
+		t.Fatalf("multiplexing penalty too large: %v vs %v", muxAcc, singleAcc)
+	}
+}

@@ -1,0 +1,87 @@
+package readout
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"artery/internal/stats"
+)
+
+// This file implements persistence for calibrated readout channels: the
+// classifier centers and the trained <trajectory, P_read_1> state table.
+// On hardware the table is pre-generated when the system is initialized
+// and reloaded at program start (§4); persisting it here means a tool can
+// calibrate once and reuse the channel across runs.
+
+// persistedChannel is the gob wire form of a Channel.
+type persistedChannel struct {
+	Cal      Calibration
+	WindowNs float64
+	F0, F1   IQ
+	K        int
+	Buckets  int
+	// Counters flattened as [bucket][length][pattern] alpha/beta pairs.
+	Alphas []float64
+	Betas  []float64
+}
+
+// MarshalChannel serializes a calibrated channel.
+func MarshalChannel(ch *Channel) ([]byte, error) {
+	if ch == nil || ch.Classifier == nil || ch.Table == nil {
+		return nil, fmt.Errorf("readout: cannot marshal incomplete channel")
+	}
+	p := persistedChannel{
+		Cal:      *ch.Cal,
+		WindowNs: ch.Classifier.WindowNs,
+		F0:       ch.Classifier.F0,
+		F1:       ch.Classifier.F1,
+		K:        ch.Table.K,
+		Buckets:  ch.Table.buckets,
+	}
+	for b := 0; b < ch.Table.buckets; b++ {
+		for c := 1; c <= ch.Table.K; c++ {
+			for i := range ch.Table.counters[b][c] {
+				cnt := ch.Table.counters[b][c][i]
+				p.Alphas = append(p.Alphas, cnt.Alpha)
+				p.Betas = append(p.Betas, cnt.Beta)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("readout: marshal channel: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalChannel reconstructs a channel from MarshalChannel's output.
+func UnmarshalChannel(data []byte) (*Channel, error) {
+	var p persistedChannel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("readout: unmarshal channel: %w", err)
+	}
+	if p.K < 1 || p.K > 20 || p.Buckets < 1 || p.Buckets > MaxTimeBuckets {
+		return nil, fmt.Errorf("readout: persisted table shape invalid (k=%d, buckets=%d)", p.K, p.Buckets)
+	}
+	cal := p.Cal
+	cls := &Classifier{cal: &cal, WindowNs: p.WindowNs, F0: p.F0, F1: p.F1}
+	cls.W0, cls.W1 = p.F0, p.F1
+	table := NewStateTableOpts(p.K, p.Buckets, 1) // counters overwritten below
+	idx := 0
+	for b := 0; b < p.Buckets; b++ {
+		for c := 1; c <= p.K; c++ {
+			for i := range table.counters[b][c] {
+				if idx >= len(p.Alphas) {
+					return nil, fmt.Errorf("readout: persisted table truncated at counter %d", idx)
+				}
+				table.counters[b][c][i] = stats.BetaCounter{Alpha: p.Alphas[idx], Beta: p.Betas[idx]}
+				idx++
+			}
+		}
+	}
+	if idx != len(p.Alphas) {
+		return nil, fmt.Errorf("readout: persisted table has %d extra counters", len(p.Alphas)-idx)
+	}
+	return &Channel{Cal: &cal, Classifier: cls, Table: table}, nil
+}

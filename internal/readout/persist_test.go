@@ -1,0 +1,88 @@
+package readout
+
+import (
+	"testing"
+
+	"artery/internal/stats"
+)
+
+func TestChannelPersistRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(40)
+	ch := NewChannel(DefaultCalibration(), 30, 6, rng)
+	data, err := MarshalChannel(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalChannel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classifier centers survive exactly.
+	if got.Classifier.F0 != ch.Classifier.F0 || got.Classifier.F1 != ch.Classifier.F1 {
+		t.Fatal("centers changed across round trip")
+	}
+	if got.Classifier.WindowNs != 30 {
+		t.Fatal("window length lost")
+	}
+	// Table probabilities survive exactly for representative keys.
+	keys := [][]int{{1}, {0, 1, 1}, {1, 1, 1, 1, 1, 1}, make([]int, 40)}
+	for _, k := range keys {
+		if got.Table.PRead1(k) != ch.Table.PRead1(k) {
+			t.Fatalf("table probability changed for key %v", k)
+		}
+	}
+	// The restored channel classifies pulses identically.
+	prng := stats.NewRNG(41)
+	for i := 0; i < 100; i++ {
+		p := ch.Cal.Synthesize(i%2, prng)
+		if got.Classifier.ClassifyFull(p) != ch.Classifier.ClassifyFull(p) {
+			t.Fatal("restored classifier disagrees")
+		}
+	}
+}
+
+func TestChannelPersistRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalChannel([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := MarshalChannel(nil); err == nil {
+		t.Fatal("nil channel accepted")
+	}
+	if _, err := MarshalChannel(&Channel{}); err == nil {
+		t.Fatal("incomplete channel accepted")
+	}
+}
+
+func TestChannelPersistTruncated(t *testing.T) {
+	rng := stats.NewRNG(42)
+	ch := NewChannel(DefaultCalibration(), 30, 6, rng)
+	data, err := MarshalChannel(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalChannel(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestRestoredChannelDrivesPredictor(t *testing.T) {
+	rng := stats.NewRNG(43)
+	ch := NewChannel(DefaultCalibration(), 30, 6, rng)
+	data, err := MarshalChannel(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalChannel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy of the restored channel matches the original.
+	prng := stats.NewRNG(44)
+	var pulses []*Pulse
+	for i := 0; i < 200; i++ {
+		pulses = append(pulses, ch.Cal.Synthesize(i%2, prng))
+	}
+	if a, b := ch.Accuracy(pulses), restored.Accuracy(pulses); a != b {
+		t.Fatalf("accuracy changed: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,389 @@
+package readout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/stats"
+)
+
+func quietCal() *Calibration {
+	c := DefaultCalibration()
+	c.NoiseSigma = 0
+	c.T1Ns = math.Inf(1)
+	return c
+}
+
+func TestSynthesizeBasics(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(1)
+	p := cal.Synthesize(1, rng)
+	if len(p.Samples) != 2000 {
+		t.Fatalf("samples = %d, want 2000", len(p.Samples))
+	}
+	if p.Prepared != 1 {
+		t.Fatal("prepared state lost")
+	}
+	p0 := cal.Synthesize(0, rng)
+	if !math.IsInf(p0.DecayedAtNs, 1) {
+		t.Fatal("|0⟩ pulse cannot decay")
+	}
+}
+
+func TestSynthesizePanicsOnBadState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad state accepted")
+		}
+	}()
+	DefaultCalibration().Synthesize(2, stats.NewRNG(1))
+}
+
+func TestDemodulationRecoversPhase(t *testing.T) {
+	// Noise-free pulses demodulate exactly onto the expected centers.
+	cal := quietCal()
+	rng := stats.NewRNG(2)
+	c0, c1 := cal.ExpectedCenters()
+	p0 := cal.Synthesize(0, rng)
+	p1 := cal.Synthesize(1, rng)
+	w := cal.WindowSamples(30)
+	iq0 := Demodulate(p0.Samples, 0, w, cal.Omega())
+	iq1 := Demodulate(p1.Samples, 0, w, cal.Omega())
+	// Up to the L/(L+1) normalization factor.
+	scale := float64(w) / float64(w+1)
+	if math.Abs(iq0.I-c0.I*scale) > 1e-9 || math.Abs(iq0.Q-c0.Q*scale) > 1e-9 {
+		t.Fatalf("demod |0⟩ = %+v, want ~%+v", iq0, c0)
+	}
+	if math.Abs(iq1.Q-c1.Q*scale) > 1e-9 {
+		t.Fatalf("demod |1⟩ = %+v, want ~%+v", iq1, c1)
+	}
+	// The two states must be separated in Q.
+	if iq1.Q <= iq0.Q {
+		t.Fatal("states not separated in the IQ plane")
+	}
+}
+
+func TestDemodulateWindowChecks(t *testing.T) {
+	cal := quietCal()
+	p := cal.Synthesize(0, stats.NewRNG(3))
+	for _, c := range []func(){
+		func() { Demodulate(p.Samples, -1, 10, cal.Omega()) },
+		func() { Demodulate(p.Samples, 0, 0, cal.Omega()) },
+		func() { Demodulate(p.Samples, 1999, 10, cal.Omega()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid window accepted")
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestTrajectoryWindowCount(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(4)
+	p := cal.Synthesize(0, rng)
+	traj := cal.Trajectory(p, 30, 0)
+	// 2000 ns / 30 ns = 66 full windows.
+	if len(traj) != 66 {
+		t.Fatalf("trajectory windows = %d, want 66", len(traj))
+	}
+	traj2 := cal.Trajectory(p, 400, 0)
+	if len(traj2) != 5 {
+		t.Fatalf("400 ns windows = %d, want 5", len(traj2))
+	}
+	traj3 := cal.Trajectory(p, 30, 100)
+	if len(traj3) != 3 {
+		t.Fatalf("windows within 100 ns = %d, want 3", len(traj3))
+	}
+}
+
+func TestSNRGrowsWithIntegrationTime(t *testing.T) {
+	// Classification error from the integrated IQ must fall as the window
+	// grows — the √t SNR growth the predictor relies on.
+	cal := DefaultCalibration()
+	cal.T1Ns = math.Inf(1) // isolate the noise effect
+	rng := stats.NewRNG(5)
+	errAt := func(uptoNs float64) float64 {
+		c0, c1 := cal.ExpectedCenters()
+		wrong := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			state := i % 2
+			p := cal.Synthesize(state, rng)
+			pt := cal.IntegratedIQ(p, uptoNs)
+			got := 0
+			if pt.Dist2(c1) < pt.Dist2(c0) {
+				got = 1
+			}
+			if got != state {
+				wrong++
+			}
+		}
+		return float64(wrong) / n
+	}
+	e30 := errAt(30)
+	e300 := errAt(300)
+	e2000 := errAt(2000)
+	if !(e30 > e300 && e300 >= e2000) {
+		t.Fatalf("error not decreasing with time: %v %v %v", e30, e300, e2000)
+	}
+	if e30 < 0.05 {
+		t.Fatalf("single-window error %v unrealistically low", e30)
+	}
+	if e2000 > 0.01 {
+		t.Fatalf("full-pulse error %v too high", e2000)
+	}
+}
+
+func TestRelaxationBendsTrajectory(t *testing.T) {
+	// Force an early decay and verify late windows classify as 0.
+	cal := DefaultCalibration()
+	cal.NoiseSigma = 0.2
+	cal.T1Ns = 100 // decays almost immediately
+	rng := stats.NewRNG(6)
+	sawDecay := false
+	for i := 0; i < 50; i++ {
+		p := cal.Synthesize(1, rng)
+		if math.IsInf(p.DecayedAtNs, 1) {
+			continue
+		}
+		sawDecay = true
+		c0, c1 := cal.ExpectedCenters()
+		last := cal.Trajectory(p, 30, 0)
+		pt := last[len(last)-1]
+		if pt.Dist2(c0) > pt.Dist2(c1) {
+			t.Fatalf("post-decay window still classifies as 1 (decay at %v)", p.DecayedAtNs)
+		}
+	}
+	if !sawDecay {
+		t.Fatal("no decays sampled with T1=100ns")
+	}
+}
+
+func TestClassifierAccuracy(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(7)
+	ds := GenerateDataset(cal, 0.5, rng)
+	cls := NewClassifier(cal, 30, ds.Train)
+	ok := 0
+	for _, p := range ds.Test {
+		if cls.ClassifyFull(p) == p.Prepared {
+			ok++
+		}
+	}
+	acc := float64(ok) / float64(len(ds.Test))
+	if acc < 0.97 {
+		t.Fatalf("full-pulse accuracy %v, want >= 0.97 (paper: 99%%)", acc)
+	}
+	// Single-window accuracy must be informative but far from perfect.
+	okW, nW := 0, 0
+	for _, p := range ds.Test[:500] {
+		bits := cls.WindowBits(p, 30)
+		want := 0
+		if p.Prepared == 1 && p.DecayedAtNs > 15 {
+			want = 1
+		}
+		if bits[0] == want {
+			okW++
+		}
+		nW++
+	}
+	accW := float64(okW) / float64(nW)
+	if accW < 0.6 || accW > 0.95 {
+		t.Fatalf("single-window accuracy %v outside informative range", accW)
+	}
+}
+
+func TestClassifierNeedsBothStates(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(8)
+	var train []*Pulse
+	for i := 0; i < 10; i++ {
+		train = append(train, cal.Synthesize(0, rng))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("one-class training set accepted")
+		}
+	}()
+	NewClassifier(cal, 30, train)
+}
+
+func TestStateTableKeying(t *testing.T) {
+	tb := NewStateTable(3)
+	// Short prefix uses the per-length sub-table.
+	tb.Update([]int{1}, 1)
+	tb.Update([]int{1}, 1)
+	tb.Update([]int{0}, 0)
+	if p := tb.PRead1([]int{1}); p <= 0.5 {
+		t.Fatalf("P after two 1-observations = %v", p)
+	}
+	if p := tb.PRead1([]int{0}); p >= 0.5 {
+		t.Fatalf("P after one 0-observation = %v", p)
+	}
+	// Longer-than-K prefixes truncate to the most recent K bits within the
+	// same time bucket: two length-6 prefixes sharing their last 3 bits hit
+	// the same entry.
+	tb.Update([]int{0, 0, 0, 1, 1, 1}, 1)
+	if p1, p2 := tb.PRead1([]int{0, 0, 0, 1, 1, 1}), tb.PRead1([]int{0, 1, 0, 1, 1, 1}); p1 != p2 {
+		t.Fatalf("truncation mismatch: %v != %v", p1, p2)
+	}
+	// But the same pattern earlier in the readout lives in another bucket
+	// (cumulative bits carry more evidence later).
+	if p1, p2 := tb.PRead1([]int{0, 0, 0, 1, 1, 1}), tb.PRead1([]int{1, 1, 1}); p1 == p2 {
+		t.Fatalf("time buckets not separated: %v == %v", p1, p2)
+	}
+	// Empty prefix is uninformative.
+	if p := tb.PRead1(nil); p != 0.5 {
+		t.Fatalf("empty prefix P = %v", p)
+	}
+}
+
+func TestStateTableTrainingSharpens(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(9)
+	ch := NewChannel(cal, 30, 6, rng)
+	// Early in the readout an all-1 trajectory is suggestive but not
+	// conclusive (cumulative SNR is still low)...
+	early := []int{1, 1, 1, 1, 1, 1}
+	pEarly := ch.Table.PRead1(early)
+	if pEarly < 0.6 || pEarly > 0.95 {
+		t.Fatalf("P(1|111111 @180ns) = %v, want informative but uncertain", pEarly)
+	}
+	// ...while deep into the readout the same pattern is near-certain.
+	late := make([]int, 36)
+	for i := range late {
+		late[i] = 1
+	}
+	if p := ch.Table.PRead1(late); p < 0.9 {
+		t.Fatalf("P(1|1x36 @1.08µs) = %v, want > 0.9", p)
+	}
+	lateZeros := make([]int, 36)
+	if p := ch.Table.PRead1(lateZeros); p > 0.1 {
+		t.Fatalf("P(1|0x36) = %v, want < 0.1", p)
+	}
+	if p := ch.Table.PRead1(late); p <= pEarly {
+		t.Fatal("late evidence not stronger than early evidence")
+	}
+}
+
+func TestStateTableProbabilityBoundsProperty(t *testing.T) {
+	tb := NewStateTable(6)
+	f := func(bits []bool, outcome bool) bool {
+		ib := make([]int, len(bits))
+		for i, b := range bits {
+			if b {
+				ib[i] = 1
+			}
+		}
+		o := 0
+		if outcome {
+			o = 1
+		}
+		tb.Update(ib, o)
+		p := tb.PRead1(ib)
+		return p > 0 && p < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateTableSizeBytes(t *testing.T) {
+	// Paper: max memory 2^(k-3)(k+16) bytes per table; the cumulative-
+	// trajectory calibration replicates it across MaxTimeBuckets epochs.
+	tb := NewStateTable(6)
+	want := MaxTimeBuckets * (1 << 6) * (6 + 16) / 8 // = 16·176 = 2816
+	if got := tb.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestStateTablePanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			NewStateTable(k)
+		}()
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(10)
+	ds := GenerateDataset(cal, 0.5, rng)
+	if len(ds.Train) != 1000 || len(ds.Test) != 3000 {
+		t.Fatalf("split = %d/%d, want 1000/3000", len(ds.Train), len(ds.Test))
+	}
+	ones := 0
+	for _, p := range ds.Train {
+		ones += p.Prepared
+	}
+	frac := float64(ones) / float64(len(ds.Train))
+	if math.Abs(frac-0.5) > 0.06 {
+		t.Fatalf("train |1⟩ fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestDatasetLabel(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(11)
+	ds := GenerateDataset(cal, 0.5, rng)
+	cls := NewClassifier(cal, 30, ds.Train)
+	ds.Label(cls)
+	if len(ds.TestOutcomes) != len(ds.Test) {
+		t.Fatal("labels missing")
+	}
+	// Labels must agree with prepared states most of the time.
+	ok := 0
+	for i, p := range ds.Test {
+		if ds.TestOutcomes[i] == p.Prepared {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(ds.Test)); acc < 0.97 {
+		t.Fatalf("label agreement %v", acc)
+	}
+}
+
+func TestChannelAccuracy(t *testing.T) {
+	cal := DefaultCalibration()
+	rng := stats.NewRNG(12)
+	ch := NewChannel(cal, 30, 6, rng)
+	var pulses []*Pulse
+	for i := 0; i < 300; i++ {
+		pulses = append(pulses, cal.Synthesize(i%2, rng))
+	}
+	if acc := ch.Accuracy(pulses); acc < 0.97 {
+		t.Fatalf("channel accuracy %v", acc)
+	}
+	if ch.Accuracy(nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestIQHelpers(t *testing.T) {
+	a, b := IQ{3, 4}, IQ{0, 0}
+	if d := a.Dist2(b); d != 25 {
+		t.Fatalf("Dist2 = %v", d)
+	}
+	if s := a.Sub(b); s != a {
+		t.Fatalf("Sub = %+v", s)
+	}
+}
+
+func TestWindowSamplesMinimum(t *testing.T) {
+	cal := DefaultCalibration()
+	if w := cal.WindowSamples(0.1); w != 1 {
+		t.Fatalf("tiny window = %d samples, want 1", w)
+	}
+}

@@ -1,0 +1,139 @@
+// Package stats provides the deterministic random-number generation and
+// small-sample statistics used throughout the ARTERY simulators.
+//
+// Every stochastic component in the repository (readout noise, Monte-Carlo
+// quantum trajectories, workload generation) draws from an explicit *RNG so
+// that experiments are reproducible from a single seed. The generator is
+// xoshiro256** seeded via splitmix64, which is fast, has a 256-bit state and
+// passes BigCrush; we implement it locally because experiments must not
+// depend on the (version-dependent) stream of math/rand.
+package stats
+
+import "math"
+
+// RNG is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is not valid; construct with NewRNG.
+type RNG struct {
+	s [4]uint64
+	// cached spare normal deviate for Box-Muller
+	spare    float64
+	hasSpare bool
+}
+
+// splitmix64 advances a 64-bit state and returns the next output.
+// It is the recommended seeding function for xoshiro generators.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator deterministically seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is independent of r's,
+// derived from r's next output. Use it to give each shot/worker its own
+// stream without sharing state across goroutines.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal deviate via the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// NormMeanStd returns a normal deviate with the given mean and
+// standard deviation.
+func (r *RNG) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Exp returns an exponentially distributed deviate with the given mean.
+// It panics if mean <= 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp called with mean <= 0")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	if u == 0 {
+		u = 0x1p-53
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"artery/internal/circuit"
+	"artery/internal/stats"
+)
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	rng := stats.NewRNG(1)
+	wls := []*Workload{
+		QRW(1), QRW(25),
+		RCNOT(1), RCNOT(6),
+		DQT(1), DQT(6),
+		RUSQNN(1), RUSQNN(6),
+		Reset(1), Reset(25),
+		Random(25, rng), Random(150, rng),
+		QECCycle(1), QECCycle(5),
+	}
+	for _, wl := range wls {
+		if err := wl.Validate(); err != nil {
+			t.Errorf("%s: %v", wl.Name, err)
+		}
+	}
+}
+
+func TestFeedbackCounts(t *testing.T) {
+	cases := []struct {
+		wl   *Workload
+		want int
+	}{
+		{QRW(5), 5},
+		{RCNOT(3), 3},
+		{DQT(4), 4},
+		{RUSQNN(2), 2},
+		{Reset(7), 7},
+		{QECCycle(2), 32}, // 8 syndromes × (readout + reset) × 2 cycles
+	}
+	for _, c := range cases {
+		if got := c.wl.NumFeedback(); got != c.want {
+			t.Errorf("%s: %d feedback sites, want %d", c.wl.Name, got, c.want)
+		}
+	}
+}
+
+func TestRandomIncludesPayload(t *testing.T) {
+	rng := stats.NewRNG(2)
+	wl := Random(50, rng)
+	if wl.GatePayloadNs <= 0 {
+		t.Fatal("random workload has no gate payload")
+	}
+	if wl.NumFeedback() != 1 {
+		t.Fatalf("random workload has %d feedback sites", wl.NumFeedback())
+	}
+	// ~50 gates at 0-90 ns each.
+	if wl.GatePayloadNs < 500 || wl.GatePayloadNs > 10000 {
+		t.Fatalf("payload %v ns implausible for 50 gates", wl.GatePayloadNs)
+	}
+}
+
+func TestQRWCaseClassification(t *testing.T) {
+	wl := QRW(3)
+	for _, a := range circuit.AnalyzeAll(wl.Circuit) {
+		if a.Case != circuit.Case1Independent {
+			t.Fatalf("QRW site classified %v, want case1", a.Case)
+		}
+	}
+}
+
+func TestResetCaseClassification(t *testing.T) {
+	wl := Reset(3)
+	for _, a := range circuit.AnalyzeAll(wl.Circuit) {
+		if a.Case != circuit.Case3ReadQubit {
+			t.Fatalf("reset site classified %v, want case3", a.Case)
+		}
+	}
+	if len(wl.InitExciteP) != 3 {
+		t.Fatal("reset workload missing thermal excitation probabilities")
+	}
+}
+
+func TestQECPriorsSkewed(t *testing.T) {
+	wl := QECCycle(1)
+	for i, p := range wl.SiteP1 {
+		if p >= 0.01 {
+			t.Fatalf("QEC prior %d = %v, want < 1%% (§6.3)", i, p)
+		}
+	}
+}
+
+func TestQRWPriorsNearUniform(t *testing.T) {
+	wl := QRW(10)
+	for i, p := range wl.SiteP1 {
+		if p < 0.35 || p > 0.65 {
+			t.Fatalf("QRW prior %d = %v, want near-uniform", i, p)
+		}
+	}
+}
+
+func TestValidateCatchesMismatch(t *testing.T) {
+	wl := QRW(2)
+	wl.SiteP1 = wl.SiteP1[:1]
+	if wl.Validate() == nil {
+		t.Fatal("prior/site mismatch accepted")
+	}
+	wl2 := QRW(1)
+	wl2.SiteP1[0] = 0
+	if wl2.Validate() == nil {
+		t.Fatal("degenerate prior accepted")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for i, f := range []func(){
+		func() { QRW(0) },
+		func() { RCNOT(0) },
+		func() { DQT(0) },
+		func() { RUSQNN(0) },
+		func() { Reset(0) },
+		func() { Random(1, rng) },
+		func() { QECCycle(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("generator %d accepted invalid size", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(40, stats.NewRNG(9))
+	b := Random(40, stats.NewRNG(9))
+	if a.GatePayloadNs != b.GatePayloadNs || len(a.Circuit.Ins) != len(b.Circuit.Ins) {
+		t.Fatal("random workload not deterministic for a fixed seed")
+	}
+}
+
+func TestDQTScalesQubits(t *testing.T) {
+	wl := DQT(6)
+	if wl.Circuit.NumQubits != 8 {
+		t.Fatalf("DQT-6 uses %d qubits, want 8", wl.Circuit.NumQubits)
+	}
+}
+
+func TestEntangleSwapIsCase2(t *testing.T) {
+	wl := EntangleSwap(3)
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range circuit.AnalyzeAll(wl.Circuit) {
+		if a.Case != circuit.Case2Ancilla {
+			t.Fatalf("eswap site classified %v, want case2", a.Case)
+		}
+		if !a.NeedsAncilla {
+			t.Fatal("case2 site must need an ancilla")
+		}
+	}
+}
+
+func TestMSIIsCase1(t *testing.T) {
+	wl := MSI(3)
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if wl.NumFeedback() != 3 {
+		t.Fatalf("MSI-3 has %d feedback sites", wl.NumFeedback())
+	}
+	for _, a := range circuit.AnalyzeAll(wl.Circuit) {
+		if a.Case != circuit.Case1Independent {
+			t.Fatalf("MSI site classified %v, want case1", a.Case)
+		}
+	}
+	// The recovery program inverts the S correction with Sdg.
+	if a := circuit.AnalyzeAll(wl.Circuit)[0]; a.RecoveryOnOne[0].Gate.Kind != circuit.Sdg {
+		t.Fatalf("MSI recovery gate %v, want sdg", a.RecoveryOnOne[0].Gate.Kind)
+	}
+}
