@@ -1,0 +1,23 @@
+# Verification and benchmark targets. `make tier1` is the repository's
+# baseline gate; `make ci` adds vet and the race detector over the
+# concurrent engine/experiment paths (tier-2 verify, see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: tier1 ci bench-engine bench
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+ci: tier1
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Regenerate the engine-throughput snapshot (BENCH_engine.json).
+bench-engine:
+	$(GO) run ./cmd/artery-bench -engine-bench BENCH_engine.json -shots 300
+
+# Full evaluation benchmarks (tables/figures + engine throughput).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -64,6 +64,10 @@ type Options struct {
 	// to the noise model — the refocusable low-frequency dephasing
 	// component.
 	QuasiStaticSigma float64
+	// Workers bounds shot-level parallelism: 0 uses GOMAXPROCS workers, 1
+	// forces serial execution. Results are bit-identical at every setting
+	// (one RNG stream per shot index, results merged in shot order).
+	Workers int
 }
 
 // PredictorMode mirrors the Figure-14 ablation arms.
@@ -174,6 +178,7 @@ func (s *System) RunWith(name string, wl *Workload, shots int) Report {
 	eng := core.NewEngine(s.newController(name), s.channel, noise)
 	eng.SimulateState = !s.opts.DisableStateSim
 	eng.EnableDD = s.opts.DynamicalDecoupling
+	eng.Workers = s.opts.Workers
 	res := eng.Run(wl, shots, s.rng.Split())
 	return Report{
 		Workload:      res.Workload,

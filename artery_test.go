@@ -115,12 +115,13 @@ func TestDeterministicPerSeed(t *testing.T) {
 
 func TestModeAblationAffectsLatency(t *testing.T) {
 	// Trajectory-only must be slower than combined on a skewed workload
-	// (Figure 14's direction).
+	// (Figure 14's direction). 200 shots keeps the gap well clear of
+	// Monte-Carlo noise across seeds.
 	comb := New(Options{Seed: 5, DisableStateSim: true})
 	traj := New(Options{Seed: 5, Mode: ModeTrajectory, DisableStateSim: true})
 	wl := RCNOT(2)
-	rc := comb.Run(wl, 40)
-	rt := traj.Run(wl, 40)
+	rc := comb.Run(wl, 200)
+	rt := traj.Run(wl, 200)
 	if rc.MeanLatencyUs >= rt.MeanLatencyUs {
 		t.Fatalf("combined (%v) not faster than trajectory-only (%v)",
 			rc.MeanLatencyUs, rt.MeanLatencyUs)

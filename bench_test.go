@@ -184,6 +184,42 @@ func BenchmarkEngineQRWShot(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRun measures Engine.Run's multi-shot throughput
+// (shots/sec; allocs/op via -benchmem) at serial and parallel worker
+// settings for both parallel execution modes: a shot-safe baseline with
+// state simulation (whole shots fan out) and the ARTERY controller
+// without it (the synth/feedback pipeline). Worker counts above
+// GOMAXPROCS only add speedup on multi-core hosts; results are
+// bit-identical at every setting either way.
+func BenchmarkEngineRun(b *testing.B) {
+	const shotsPerRun = 100
+	cases := []struct {
+		name     string
+		ctrl     string
+		stateSim bool
+	}{
+		{"baseline-sim", "QubiC", true},
+		{"artery-nosim", "ARTERY", false},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 8} {
+			name := c.name + "/workers=" + strconv.Itoa(workers)
+			b.Run(name, func(b *testing.B) {
+				sys := New(Options{Seed: 1, DisableStateSim: !c.stateSim, Workers: workers})
+				wl := QRW(5)
+				sys.RunWith(c.ctrl, wl, 2) // warm calibration + analysis caches
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.RunWith(c.ctrl, wl, shotsPerRun)
+				}
+				b.StopTimer()
+				shots := float64(b.N * shotsPerRun)
+				b.ReportMetric(shots/b.Elapsed().Seconds(), "shots/s")
+			})
+		}
+	}
+}
+
 // Ablation benchmarks for the repository's own design decisions
 // (DESIGN.md): run with -bench 'Ablation'.
 

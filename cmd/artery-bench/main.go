@@ -3,23 +3,37 @@
 //
 // Usage:
 //
-//	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-list]
+//	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-workers N] [-list]
+//	artery-bench -engine-bench BENCH_engine.json [-shots N] [-seed N]
 //
 // Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
 // fig12c, fig12d, table1, fig13, fig14, fig15a, fig15b, table2, fig16,
 // fig17. Without -exp every experiment runs in order.
+//
+// -engine-bench measures Engine.Run's shot throughput at worker counts
+// 1/2/4/8/GOMAXPROCS and writes the result as JSON (the repository's
+// BENCH_engine.json snapshot).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"artery/internal/controller"
+	"artery/internal/core"
 	"artery/internal/experiment"
+	"artery/internal/interconnect"
+	"artery/internal/predict"
+	"artery/internal/readout"
+	"artery/internal/stats"
+	"artery/internal/workload"
 )
 
 // writeFile persists one experiment table under dir.
@@ -51,15 +65,25 @@ func extraIDs() []string {
 
 func main() {
 	var (
-		exps   = flag.String("exp", "", "comma-separated experiment ids (default: all paper experiments)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		shots  = flag.Int("shots", 60, "shots per measured cell")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		extras = flag.Bool("ablations", false, "also run the repository's ablation studies")
-		format = flag.String("format", "text", "output format: text|csv|json")
-		outDir = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
+		exps    = flag.String("exp", "", "comma-separated experiment ids (default: all paper experiments)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		shots   = flag.Int("shots", 60, "shots per measured cell")
+		workers = flag.Int("workers", 0, "cell/shot worker count (0 = GOMAXPROCS, 1 = serial; tables are identical at any setting)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		extras  = flag.Bool("ablations", false, "also run the repository's ablation studies")
+		format  = flag.String("format", "text", "output format: text|csv|json")
+		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
+		engOut  = flag.String("engine-bench", "", "measure Engine.Run shot throughput across worker counts, write JSON to this path, and exit")
 	)
 	flag.Parse()
+
+	if *engOut != "" {
+		if err := runEngineBench(*engOut, *seed, *shots); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -78,6 +102,7 @@ func main() {
 		ids = append(ids, extraIDs()...)
 	}
 	suite := experiment.NewSuite(*seed, *shots)
+	suite.Workers = *workers
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		gen, ok := experiment.Registry[id]
@@ -104,4 +129,110 @@ func main() {
 			fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// engineBenchPoint is one (worker count) measurement of one case.
+type engineBenchPoint struct {
+	Workers     int     `json:"workers"`
+	ShotsPerSec float64 `json:"shots_per_sec"`
+	// Speedup is relative to the workers=1 measurement of the same case.
+	Speedup float64 `json:"speedup"`
+	// Identical reports that the run's mean latency (and fidelity, when
+	// simulated) matched the workers=1 run bit-for-bit.
+	Identical bool `json:"identical"`
+}
+
+// engineBenchCase is the sweep of one engine/workload pairing.
+type engineBenchCase struct {
+	Name   string             `json:"name"`
+	Mode   string             `json:"mode"`
+	Points []engineBenchPoint `json:"points"`
+}
+
+// engineBenchReport is the BENCH_engine.json schema.
+type engineBenchReport struct {
+	Generated  string            `json:"generated"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	GoVersion  string            `json:"go_version"`
+	Shots      int               `json:"shots"`
+	Seed       uint64            `json:"seed"`
+	Cases      []engineBenchCase `json:"cases"`
+}
+
+// runEngineBench measures Engine.Run throughput across worker counts for
+// the two parallel execution modes (a shot-safe baseline with state
+// simulation, and the ARTERY controller's synth/feedback pipeline) and
+// writes the JSON snapshot.
+func runEngineBench(path string, seed uint64, shots int) error {
+	if shots < 200 {
+		shots = 200 // throughput needs enough shots to amortize setup
+	}
+	ch := readout.NewChannel(readout.DefaultCalibration(), readout.DefaultWinNs, readout.DefaultK, stats.NewRNG(seed))
+	topo := interconnect.PaperTopology()
+	wl := workload.QRW(5)
+
+	cases := []struct {
+		name, mode string
+		make       func() *core.Engine
+	}{
+		{"QubiC/QRW-5/state-sim", "shot-parallel", func() *core.Engine {
+			return core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, nil)
+		}},
+		{"ARTERY/QRW-5/latency-only", "synth-pipeline", func() *core.Engine {
+			p := predict.New(predict.DefaultConfig(), ch)
+			e := core.NewEngine(controller.NewArtery(controller.DefaultUnits(), topo, p), ch, nil)
+			e.SimulateState = false
+			return e
+		}},
+	}
+
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 && n != 8 {
+		counts = append(counts, n)
+	}
+
+	rep := engineBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Shots:      shots,
+		Seed:       seed,
+	}
+	for _, c := range cases {
+		bc := engineBenchCase{Name: c.name, Mode: c.mode}
+		var ref core.RunResult
+		var serialRate float64
+		for _, w := range counts {
+			e := c.make()
+			e.Workers = w
+			// Warm the per-engine caches outside the timed window.
+			e.Run(wl, 2, stats.NewRNG(seed+1))
+			start := time.Now()
+			res := e.Run(wl, shots, stats.NewRNG(seed))
+			dt := time.Since(start).Seconds()
+			rate := float64(shots) / dt
+			pt := engineBenchPoint{Workers: w, ShotsPerSec: rate}
+			if w == counts[0] {
+				ref, serialRate = res, rate
+				pt.Speedup, pt.Identical = 1, true
+			} else {
+				pt.Speedup = rate / serialRate
+				pt.Identical = res.MeanLatencyNs == ref.MeanLatencyNs &&
+					(res.MeanFidelity == ref.MeanFidelity ||
+						(res.MeanFidelity != res.MeanFidelity && ref.MeanFidelity != ref.MeanFidelity))
+			}
+			bc.Points = append(bc.Points, pt)
+			fmt.Printf("%-28s workers=%-2d  %8.1f shots/s  speedup %.2fx  identical=%v\n",
+				c.name, w, rate, pt.Speedup, pt.Identical)
+		}
+		rep.Cases = append(rep.Cases, bc)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

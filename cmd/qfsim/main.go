@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qfsim [-workload name] [-param N] [-controller name] [-shots N] [-seed N] [-trace N]
+//	qfsim [-workload name] [-param N] [-controller name] [-shots N] [-seed N] [-workers N] [-trace N]
 //
 // Workloads: qrw, rcnot, dqt, rusqnn, reset, random, qec.
 // Controllers: ARTERY (default), QubiC, HERQULES, "Salathe et al.",
@@ -34,6 +34,7 @@ func main() {
 		ctrlName = flag.String("controller", "ARTERY", "feedback controller")
 		shots    = flag.Int("shots", 100, "number of shots")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "shot-level worker count (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		traceN   = flag.Int("trace", 1, "print the posterior trace of N predicted shots")
 		compare  = flag.Bool("compare", false, "run all controllers and compare")
 		dumpQASM = flag.Bool("qasm", false, "print the workload circuit in QASM form and exit")
@@ -102,7 +103,7 @@ func main() {
 		return
 	}
 
-	sys := artery.New(artery.Options{Seed: *seed})
+	sys := artery.New(artery.Options{Seed: *seed, Workers: *workers})
 	fmt.Printf("workload %s: %d feedback sites over %d qubits\n\n",
 		wl.Name, wl.NumFeedback(), wl.Circuit.NumQubits)
 

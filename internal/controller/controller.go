@@ -31,8 +31,15 @@ type Site struct {
 
 // Shot is one feedback execution: the captured readout pulse and its
 // ground-truth branch outcome.
+//
+// The engine's parallel pipeline demodulates pulses on its shot workers
+// and hands controllers the result instead of the raw samples: when Bits
+// is non-nil it holds the pulse's per-window trajectory classifications
+// (readout.Classifier.WindowBits) and Pulse may be nil; Truth is always
+// the full-pulse classification. Controllers must accept either form.
 type Shot struct {
 	Pulse *readout.Pulse
+	Bits  []int
 	Truth int
 }
 
@@ -75,14 +82,37 @@ func (b LatencyBreakdown) Total() float64 {
 }
 
 // Controller executes the classical half of a feedback site.
+//
+// Concurrency contract: the engine calls Feedback from a single goroutine
+// in strict shot order unless the controller additionally implements
+// ShotSafe and reports true — only then may Feedback be invoked
+// concurrently from multiple shot workers.
 type Controller interface {
 	Name() string
 	Feedback(site Site, shot Shot) Outcome
 }
 
+// ShotSafe is implemented by controllers whose Feedback is pure with
+// respect to shots: no mutable state survives a call, so (a) concurrent
+// calls from multiple goroutines are race-free and (b) outcomes do not
+// depend on the order shots execute in. The engine fans such controllers
+// out across its shot workers; everything else (e.g. Artery, whose
+// Bayesian site histories learn shot-by-shot) is driven sequentially on
+// the merge path so the paper's shot-ordered learning semantics are
+// preserved bit-for-bit at any worker count.
+type ShotSafe interface {
+	ShotSafe() bool
+}
+
 // Artery is the paper's feedback controller: reconciled branch prediction,
 // dynamic timing with feedback triggers, speculative pulse staging and
 // hierarchical trigger routing.
+//
+// Concurrency contract: NOT shot-safe. Feedback reads and (when Online)
+// updates the per-site historical Beta counters, an inherently sequential
+// shot-by-shot learning process (§4). The engine therefore always invokes
+// Artery.Feedback from one goroutine in shot order; do not call it
+// concurrently.
 type Artery struct {
 	units  Units
 	timing *TimingController
@@ -146,7 +176,14 @@ func (a *Artery) bayesPipelineNs() float64 {
 // Feedback runs one predicted feedback shot.
 func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	hist := a.siteHistory(site)
-	d := a.pred.PredictWithHistory(shot.Pulse, hist.P())
+	var d predict.Decision
+	if shot.Bits != nil {
+		// Pre-demodulated shot: the expensive windowing already ran on an
+		// engine worker; only the Bayesian fusion happens here.
+		d = a.pred.PredictFromBits(shot.Bits, shot.Truth, hist.P())
+	} else {
+		d = a.pred.PredictWithHistory(shot.Pulse, hist.P())
+	}
 	if a.Online {
 		defer hist.Observe(shot.Truth == 1)
 	}
@@ -233,11 +270,19 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 
 // Baseline is a conventional wait-for-readout feedback controller with a
 // published classical-processing overhead.
+//
+// Concurrency contract: shot-safe. Feedback is a pure function of its
+// arguments over immutable calibration (name, overhead, topology), so the
+// engine may call it concurrently from any number of shot workers.
 type Baseline struct {
 	name       string
 	overheadNs float64
 	topo       *interconnect.Topology
 }
+
+// ShotSafe reports that Baseline.Feedback is pure and may run concurrently
+// across shot workers.
+func (b *Baseline) ShotSafe() bool { return true }
 
 // NewBaseline constructs a baseline controller.
 func NewBaseline(name string, overheadNs float64, topo *interconnect.Topology) *Baseline {

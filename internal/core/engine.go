@@ -11,6 +11,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"artery/internal/circuit"
 	"artery/internal/controller"
@@ -20,7 +22,18 @@ import (
 	"artery/internal/workload"
 )
 
+// maxSimQubits bounds the state-vector fidelity simulation (a 16-qubit
+// register is already 1 MiB of amplitudes per state).
+const maxSimQubits = 16
+
 // Engine executes feedback workloads against one controller.
+//
+// Concurrency contract (see DESIGN.md, "Concurrency model"): during Run,
+// Channel (calibration, classifier, state table) and Noise are read-only
+// and shared by all shot workers; do not retrain or retune them while a
+// run is in flight. The controller is invoked concurrently only when it
+// declares itself controller.ShotSafe; otherwise every Feedback call is
+// made from a single goroutine in shot order.
 type Engine struct {
 	Ctrl    controller.Controller
 	Channel *readout.Channel
@@ -33,6 +46,22 @@ type Engine struct {
 	// dephasing — the paper applies DD to idle qubits in its QEC
 	// experiment (§6.2).
 	EnableDD bool
+	// Workers bounds Run's shot-level parallelism: 0 (the default) uses
+	// GOMAXPROCS workers, 1 forces serial execution. Results are
+	// bit-identical at every setting — Run derives one RNG stream per shot
+	// index up front and merges shot results in index order, so neither the
+	// random streams nor the aggregate arithmetic depend on scheduling.
+	Workers int
+
+	// mu guards the lazily built caches below (Run may be entered from
+	// multiple goroutines, and shot workers share the pools).
+	mu sync.Mutex
+	// analyses caches the pure pre-execution analysis per circuit, so a
+	// multi-shot run classifies its feedback sites exactly once instead of
+	// once per shot. Circuits are treated as immutable once executed.
+	analyses map[*circuit.Circuit][]*circuit.SiteAnalysis
+	// pools recycles state-vector buffers per register width across shots.
+	pools map[int]*quantum.StatePool
 }
 
 // NewEngine builds an engine; Noise defaults to the calibrated device model.
@@ -41,6 +70,57 @@ func NewEngine(ctrl controller.Controller, ch *readout.Channel, noise *quantum.N
 		noise = quantum.DeviceNoise()
 	}
 	return &Engine{Ctrl: ctrl, Channel: ch, Noise: noise, SimulateState: true}
+}
+
+// analysesFor returns (computing and caching on first use) the
+// pre-execution analysis of every feedback site of c.
+func (e *Engine) analysesFor(c *circuit.Circuit) []*circuit.SiteAnalysis {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.analyses == nil {
+		e.analyses = map[*circuit.Circuit][]*circuit.SiteAnalysis{}
+	}
+	if a, ok := e.analyses[c]; ok {
+		return a
+	}
+	a := circuit.AnalyzeAll(c)
+	e.analyses[c] = a
+	return a
+}
+
+// statePool returns the engine's shared state-vector pool for n qubits.
+func (e *Engine) statePool(n int) *quantum.StatePool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pools == nil {
+		e.pools = map[int]*quantum.StatePool{}
+	}
+	p, ok := e.pools[n]
+	if !ok {
+		p = quantum.NewStatePool(n)
+		e.pools[n] = p
+	}
+	return p
+}
+
+// workerCount resolves the effective worker-pool size.
+func (e *Engine) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ctrlShotSafe reports whether the controller may be called concurrently
+// from shot workers.
+func (e *Engine) ctrlShotSafe() bool {
+	s, ok := e.Ctrl.(controller.ShotSafe)
+	return ok && s.ShotSafe()
+}
+
+// simulates reports whether Run will state-simulate this circuit.
+func (e *Engine) simulates(c *circuit.Circuit) bool {
+	return e.SimulateState && c.NumQubits <= maxSimQubits
 }
 
 // ShotResult summarizes one executed shot.
@@ -77,16 +157,40 @@ type RunResult struct {
 }
 
 // Run executes the workload for the given number of shots.
+//
+// Shots run on a bounded worker pool (see Workers). Determinism: Run first
+// derives one independent RNG stream per shot index from rng (consuming
+// exactly shots draws), then picks an execution mode that never depends on
+// worker count:
+//
+//   - shot-safe controller (baselines): whole shots execute concurrently;
+//     each shot is a pure function of its own stream.
+//   - sequential controller without state simulation (ARTERY latency
+//     sweeps): workers run the per-shot physics — readout-pulse synthesis,
+//     classification, trajectory windowing — while every controller
+//     Feedback call stays on the in-order merge path, preserving the
+//     paper's shot-by-shot Bayesian learning exactly.
+//   - sequential controller with state simulation: the feedback decision's
+//     latency feeds the decoherence of the same shot, coupling the physics
+//     to the learned history, so shots run serially (still on per-shot
+//     streams).
+//
+// Shot results are merged in shot order in all three modes, so RunResult —
+// including the floating-point aggregation order — is bit-identical for
+// any Workers setting.
 func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
 	if err := wl.Validate(); err != nil {
 		panic(err)
 	}
 	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
+	analyses := e.analysesFor(wl.Circuit)
+	shotRNGs := rng.SplitN(shots)
+
 	var fid stats.RunningMean
 	var perSite stats.RunningMean
 	committed, correct, sites := 0, 0, 0
-	for s := 0; s < shots; s++ {
-		sr := e.RunShot(wl, rng)
+	res.Latencies = make([]float64, 0, shots)
+	merge := func(sr ShotResult) {
 		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
 		res.MeanLatencyNs += sr.FeedbackLatencyNs
 		if !math.IsNaN(sr.Fidelity) {
@@ -101,6 +205,32 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 					correct++
 				}
 			}
+		}
+	}
+
+	workers := e.workerCount()
+	switch {
+	case e.ctrlShotSafe():
+		// Whole shots are independent: fan them out.
+		forEachShot(shots, workers, func(i int) ShotResult {
+			return e.runShot(wl, analyses, shotRNGs[i])
+		}, func(_ int, sr ShotResult) { merge(sr) })
+	case !e.simulates(wl.Circuit):
+		// Two-phase pipeline: the per-shot physics is independent of the
+		// controller when no state is simulated, so workers synthesize and
+		// classify the readout pulses while the sequential controller runs
+		// on the in-order merge path.
+		fbIdx := wl.Circuit.FeedbackSites()
+		forEachShot(shots, workers, func(i int) []siteShot {
+			return e.synthShot(wl, shotRNGs[i])
+		}, func(_ int, ss []siteShot) {
+			merge(e.feedbackShot(wl, analyses, fbIdx, ss))
+		})
+	default:
+		// State simulation couples each shot's physics to the sequential
+		// controller's decisions: run serially, one stream per shot.
+		for i := 0; i < shots; i++ {
+			merge(e.runShot(wl, analyses, shotRNGs[i]))
 		}
 	}
 	res.MeanLatencyNs /= float64(shots)
@@ -121,17 +251,28 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	return res
 }
 
-// RunShot executes one shot of the workload.
+// RunShot executes one shot of the workload. Site analyses come from the
+// engine's per-circuit cache, so calling RunShot in a loop no longer
+// re-runs the pre-execution analysis every shot.
 func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
+	return e.runShot(wl, e.analysesFor(wl.Circuit), rng)
+}
+
+// runShot executes one shot against pre-computed site analyses. It is a
+// pure function of (wl, analyses, rng) plus the controller's state, so
+// shot-safe controllers may run it concurrently, one RNG stream per call.
+func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG) ShotResult {
 	c := wl.Circuit
-	analyses := circuit.AnalyzeAll(c)
-	simulate := e.SimulateState && c.NumQubits <= 16
+	simulate := e.simulates(c)
 
 	var noisy, ideal *quantum.State
 	idealAlive := true
 	if simulate {
-		noisy = quantum.NewState(c.NumQubits)
-		ideal = quantum.NewState(c.NumQubits)
+		pool := e.statePool(c.NumQubits)
+		noisy = pool.Get()
+		ideal = pool.Get()
+		defer pool.Put(noisy)
+		defer pool.Put(ideal)
 		// Thermal initial excitation (e.g. the population active reset
 		// exists to remove). The ideal reference starts identically: reset
 		// must clean it up, so fidelity is judged against the same start.
@@ -250,14 +391,65 @@ func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
 	return sr
 }
 
+// siteShot is the controller-independent physics of one feedback site of
+// one shot, computed by a worker: the ground-truth full-pulse
+// classification and the windowed trajectory bits. The raw pulse (2000
+// complex samples) is dropped immediately, bounding the reorder buffer's
+// memory.
+type siteShot struct {
+	truth int
+	bits  []int
+}
+
+// synthShot runs the physics of one shot when no state is simulated: per
+// feedback site, draw the qubit state from the site's prior, synthesize
+// the readout pulse, classify it, and demodulate its trajectory windows.
+// The RNG draw order matches runShot's non-simulated path exactly, so a
+// shot's physics is bit-identical whichever path executes it.
+func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG) []siteShot {
+	ss := make([]siteShot, len(wl.SiteP1))
+	for i, prior := range wl.SiteP1 {
+		var m int
+		if rng.Bool(prior) {
+			m = 1
+		}
+		pulse := e.Channel.Cal.Synthesize(m, rng)
+		ss[i] = siteShot{
+			truth: e.Channel.Classifier.ClassifyFull(pulse),
+			bits:  e.Channel.Classifier.WindowBits(pulse, 0),
+		}
+	}
+	return ss
+}
+
+// feedbackShot drives the (sequential) controller over one shot's
+// pre-synthesized sites in site order and assembles the ShotResult.
+// fbIdx is wl.Circuit.FeedbackSites(), hoisted by the caller.
+func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot) ShotResult {
+	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
+	sr.Outcomes = make([]controller.Outcome, 0, len(ss))
+	for i, s := range ss {
+		fb := wl.Circuit.Ins[fbIdx[i]].Feedback
+		out := e.Ctrl.Feedback(
+			e.siteFor(analyses[i], i, fb, wl.SiteP1[i]),
+			controller.Shot{Truth: s.truth, Bits: s.bits},
+		)
+		sr.Outcomes = append(sr.Outcomes, out)
+		sr.FeedbackLatencyNs += out.LatencyNs
+	}
+	return sr
+}
+
 // siteFor converts a pre-execution analysis into the controller's site
 // descriptor.
 func (e *Engine) siteFor(a *circuit.SiteAnalysis, idx int, fb *circuit.Feedback, prior float64) controller.Site {
+	// Deterministically pick the lowest-indexed branch qubit other than
+	// the read qubit (BranchQubit is a set; ranging it directly would make
+	// the routing — and hence every latency — vary run to run).
 	branchQ := fb.Qubit
 	for q := range a.BranchQubit {
-		if q != fb.Qubit {
+		if q != fb.Qubit && (branchQ == fb.Qubit || q < branchQ) {
 			branchQ = q
-			break
 		}
 	}
 	site := controller.Site{

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachShot runs body(i) for every shot index in [0, shots) on a bounded
+// worker pool and delivers each result to merge in strictly increasing
+// index order, on the caller's goroutine. It is the engine's determinism
+// primitive: because shot indices are claimed from a shared counter but
+// results are merged by index, neither the merge order nor the merge
+// arithmetic depends on how the scheduler interleaves workers.
+//
+// Memory is bounded by a ticket window of 2×workers shots: a worker must
+// hold a ticket to compute a shot, and the merger returns a ticket only
+// after consuming a result, so at most window results are ever live in the
+// reorder buffer. The scheme is deadlock-free — the merger never waits on
+// tickets, and the lowest unmerged index is always claimable (merging i
+// shots has returned i tickets, so at least one of the window+i tickets
+// supplied so far reaches index i).
+//
+// workers <= 1 degenerates to a plain serial loop with no goroutines.
+func forEachShot[T any](shots, workers int, body func(int) T, merge func(int, T)) {
+	if shots <= 0 {
+		return
+	}
+	if workers > shots {
+		workers = shots
+	}
+	if workers <= 1 {
+		for i := 0; i < shots; i++ {
+			merge(i, body(i))
+		}
+		return
+	}
+
+	window := 2 * workers
+	if window > shots {
+		window = shots
+	}
+	results := make([]T, shots)
+	ready := make([]chan struct{}, shots)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	tickets := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range tickets {
+				i := int(next.Add(1)) - 1
+				if i >= shots {
+					return
+				}
+				results[i] = body(i)
+				close(ready[i])
+			}
+		}()
+	}
+
+	var zero T
+	for i := 0; i < shots; i++ {
+		<-ready[i]
+		merge(i, results[i])
+		results[i] = zero // release the result's memory promptly
+		tickets <- struct{}{}
+	}
+	close(tickets)
+	wg.Wait()
+}

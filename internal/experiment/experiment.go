@@ -13,8 +13,11 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"artery/internal/controller"
 	"artery/internal/core"
@@ -89,13 +92,24 @@ func (t *Table) String() string {
 func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
 
 // Suite holds the calibrated resources shared by the experiments.
+//
+// Concurrency: experiments fan independent table cells over Workers
+// goroutines. Every cell derives its RNG from Seed plus a cell-specific
+// salt and runs on fresh engines, so tables are identical at every
+// Workers setting; the channel cache is the only shared mutable state and
+// is mutex-guarded (a channel's calibration seed depends only on its
+// window length, so even first-use races calibrate identically).
 type Suite struct {
 	Seed  uint64
 	Shots int // shots per measured cell (latency experiments)
+	// Workers bounds the suite's cell-level parallelism: 0 (the default)
+	// uses GOMAXPROCS workers, 1 forces serial generation.
+	Workers int
 
-	topo     *interconnect.Topology
+	topo *interconnect.Topology
+
+	mu       sync.Mutex
 	channels map[float64]*readout.Channel // keyed by window length (ns)
-	rng      *stats.RNG
 }
 
 // NewSuite calibrates a suite. shots <= 0 selects a fast default suitable
@@ -112,19 +126,70 @@ func NewSuite(seed uint64, shots int) *Suite {
 		Shots:    shots,
 		topo:     interconnect.PaperTopology(),
 		channels: map[float64]*readout.Channel{},
-		rng:      stats.NewRNG(seed),
 	}
 }
 
 // channel returns (calibrating on first use) the readout channel for a
-// demodulation window length.
+// demodulation window length. Safe for concurrent use by cell workers.
 func (s *Suite) channel(windowNs float64) *readout.Channel {
+	s.mu.Lock()
 	if ch, ok := s.channels[windowNs]; ok {
+		s.mu.Unlock()
 		return ch
 	}
+	s.mu.Unlock()
+	// Calibrate outside the lock: it is the expensive step, and the seed
+	// depends only on windowNs, so concurrent calibrations of the same
+	// window produce identical channels (first store wins).
 	ch := readout.NewChannel(readout.DefaultCalibration(), windowNs, readout.DefaultK, stats.NewRNG(s.Seed+uint64(windowNs*1000)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.channels[windowNs]; ok {
+		return prev
+	}
 	s.channels[windowNs] = ch
 	return ch
+}
+
+// workerCount resolves the effective cell-level worker count.
+func (s *Suite) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachCell runs body(i) for every cell index in [0, n) on the suite's
+// worker pool. Cells must be independent: each derives its own seeds and
+// writes only its own output slots, so the table never depends on
+// scheduling. body must not call forEachCell reentrantly.
+func (s *Suite) forEachCell(n int, body func(int)) {
+	workers := s.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // arteryEngine builds a fresh ARTERY engine with the given predictor mode

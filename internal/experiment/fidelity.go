@@ -39,23 +39,33 @@ func (s *Suite) Figure13() *Table {
 		e := core.NewEngine(controller.NewBaseline(name, overhead, s.topo), s.channel(30), nil)
 		return e // state sim on
 	}
-	sums := make([]float64, 5)
-	for wi, wl := range fig13Workloads() {
-		engines := []*core.Engine{
+	engines := func() []*core.Engine {
+		return []*core.Engine{
 			mk("QubiC", controller.QubiCOverheadNs),
 			mk("HERQULES", controller.HERQULESOverheadNs),
 			mk("Salathe et al.", controller.SalatheOverheadNs),
 			mk("Reuer et al.", controller.ReuerOverheadNs),
 			s.fidelityArtery(),
 		}
+	}
+	wls := fig13Workloads()
+	const nEngines = 5
+	fids := make([][nEngines]float64, len(wls))
+	// Every (workload, engine) pair is one independent cell: a fresh
+	// engine over a paired noise stream (salt excludes the engine index,
+	// so fidelity differences reflect feedback latency, not sampling
+	// luck).
+	s.forEachCell(len(wls)*nEngines, func(i int) {
+		wi, ei := i/nEngines, i%nEngines
+		res := s.runCell(engines()[ei], wls[wi], uint64(1300+10*wi))
+		fids[wi][ei] = res.MeanFidelity
+	})
+	sums := make([]float64, nEngines)
+	for wi, wl := range wls {
 		row := []string{wl.Name}
-		for ei, e := range engines {
-			// Paired comparison: every controller replays the same noise
-			// stream (salt excludes the engine index), so fidelity
-			// differences reflect feedback latency, not sampling luck.
-			res := s.runCell(e, wl, uint64(1300+10*wi))
-			row = append(row, fmt.Sprintf("%.4f", res.MeanFidelity))
-			sums[ei] += res.MeanFidelity
+		for ei := 0; ei < nEngines; ei++ {
+			row = append(row, fmt.Sprintf("%.4f", fids[wi][ei]))
+			sums[ei] += fids[wi][ei]
 		}
 		t.AddRow(row...)
 	}
@@ -147,16 +157,25 @@ func (s *Suite) Figure14() *Table {
 			"combined lat (µs)", "combined acc"},
 	}
 	modes := []predict.Mode{predict.ModeHistory, predict.ModeTrajectory, predict.ModeCombined}
+	wls := fig14Workloads()
+	type cell struct{ lat, acc float64 }
+	grid := make([][3]cell, len(wls))
+	// One cell per (workload, mode): fresh engine, cell-salted seeds.
+	s.forEachCell(len(wls)*len(modes), func(i int) {
+		wi, mi := i/len(modes), i%len(modes)
+		wl := wls[wi]
+		e := s.arteryEngine(modes[mi], 0.91)
+		res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(1400+10*wi+mi)))
+		acc := s.ablationAccuracy(wl, modes[mi], uint64(1450+10*wi+mi))
+		grid[wi][mi] = cell{lat: res.MeanLatencyNs, acc: acc}
+	})
 	sums := make([]float64, len(modes))
-	for wi, wl := range fig14Workloads() {
+	for wi, wl := range wls {
 		row := []string{wl.Name}
 		perFeedback := float64(maxInt(1, wl.NumFeedback()))
-		for mi, mode := range modes {
-			e := s.arteryEngine(mode, 0.91)
-			res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(1400+10*wi+mi)))
-			acc := s.ablationAccuracy(wl, mode, uint64(1450+10*wi+mi))
-			row = append(row, us(res.MeanLatencyNs/perFeedback), pct(acc))
-			sums[mi] += res.MeanLatencyNs / perFeedback
+		for mi := range modes {
+			row = append(row, us(grid[wi][mi].lat/perFeedback), pct(grid[wi][mi].acc))
+			sums[mi] += grid[wi][mi].lat / perFeedback
 		}
 		t.AddRow(row...)
 	}

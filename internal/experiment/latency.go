@@ -123,20 +123,36 @@ func (s *Suite) Table1() *Table {
 		}
 	}
 
-	engines := s.engines()
-	sums := make([]float64, len(engines))
-	rows := make([][]string, len(engines))
-	for ei, e := range engines {
+	// Workloads are derived serially (wlRng draws must happen in cell
+	// order); the measured cells then fan out over the suite's workers,
+	// each on fresh engines so no controller state is shared between
+	// concurrent cells.
+	wlRng := stats.NewRNG(s.Seed + 100)
+	wls := make([]*workload.Workload, len(cells))
+	for i, ck := range cells {
+		b := benches[ck.b]
+		wls[i] = b.make(b.sweep[ck.p], wlRng.Split())
+	}
+	const nEngines = 5
+	cellLat := make([][nEngines]float64, len(cells))
+	s.forEachCell(len(cells), func(i int) {
+		ck := cells[i]
+		for ei, e := range s.engines() {
+			res := e.Run(wls[i], s.Shots, stats.NewRNG(s.Seed+uint64(ck.b*100+ck.p*10+ei)))
+			cellLat[i][ei] = res.MeanLatencyNs
+		}
+	})
+
+	sums := make([]float64, nEngines)
+	rows := make([][]string, nEngines)
+	for ei, e := range s.engines() {
 		rows[ei] = []string{e.Ctrl.Name()}
 	}
-	wlRng := stats.NewRNG(s.Seed + 100)
-	for _, ck := range cells {
-		b := benches[ck.b]
-		wl := b.make(b.sweep[ck.p], wlRng.Split())
-		for ei, e := range engines {
-			res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(ck.b*100+ck.p*10+ei)))
-			rows[ei] = append(rows[ei], us(res.MeanLatencyNs))
-			sums[ei] += res.MeanLatencyNs / float64(maxInt(1, wl.NumFeedback()))
+	for i := range cells {
+		perFb := float64(maxInt(1, wls[i].NumFeedback()))
+		for ei := 0; ei < nEngines; ei++ {
+			rows[ei] = append(rows[ei], us(cellLat[i][ei]))
+			sums[ei] += cellLat[i][ei] / perFb
 		}
 	}
 	for _, r := range rows {

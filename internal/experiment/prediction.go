@@ -85,14 +85,22 @@ func (s *Suite) Figure15b() *Table {
 		Header: []string{"benchmark", "min acc", "mean acc", "max acc", "mean latency (µs)"},
 	}
 	const samples = 14
-	for wi, wl := range fig15bBenchmarks() {
+	wls := fig15bBenchmarks()
+	type cell struct{ acc, lat float64 }
+	grid := make([][samples]cell, len(wls))
+	// One cell per (benchmark, sample batch): fresh engine per batch.
+	s.forEachCell(len(wls)*samples, func(i int) {
+		wi, k := i/samples, i%samples
+		e := s.arteryEngine(predict.ModeCombined, 0.91)
+		res := e.Run(wls[wi], maxInt(s.Shots/4, 8), stats.NewRNG(s.Seed+uint64(1500+100*wi+k)))
+		grid[wi][k] = cell{acc: res.Accuracy, lat: res.MeanDecisionNs}
+	})
+	for wi, wl := range wls {
 		var accs []float64
 		var lat stats.RunningMean
 		for k := 0; k < samples; k++ {
-			e := s.arteryEngine(predict.ModeCombined, 0.91)
-			res := e.Run(wl, maxInt(s.Shots/4, 8), stats.NewRNG(s.Seed+uint64(1500+100*wi+k)))
-			accs = append(accs, res.Accuracy)
-			lat.Add(res.MeanDecisionNs)
+			accs = append(accs, grid[wi][k].acc)
+			lat.Add(grid[wi][k].lat)
 		}
 		t.AddRow(wl.Name, pct(stats.Min(accs)), pct(stats.Mean(accs)), pct(stats.Max(accs)), us(lat.Mean()))
 	}
@@ -116,15 +124,27 @@ func (s *Suite) Figure16() *Table {
 		Title:  "Window length in segmented demodulation",
 		Header: []string{"window (µs)", "mean latency (µs)", "mean accuracy"},
 	}
+	type cell struct{ lat, acc float64 }
+	grid := make([][4]cell, len(windows))
+	// One cell per (window, benchmark): each calibrates/reuses its
+	// window's channel via the mutex-guarded cache and runs a fresh
+	// engine, so the whole sweep fans out at once.
+	s.forEachCell(len(windows)*len(benches), func(i int) {
+		win, wi := i/len(benches), i%len(benches)
+		w, wl := windows[win], benches[wi]
+		e := s.arteryEngineOn(s.channel(w), predict.ModeCombined, 0.91)
+		res := e.Run(wl, maxInt(s.Shots/2, 10), stats.NewRNG(s.Seed+uint64(1600+100*int(w)+wi)))
+		grid[win][wi] = cell{
+			lat: res.MeanLatencyNs / float64(maxInt(1, wl.NumFeedback())),
+			acc: res.Accuracy,
+		}
+	})
 	best, bestLat := 0.0, 0.0
-	for _, w := range windows {
-		ch := s.channel(w)
+	for win, w := range windows {
 		var lat, acc stats.RunningMean
-		for wi, wl := range benches {
-			e := s.arteryEngineOn(ch, predict.ModeCombined, 0.91)
-			res := e.Run(wl, maxInt(s.Shots/2, 10), stats.NewRNG(s.Seed+uint64(1600+100*int(w)+wi)))
-			lat.Add(res.MeanLatencyNs / float64(maxInt(1, wl.NumFeedback())))
-			acc.Add(res.Accuracy)
+		for wi := range benches {
+			lat.Add(grid[win][wi].lat)
+			acc.Add(grid[win][wi].acc)
 		}
 		t.AddRow(fmt.Sprintf("%.2f", w/1000), us(lat.Mean()), pct(acc.Mean()))
 		if best == 0 || lat.Mean() < bestLat {
@@ -146,14 +166,19 @@ func (s *Suite) Figure17() *Table {
 		Title:  "Probability threshold for pre-execution (RCNOT)",
 		Header: []string{"threshold", "mean latency (µs)", "accuracy"},
 	}
+	type cell struct{ perFb, acc float64 }
+	grid := make([]cell, len(thetas))
+	// One cell per threshold, each on a fresh engine.
+	s.forEachCell(len(thetas), func(ti int) {
+		e := s.arteryEngine(predict.ModeCombined, thetas[ti])
+		res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(1700+ti)))
+		grid[ti] = cell{perFb: res.MeanLatencyNs / float64(wl.NumFeedback()), acc: res.Accuracy}
+	})
 	bestTheta, bestLat := 0.0, 0.0
 	for ti, th := range thetas {
-		e := s.arteryEngine(predict.ModeCombined, th)
-		res := e.Run(wl, s.Shots, stats.NewRNG(s.Seed+uint64(1700+ti)))
-		perFb := res.MeanLatencyNs / float64(wl.NumFeedback())
-		t.AddRow(fmt.Sprintf("%.2f", th), us(perFb), pct(res.Accuracy))
-		if bestTheta == 0 || perFb < bestLat {
-			bestTheta, bestLat = th, perFb
+		t.AddRow(fmt.Sprintf("%.2f", th), us(grid[ti].perFb), pct(grid[ti].acc))
+		if bestTheta == 0 || grid[ti].perFb < bestLat {
+			bestTheta, bestLat = th, grid[ti].perFb
 		}
 	}
 	t.Note("latency-minimizing threshold %.2f (paper: 0.91)", bestTheta)

@@ -166,8 +166,29 @@ func (p *Predictor) Predict(pulse *readout.Pulse) Decision {
 // every window boundary; the branch commits at the first threshold
 // crossing.
 func (p *Predictor) PredictWithHistory(pulse *readout.Pulse, pHist float64) Decision {
-	windowNs := p.channel.Classifier.WindowNs
 	bits := p.channel.Classifier.WindowBits(pulse, 0)
+	return p.predictBits(bits, pHist, func() int {
+		return p.channel.Classifier.ClassifyFull(pulse)
+	})
+}
+
+// PredictFromBits runs the same iterative analysis over a pulse that has
+// already been demodulated into per-window bits, with final the pulse's
+// full-readout classification (used only when no threshold is crossed).
+// PredictFromBits(WindowBits(pulse, 0), ClassifyFull(pulse), h) returns a
+// Decision identical to PredictWithHistory(pulse, h) — the engine's
+// parallel pipeline uses it to keep the cheap Bayesian fusion on the
+// sequential merge path while workers do the windowing.
+func (p *Predictor) PredictFromBits(bits []int, final int, pHist float64) Decision {
+	return p.predictBits(bits, pHist, func() int { return final })
+}
+
+// predictBits evaluates the posterior at every window boundary and commits
+// at the first threshold crossing; finalFn supplies the full-readout
+// classification for the no-commitment fallback (deferred because the
+// committed path never needs it).
+func (p *Predictor) predictBits(bits []int, pHist float64, finalFn func() int) Decision {
+	windowNs := p.channel.Classifier.WindowNs
 
 	var trace []PredictionPoint
 	for n := 1; n <= len(bits); n++ {
@@ -196,7 +217,7 @@ func (p *Predictor) PredictWithHistory(pulse *readout.Pulse, pHist float64) Deci
 		}
 	}
 	// No commitment: fall back to the conventional full-readout path.
-	final := p.channel.Classifier.ClassifyFull(pulse)
+	final := finalFn()
 	pFinal := 0.0
 	if len(trace) > 0 {
 		pFinal = trace[len(trace)-1].PPredict

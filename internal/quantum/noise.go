@@ -12,6 +12,11 @@ import (
 // Channels are applied as stochastic quantum trajectories on the state
 // vector: each call samples one Kraus branch with its Born probability, so
 // the shot-average reproduces the density-matrix channel exactly.
+//
+// Concurrency contract: a NoiseModel is plain read-only data once
+// configured; all randomness comes from the caller-supplied RNG, so one
+// model may be shared by concurrent shot workers (each with its own RNG
+// stream and state vector).
 type NoiseModel struct {
 	T1 float64 // relaxation time, ns (paper: 110–140 µs)
 	T2 float64 // dephasing time, ns (T2 <= 2*T1)

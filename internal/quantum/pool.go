@@ -1,0 +1,63 @@
+package quantum
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StatePool recycles state-vector buffers of one register width across
+// Monte-Carlo shots. A 16-qubit register is a 1 MiB amplitude slice; the
+// engine's hot loop previously allocated two of them (noisy + ideal
+// reference) per shot, which dominated allocation churn. Get returns a
+// register re-initialized to |0...0⟩, so pooled states are
+// indistinguishable from fresh NewState registers.
+//
+// Concurrency contract: StatePool is safe for concurrent Get/Put from
+// multiple shot workers. The *State values themselves are not — each
+// belongs to exactly one worker between Get and Put.
+type StatePool struct {
+	n    int
+	pool sync.Pool
+}
+
+// NewStatePool returns a pool of n-qubit registers. It panics for n
+// outside NewState's supported range.
+func NewStatePool(n int) *StatePool {
+	if n < 1 || n > 24 {
+		panic(fmt.Sprintf("quantum: unsupported qubit count %d", n))
+	}
+	p := &StatePool{n: n}
+	p.pool.New = func() interface{} { return NewState(n) }
+	return p
+}
+
+// NumQubits returns the register width the pool serves.
+func (p *StatePool) NumQubits() int { return p.n }
+
+// Get returns a register initialized to |0...0⟩, reusing a returned
+// buffer when one is available.
+func (p *StatePool) Get() *State {
+	s := p.pool.Get().(*State)
+	s.resetZero()
+	return s
+}
+
+// Put returns a register to the pool. The caller must not touch s
+// afterwards.
+func (p *StatePool) Put(s *State) {
+	if s == nil {
+		return
+	}
+	if s.n != p.n {
+		panic(fmt.Sprintf("quantum: returning %d-qubit state to %d-qubit pool", s.n, p.n))
+	}
+	p.pool.Put(s)
+}
+
+// resetZero re-initializes the register to |0...0⟩ in place.
+func (s *State) resetZero() {
+	for i := range s.amp {
+		s.amp[i] = 0
+	}
+	s.amp[0] = 1
+}

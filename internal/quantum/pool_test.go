@@ -1,0 +1,82 @@
+package quantum
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"artery/internal/stats"
+)
+
+func TestStatePoolRecyclesToZeroState(t *testing.T) {
+	p := NewStatePool(3)
+	s := p.Get()
+	s.H(0)
+	s.X(2)
+	p.Put(s)
+	// The recycled register must be a pristine |000⟩, regardless of what
+	// the previous shot left in the buffer.
+	r := p.Get()
+	if r.Amplitude(0) != 1 {
+		t.Fatalf("recycled state amp[0] = %v, want 1", r.Amplitude(0))
+	}
+	for i := 1; i < 8; i++ {
+		if r.Amplitude(i) != 0 {
+			t.Fatalf("recycled state amp[%d] = %v, want 0", i, r.Amplitude(i))
+		}
+	}
+	if math.Abs(r.Norm()-1) > 1e-12 {
+		t.Fatalf("recycled state norm %v", r.Norm())
+	}
+}
+
+func TestStatePoolMatchesNewState(t *testing.T) {
+	// A pooled register must evolve identically to a fresh one.
+	p := NewStatePool(2)
+	rngA, rngB := stats.NewRNG(5), stats.NewRNG(5)
+	a := p.Get()
+	b := NewState(2)
+	a.H(0)
+	b.H(0)
+	a.CNOT(0, 1)
+	b.CNOT(0, 1)
+	if ma, mb := a.Measure(0, rngA), b.Measure(0, rngB); ma != mb {
+		t.Fatalf("pooled measurement %d != fresh %d", ma, mb)
+	}
+	for i := range b.amp {
+		if a.amp[i] != b.amp[i] {
+			t.Fatalf("amp[%d]: pooled %v != fresh %v", i, a.amp[i], b.amp[i])
+		}
+	}
+}
+
+func TestStatePoolRejectsWrongWidth(t *testing.T) {
+	p := NewStatePool(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pool accepted a state of the wrong width")
+		}
+	}()
+	p.Put(NewState(3))
+}
+
+func TestStatePoolConcurrentGetPut(t *testing.T) {
+	// Exercised under -race by the ci target: concurrent workers must be
+	// able to share one pool.
+	p := NewStatePool(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed)
+			for i := 0; i < 50; i++ {
+				s := p.Get()
+				s.H(0)
+				s.Measure(0, rng)
+				p.Put(s)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+}

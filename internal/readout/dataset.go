@@ -62,6 +62,11 @@ func (d *Dataset) Label(c *Classifier) {
 // Channel bundles everything one readout line needs at run time: the
 // calibration, a trained classifier and a trained trajectory state table.
 // It is what the feedback controller instantiates per qubit.
+//
+// Concurrency contract: Synthesize/Classify*/WindowBits/PRead1 are pure
+// reads, so one Channel may be shared by all of an engine's shot workers.
+// Training and tuning (Train, Table.Update, retuning the classifier) are
+// not synchronized — do not run them while shots are in flight.
 type Channel struct {
 	Cal        *Calibration
 	Classifier *Classifier

@@ -45,10 +45,29 @@ func NewRNG(seed uint64) *RNG {
 }
 
 // Split returns a new generator whose stream is independent of r's,
-// derived from r's next output. Use it to give each shot/worker its own
-// stream without sharing state across goroutines.
+// derived from r's next output. The child is a value derived from r at the
+// moment of the call; it shares no state with r afterwards, so it may be
+// handed to another goroutine. Splitting is deterministic: the i-th Split
+// of a generator seeded with s always yields the same child stream.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// SplitN returns n generators with mutually independent streams, the i-th
+// derived from r's i-th next output (so the result is reproducible from
+// r's state alone). It consumes exactly n draws from r. This is how the
+// engine pre-derives one stream per shot index before fanning shots out
+// over a worker pool: the assignment of streams to shots depends only on
+// the caller's seed, never on worker count or scheduling order.
+func (r *RNG) SplitN(n int) []*RNG {
+	if n < 0 {
+		panic("stats: SplitN called with n < 0")
+	}
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

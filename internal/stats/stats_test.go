@@ -139,6 +139,51 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNStreamsDoNotCollide(t *testing.T) {
+	// The engine hands one SplitN stream to every shot worker; any overlap
+	// between streams would correlate shots. Draw 1e5 values from each of 8
+	// streams and require every value to be globally unique (for 8e5 draws
+	// of a 64-bit generator a single collision is ~2^-24 unlikely, so one
+	// is evidence of stream overlap, not chance).
+	const streams, draws = 8, 100_000
+	rs := NewRNG(29).SplitN(streams)
+	if len(rs) != streams {
+		t.Fatalf("SplitN returned %d streams, want %d", len(rs), streams)
+	}
+	seen := make(map[uint64]int, streams*draws)
+	for si, r := range rs {
+		for i := 0; i < draws; i++ {
+			v := r.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("streams %d and %d collide on %#x after <= %d draws", prev, si, v, draws)
+			}
+			seen[v] = si
+		}
+	}
+}
+
+func TestSplitNDeterministicAndConsuming(t *testing.T) {
+	// SplitN(n) must consume exactly n draws, so callers that keep using
+	// the parent afterwards stay reproducible.
+	a, b := NewRNG(31), NewRNG(31)
+	as := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		b.Uint64()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN(5) did not consume exactly 5 parent draws")
+	}
+	c := NewRNG(31).SplitN(5)
+	for i := range as {
+		if as[i].Uint64() != c[i].Uint64() {
+			t.Fatalf("stream %d not reproducible across SplitN calls", i)
+		}
+	}
+	if got := NewRNG(1).SplitN(0); len(got) != 0 {
+		t.Fatal("SplitN(0) should return an empty slice")
+	}
+}
+
 func TestMeanVariance(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if m := Mean(xs); m != 5 {
