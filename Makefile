@@ -3,8 +3,10 @@
 # concurrent engine/experiment paths (tier-2 verify, see ROADMAP.md).
 
 GO ?= go
+FUZZTIME ?= 10s
+FAULT_COVER_FLOOR ?= 80.0
 
-.PHONY: tier1 ci bench-engine bench
+.PHONY: tier1 ci fuzz-smoke cover-fault bench-engine bench
 
 tier1:
 	$(GO) build ./...
@@ -13,6 +15,22 @@ tier1:
 ci: tier1
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) cover-fault
+
+# Short fuzzing pass over the pulse codecs (one -fuzz target per
+# invocation, as the go tool requires).
+fuzz-smoke:
+	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripHuffman$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripRLE$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripCombined$$' -fuzztime $(FUZZTIME)
+
+# Statement-coverage floor for the fault-injection subsystem.
+cover-fault:
+	$(GO) test -coverprofile=/tmp/fault.cover ./internal/fault
+	@$(GO) tool cover -func=/tmp/fault.cover | awk -v floor=$(FAULT_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/fault coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
 
 # Regenerate the engine-throughput snapshot (BENCH_engine.json).
 bench-engine:

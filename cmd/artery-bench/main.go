@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-workers N] [-list]
+//	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-workers N] [-list] [-faults]
 //	artery-bench -engine-bench BENCH_engine.json [-shots N] [-seed N]
 //
 // Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
@@ -71,6 +71,7 @@ func main() {
 		workers = flag.Int("workers", 0, "cell/shot worker count (0 = GOMAXPROCS, 1 = serial; tables are identical at any setting)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		extras  = flag.Bool("ablations", false, "also run the repository's ablation studies")
+		faults  = flag.Bool("faults", false, "run the fault-injection robustness study (xtr-fault)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
 		engOut  = flag.String("engine-bench", "", "measure Engine.Run shot throughput across worker counts, write JSON to this path, and exit")
@@ -96,9 +97,12 @@ func main() {
 	}
 
 	ids := experiment.IDs()
-	if *exps != "" {
+	switch {
+	case *exps != "":
 		ids = strings.Split(*exps, ",")
-	} else if *extras {
+	case *faults:
+		ids = []string{"xtr-fault"}
+	case *extras:
 		ids = append(ids, extraIDs()...)
 	}
 	suite := experiment.NewSuite(*seed, *shots)

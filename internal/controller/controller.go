@@ -2,6 +2,7 @@ package controller
 
 import (
 	"artery/internal/circuit"
+	"artery/internal/fault"
 	"artery/internal/interconnect"
 	"artery/internal/predict"
 	"artery/internal/readout"
@@ -41,6 +42,10 @@ type Shot struct {
 	Pulse *readout.Pulse
 	Bits  []int
 	Truth int
+	// Faults, when non-nil, is the shot's deterministic fault session: the
+	// controller draws its outage/jitter/backplane/table faults from it and
+	// applies its graceful-degradation policies. Nil means fault-free.
+	Faults *fault.Session
 }
 
 // Outcome reports how the controller handled one feedback shot.
@@ -57,6 +62,11 @@ type Outcome struct {
 	Correct bool
 	// RecoveryNs is the extra gate time spent undoing a wrong branch.
 	RecoveryNs float64
+	// FellBack is true when the graceful-degradation policy served this
+	// feedback on the blocking conventional path (fault rates or shadow
+	// misprediction rates crossed the fallback threshold, or the feedback
+	// trigger was lost after its retry budget).
+	FellBack bool
 	// Trigger is the dynamic-timing trigger (zero value for baselines).
 	Trigger TriggerEvent
 	// Breakdown decomposes LatencyNs into its stages (committed correct
@@ -127,6 +137,11 @@ type Artery struct {
 	// Online controls whether shot outcomes update the historical
 	// distribution after each prediction (§4: zero-latency update).
 	Online bool
+	// degrade is the graceful-degradation monitor, created lazily from the
+	// first faulted shot's policy config. While tripped, feedbacks are
+	// served on the blocking conventional path and the predictor runs only
+	// in the shadow (its decisions feed the tracker but never fire).
+	degrade *fault.Tracker
 }
 
 // NewArtery assembles an ARTERY controller from its predictor and the
@@ -173,17 +188,39 @@ func (a *Artery) bayesPipelineNs() float64 {
 	return float64(predict.BayesPipelineCycles) * a.units.Clock
 }
 
+// observeDegrade feeds the degradation tracker (when faults are active).
+func (a *Artery) observeDegrade(bad bool) {
+	if a.degrade != nil {
+		a.degrade.Observe(bad)
+	}
+}
+
+// ensureTracker lazily builds the degradation tracker from the first
+// faulted shot's policy config (all sessions of a run share one config).
+func (a *Artery) ensureTracker(sess *fault.Session) {
+	if a.degrade == nil && sess != nil {
+		cfg := sess.Config()
+		a.degrade = fault.NewTracker(cfg.FallbackWindow, cfg.FallbackTrip, cfg.FallbackRecover)
+	}
+}
+
+// reliableSendNs prices the delivery of a non-critical (end-of-readout)
+// branch command across the backplane under faults: retry-until-success
+// with the policy's backoff.
+func (a *Artery) reliableSendNs(sess *fault.Session, site Site) float64 {
+	hops := a.topo.MessageHops(site.ReadQubit, site.BranchQubit)
+	retries := sess.TransmitReliable(hops)
+	if retries == 0 {
+		return 0
+	}
+	return a.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
+}
+
 // Feedback runs one predicted feedback shot.
 func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	hist := a.siteHistory(site)
-	var d predict.Decision
-	if shot.Bits != nil {
-		// Pre-demodulated shot: the expensive windowing already ran on an
-		// engine worker; only the Bayesian fusion happens here.
-		d = a.pred.PredictFromBits(shot.Bits, shot.Truth, hist.P())
-	} else {
-		d = a.pred.PredictWithHistory(shot.Pulse, hist.P())
-	}
+	sess := shot.Faults
+	a.ensureTracker(sess)
 	if a.Online {
 		defer hist.Observe(shot.Truth == 1)
 	}
@@ -192,25 +229,100 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	remote := a.topo.RouteLevel(site.ReadQubit, site.BranchQubit) != interconnect.LevelOnChip
 	readout := a.pred.ReadoutDurationNs()
 
+	// conventional prices the blocking wait-for-readout path (plus any
+	// fault-imposed extra latency and, remotely, a reliable faulted send).
+	conventional := func(extraNs float64) float64 {
+		lat := readout + a.units.Processing() + extraNs
+		if remote {
+			lat += transit + a.reliableSendNs(sess, site)
+		}
+		return lat
+	}
+
+	// Readout-channel outage: no trajectory windows arrive, so prediction
+	// is impossible and the shot blocks on a repeated readout.
+	if sess.ReadoutOutage() {
+		a.observeDegrade(true)
+		return Outcome{
+			LatencyNs: conventional(sess.Config().OutagePenaltyNs),
+			Predicted: shot.Truth,
+			Committed: false,
+			Correct:   true,
+			FellBack:  true,
+		}
+	}
+
+	// The predictor always runs — even while degraded, its shadow decisions
+	// feed the tracker so recovery can be detected — with every state-table
+	// lookup passing through the session's corruption hook.
+	corrupt := sess.TableCorruptor()
+	var d predict.Decision
+	if shot.Bits != nil {
+		// Pre-demodulated shot: the expensive windowing already ran on an
+		// engine worker; only the Bayesian fusion happens here.
+		d = a.pred.PredictFromBitsFault(shot.Bits, shot.Truth, hist.P(), corrupt)
+	} else {
+		d = a.pred.PredictWithHistoryFault(shot.Pulse, hist.P(), corrupt)
+	}
+
+	if a.degrade.Degraded() {
+		// Graceful degradation: fault/misprediction rates crossed the
+		// threshold, so this feedback is served on the blocking Baseline
+		// path while the shadow prediction keeps measuring.
+		if sess != nil {
+			sess.C.Fallbacks++
+		}
+		a.observeDegrade(d.Committed && d.Branch != shot.Truth)
+		return Outcome{
+			LatencyNs: conventional(0),
+			Predicted: shot.Truth,
+			Committed: false,
+			Correct:   true,
+			FellBack:  true,
+		}
+	}
+
 	if !d.Committed || !site.Case.PreExecutable() {
 		// Conventional path: wait for the full readout and processing chain.
-		lat := readout + a.units.Processing()
-		if remote {
-			lat += transit
-		}
+		a.observeDegrade(false)
 		return Outcome{
-			LatencyNs: lat,
+			LatencyNs: conventional(0),
 			Predicted: d.Branch,
 			Committed: false,
 			Correct:   true,
 		}
 	}
 
-	// Committed prediction: issue the feedback trigger immediately; pulses
-	// are staged (prep + DAC) speculatively while the readout continues.
-	// Case-3 sites gate the *firing*, not the staging: the staged pulse
-	// releases on the first fabric edge after the readout pulse ends.
-	trig := a.timing.Issue(d.TimeNs+a.bayesPipelineNs(), transit, 0, d.Branch, remote)
+	// Committed prediction: the trigger message must reach the branch FPGA.
+	// Remote triggers cross the backplane under the bounded-retry policy;
+	// when the retry budget is exhausted the trigger is abandoned and the
+	// site degrades to the blocking path for this shot.
+	jitter := sess.TriggerJitter()
+	retryNs := 0.0
+	if remote {
+		hops := a.topo.MessageHops(site.ReadQubit, site.BranchQubit)
+		retries, delivered := sess.TransmitTrigger(hops)
+		if retries > 0 {
+			retryNs = a.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
+		}
+		if !delivered {
+			a.observeDegrade(true)
+			return Outcome{
+				LatencyNs: conventional(retryNs),
+				Predicted: shot.Truth,
+				Committed: false,
+				Correct:   true,
+				FellBack:  true,
+			}
+		}
+	}
+
+	// The trigger is out: pulses are staged (prep + DAC) speculatively
+	// while the readout continues. Case-3 sites gate the *firing*, not the
+	// staging: the staged pulse releases on the first fabric edge after the
+	// readout pulse ends. Trigger jitter delays the issue; backplane
+	// retries stretch the transit.
+	trig := a.timing.Issue(d.TimeNs+a.bayesPipelineNs()+jitter, transit+retryNs, 0, d.Branch, remote)
 	stageDone := trig.ArrivalNs() + a.units.Prep + a.units.DAC
 	if site.Case == circuit.Case2Ancilla {
 		// The ancilla must first be prepared in the predicted classical
@@ -223,6 +335,7 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	}
 
 	if d.Branch == shot.Truth {
+		a.observeDegrade(false)
 		staging := a.units.Prep + a.units.DAC
 		if site.Case == circuit.Case2Ancilla {
 			staging += AncillaPrepNs
@@ -248,7 +361,9 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 
 	// Misprediction: the truth is known after readout + ADC + classify;
 	// the controller then preps the inverse program, plays it, and starts
-	// the correct branch.
+	// the correct branch. The corrective command is a reliable (not
+	// latency-critical) send, so under faults it retries until delivered.
+	a.observeDegrade(true)
 	undo := site.UndoOnOneNs
 	if d.Branch == 0 {
 		undo = site.UndoOnZeroNs
@@ -256,7 +371,7 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	known := readout + a.units.ADC + a.units.Classify
 	lat := known + a.units.Prep + a.units.DAC + undo
 	if remote {
-		lat += transit
+		lat += transit + a.reliableSendNs(sess, site)
 	}
 	return Outcome{
 		LatencyNs:  lat,
@@ -292,11 +407,23 @@ func NewBaseline(name string, overheadNs float64, topo *interconnect.Topology) *
 // Name returns the baseline's name.
 func (b *Baseline) Name() string { return b.name }
 
-// Feedback waits for the full readout, processes, and routes.
+// Feedback waits for the full readout, processes, and routes. Under fault
+// injection it pays the same degraded-link costs as ARTERY's blocking
+// path: a repeated readout on a channel outage and retry-until-success on
+// backplane sends (shot-safety is preserved — the only mutable state
+// touched is the shot's own fault session).
 func (b *Baseline) Feedback(site Site, shot Shot) Outcome {
+	sess := shot.Faults
 	lat := ReadoutNs + b.overheadNs
+	if sess.ReadoutOutage() {
+		lat += sess.Config().OutagePenaltyNs
+	}
 	if b.topo.RouteLevel(site.ReadQubit, site.BranchQubit) != interconnect.LevelOnChip {
 		lat += b.topo.Latency(site.ReadQubit, site.BranchQubit)
+		hops := b.topo.MessageHops(site.ReadQubit, site.BranchQubit)
+		if retries := sess.TransmitReliable(hops); retries > 0 {
+			lat += b.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
+		}
 	}
 	return Outcome{
 		LatencyNs: lat,

@@ -16,6 +16,7 @@ import (
 
 	"artery/internal/circuit"
 	"artery/internal/controller"
+	"artery/internal/fault"
 	"artery/internal/quantum"
 	"artery/internal/readout"
 	"artery/internal/stats"
@@ -52,6 +53,14 @@ type Engine struct {
 	// index up front and merges shot results in index order, so neither the
 	// random streams nor the aggregate arithmetic depend on scheduling.
 	Workers int
+	// Faults, when non-nil and enabled, injects deterministic faults into
+	// every shot: Run derives one fault stream per shot index (a second
+	// SplitN, so the physics streams — and hence unfaulted numbers — are
+	// untouched) and threads a per-shot fault.Session through the readout
+	// capture and the controller. Faulted runs stay bit-identical at any
+	// Workers setting: a session is only ever used by its own shot, worker
+	// phase strictly before merge phase.
+	Faults *fault.Injector
 
 	// mu guards the lazily built caches below (Run may be entered from
 	// multiple goroutines, and shot workers share the pools).
@@ -133,6 +142,9 @@ type ShotResult struct {
 	// Fidelity is |⟨ideal|noisy⟩|² at circuit end (NaN when state
 	// simulation is disabled or the ideal branch became unreachable).
 	Fidelity float64
+	// Faults snapshots the shot's fault/retry/fallback counters (zero when
+	// the engine runs fault-free).
+	Faults fault.Counters
 }
 
 // RunResult aggregates a workload run.
@@ -154,6 +166,11 @@ type RunResult struct {
 	MeanDecisionNs float64
 	// Latencies holds each shot's total feedback latency (for quantiles).
 	Latencies []float64
+	// Faults aggregates the per-shot fault/retry/fallback counters.
+	Faults fault.Counters
+	// FallbackRate is the fraction of feedback executions served on the
+	// degraded blocking path (0 for fault-free runs).
+	FallbackRate float64
 }
 
 // Run executes the workload for the given number of shots.
@@ -185,6 +202,22 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
 	analyses := e.analysesFor(wl.Circuit)
 	shotRNGs := rng.SplitN(shots)
+	// Fault streams are split AFTER the physics streams, so enabling the
+	// injector never perturbs the per-shot physics, and a disabled injector
+	// consumes nothing (fault-free runs are byte-identical to the past).
+	var sessions []*fault.Session
+	if e.Faults.Enabled() {
+		sessions = make([]*fault.Session, shots)
+		for i, r := range rng.SplitN(shots) {
+			sessions[i] = e.Faults.Session(r)
+		}
+	}
+	sessionOf := func(i int) *fault.Session {
+		if sessions == nil {
+			return nil
+		}
+		return sessions[i]
+	}
 
 	var fid stats.RunningMean
 	var perSite stats.RunningMean
@@ -193,6 +226,7 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	merge := func(sr ShotResult) {
 		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
 		res.MeanLatencyNs += sr.FeedbackLatencyNs
+		res.Faults.Add(sr.Faults)
 		if !math.IsNaN(sr.Fidelity) {
 			fid.Add(sr.Fidelity)
 		}
@@ -213,24 +247,27 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	case e.ctrlShotSafe():
 		// Whole shots are independent: fan them out.
 		forEachShot(shots, workers, func(i int) ShotResult {
-			return e.runShot(wl, analyses, shotRNGs[i])
+			return e.runShot(wl, analyses, shotRNGs[i], sessionOf(i))
 		}, func(_ int, sr ShotResult) { merge(sr) })
 	case !e.simulates(wl.Circuit):
 		// Two-phase pipeline: the per-shot physics is independent of the
 		// controller when no state is simulated, so workers synthesize and
 		// classify the readout pulses while the sequential controller runs
-		// on the in-order merge path.
+		// on the in-order merge path. A shot's fault session is used first
+		// by its worker (IQ glitches) and then by the merge path (controller
+		// faults); the pipeline's reorder buffer guarantees the worker phase
+		// happens-before the merge phase of the same shot.
 		fbIdx := wl.Circuit.FeedbackSites()
 		forEachShot(shots, workers, func(i int) []siteShot {
-			return e.synthShot(wl, shotRNGs[i])
-		}, func(_ int, ss []siteShot) {
-			merge(e.feedbackShot(wl, analyses, fbIdx, ss))
+			return e.synthShot(wl, shotRNGs[i], sessionOf(i))
+		}, func(i int, ss []siteShot) {
+			merge(e.feedbackShot(wl, analyses, fbIdx, ss, sessionOf(i)))
 		})
 	default:
 		// State simulation couples each shot's physics to the sequential
 		// controller's decisions: run serially, one stream per shot.
 		for i := 0; i < shots; i++ {
-			merge(e.runShot(wl, analyses, shotRNGs[i]))
+			merge(e.runShot(wl, analyses, shotRNGs[i], sessionOf(i)))
 		}
 	}
 	res.MeanLatencyNs /= float64(shots)
@@ -242,6 +279,7 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	}
 	if sites > 0 {
 		res.CommitRate = float64(committed) / float64(sites)
+		res.FallbackRate = float64(res.Faults.Fallbacks) / float64(sites)
 	}
 	if fid.N() > 0 {
 		res.MeanFidelity = fid.Mean()
@@ -251,17 +289,19 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	return res
 }
 
-// RunShot executes one shot of the workload. Site analyses come from the
-// engine's per-circuit cache, so calling RunShot in a loop no longer
-// re-runs the pre-execution analysis every shot.
+// RunShot executes one shot of the workload, fault-free (fault injection
+// is a property of whole runs — use Run with Engine.Faults set). Site
+// analyses come from the engine's per-circuit cache, so calling RunShot in
+// a loop no longer re-runs the pre-execution analysis every shot.
 func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
-	return e.runShot(wl, e.analysesFor(wl.Circuit), rng)
+	return e.runShot(wl, e.analysesFor(wl.Circuit), rng, nil)
 }
 
 // runShot executes one shot against pre-computed site analyses. It is a
-// pure function of (wl, analyses, rng) plus the controller's state, so
-// shot-safe controllers may run it concurrently, one RNG stream per call.
-func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG) ShotResult {
+// pure function of (wl, analyses, rng, sess) plus the controller's state,
+// so shot-safe controllers may run it concurrently, one RNG stream (and
+// fault session) per call.
+func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session) ShotResult {
 	c := wl.Circuit
 	simulate := e.simulates(c)
 
@@ -329,8 +369,12 @@ func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis
 			}
 
 			pulse := e.Channel.Cal.Synthesize(m, rng)
+			// IQ glitches corrupt the captured record before anything
+			// downstream (classification included) sees it — exactly where
+			// an amplifier spike lands on hardware.
+			sess.GlitchIQ(pulse.Samples)
 			truth := e.Channel.Classifier.ClassifyFull(pulse)
-			out := e.Ctrl.Feedback(e.siteFor(a, siteIdx, fb, prior), controller.Shot{Pulse: pulse, Truth: truth})
+			out := e.Ctrl.Feedback(e.siteFor(a, siteIdx, fb, prior), controller.Shot{Pulse: pulse, Truth: truth, Faults: sess})
 			sr.Outcomes = append(sr.Outcomes, out)
 			sr.FeedbackLatencyNs += out.LatencyNs
 
@@ -388,6 +432,9 @@ func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis
 			sr.Fidelity = 0
 		}
 	}
+	if sess != nil {
+		sr.Faults = sess.C
+	}
 	return sr
 }
 
@@ -405,8 +452,9 @@ type siteShot struct {
 // feedback site, draw the qubit state from the site's prior, synthesize
 // the readout pulse, classify it, and demodulate its trajectory windows.
 // The RNG draw order matches runShot's non-simulated path exactly, so a
-// shot's physics is bit-identical whichever path executes it.
-func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG) []siteShot {
+// shot's physics is bit-identical whichever path executes it. Fault draws
+// (IQ glitches) come from the shot's own session, never the physics stream.
+func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG, sess *fault.Session) []siteShot {
 	ss := make([]siteShot, len(wl.SiteP1))
 	for i, prior := range wl.SiteP1 {
 		var m int
@@ -414,6 +462,7 @@ func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG) []siteShot {
 			m = 1
 		}
 		pulse := e.Channel.Cal.Synthesize(m, rng)
+		sess.GlitchIQ(pulse.Samples)
 		ss[i] = siteShot{
 			truth: e.Channel.Classifier.ClassifyFull(pulse),
 			bits:  e.Channel.Classifier.WindowBits(pulse, 0),
@@ -425,17 +474,20 @@ func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG) []siteShot {
 // feedbackShot drives the (sequential) controller over one shot's
 // pre-synthesized sites in site order and assembles the ShotResult.
 // fbIdx is wl.Circuit.FeedbackSites(), hoisted by the caller.
-func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot) ShotResult {
+func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot, sess *fault.Session) ShotResult {
 	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
 	sr.Outcomes = make([]controller.Outcome, 0, len(ss))
 	for i, s := range ss {
 		fb := wl.Circuit.Ins[fbIdx[i]].Feedback
 		out := e.Ctrl.Feedback(
 			e.siteFor(analyses[i], i, fb, wl.SiteP1[i]),
-			controller.Shot{Truth: s.truth, Bits: s.bits},
+			controller.Shot{Truth: s.truth, Bits: s.bits, Faults: sess},
 		)
 		sr.Outcomes = append(sr.Outcomes, out)
 		sr.FeedbackLatencyNs += out.LatencyNs
+	}
+	if sess != nil {
+		sr.Faults = sess.C
 	}
 	return sr
 }

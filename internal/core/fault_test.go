@@ -1,0 +1,114 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"artery/internal/fault"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// TestFaultedRunDeterministicAcrossWorkerCounts extends the engine's
+// determinism guarantee to fault injection: with an enabled injector, every
+// execution mode of Run — shot-safe fan-out, the synth/feedback pipeline,
+// and the serial simulated path — produces a bit-identical RunResult
+// (latencies, fidelities AND fault counters) at workers 1, 4 and
+// GOMAXPROCS.
+func TestFaultedRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	modes := []struct {
+		name     string
+		make     func() *Engine
+		simulate bool
+	}{
+		{"baseline-sim", qubicEngine, true},
+		{"baseline-nosim", qubicEngine, false},
+		{"artery-nosim", arteryEngine, false},
+		{"artery-sim", arteryEngine, true},
+	}
+	cfg := fault.Scaled(0.3)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	wl := workload.QRW(3)
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 2; seed++ {
+				var ref RunResult
+				for wi, workers := range workerCounts {
+					e := m.make()
+					e.SimulateState = m.simulate
+					e.Workers = workers
+					e.Faults = fault.NewInjector(cfg)
+					res := e.Run(wl, 50, stats.NewRNG(seed))
+					if wi == 0 {
+						ref = res
+						if res.Faults.Total() == 0 {
+							t.Fatalf("seed %d: no faults injected at Scaled(0.3) over 50 shots", seed)
+						}
+						continue
+					}
+					if !runResultsEqual(ref, res) {
+						t.Fatalf("seed %d: workers=%d diverged from workers=%d:\n%+v\nvs\n%+v",
+							seed, workers, workerCounts[0], res, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFaultInjectionPreservesUnfaultedStreams pins the layering contract:
+// attaching a disabled (or nil) injector must leave every number of a run
+// byte-identical to a run with no injector at all — fault streams are split
+// after the physics streams and only when enabled.
+func TestFaultInjectionPreservesUnfaultedStreams(t *testing.T) {
+	wl := workload.QRW(3)
+	run := func(inj *fault.Injector) RunResult {
+		e := arteryEngine()
+		e.Faults = inj
+		return e.Run(wl, 30, stats.NewRNG(5))
+	}
+	ref := run(nil)
+	// DefaultPolicy keeps every rate at zero: Enabled() is false, so no
+	// session splitting happens and the physics streams are untouched.
+	if got := run(fault.NewInjector(fault.DefaultPolicy())); !runResultsEqual(ref, got) {
+		t.Fatalf("disabled injector perturbed the run:\n%+v\nvs\n%+v", got, ref)
+	}
+	if (ref.Faults != fault.Counters{}) || ref.FallbackRate != 0 {
+		t.Fatalf("fault-free run reported fault activity: %+v", ref.Faults)
+	}
+}
+
+// TestFaultedRunReportsCounters checks the counters actually propagate from
+// sessions through ShotResults into the aggregate, and that heavy faults
+// drive the fallback machinery.
+func TestFaultedRunReportsCounters(t *testing.T) {
+	e := arteryEngine()
+	e.SimulateState = false
+	e.Faults = fault.NewInjector(fault.Scaled(0.5))
+	res := e.Run(workload.QRW(5), 120, stats.NewRNG(3))
+	if res.Faults.Glitches == 0 {
+		t.Error("no IQ glitches at Scaled(0.5)")
+	}
+	if res.Faults.Outages == 0 {
+		t.Error("no readout outages at Scaled(0.5)")
+	}
+	if res.Faults.TableFaults == 0 {
+		t.Error("no table faults at Scaled(0.5)")
+	}
+	if res.Faults.Jitters == 0 {
+		t.Error("no trigger jitters at Scaled(0.5)")
+	}
+	if res.FallbackRate < 0 || res.FallbackRate > 1 {
+		t.Errorf("FallbackRate = %v outside [0,1]", res.FallbackRate)
+	}
+	if res.Faults.Fallbacks > 0 && res.FallbackRate == 0 {
+		t.Error("fallbacks counted but FallbackRate is zero")
+	}
+	// The faulted run must be slower on average than the clean one.
+	clean := arteryEngine()
+	clean.SimulateState = false
+	cres := clean.Run(workload.QRW(5), 120, stats.NewRNG(3))
+	if res.MeanLatencyNs <= cres.MeanLatencyNs {
+		t.Errorf("faulted mean latency %v not above clean %v", res.MeanLatencyNs, cres.MeanLatencyNs)
+	}
+}

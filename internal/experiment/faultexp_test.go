@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"testing"
+
+	"artery/internal/fault"
+	"artery/internal/workload"
+)
+
+// TestFaultToleranceGracefulDegradation pins the acceptance shape of the
+// robustness study: fault-free ARTERY keeps a clear speedup over QubiC, and
+// under heavy injected faults it degrades toward the baseline floor — the
+// fallback policy serves feedbacks on the blocking path instead of letting
+// mispredictions and retries blow the latency past the baseline.
+func TestFaultToleranceGracefulDegradation(t *testing.T) {
+	s := NewSuite(7, 24)
+	wl := workload.QRW(5)
+	shots := 5 * s.Shots
+
+	clean := s.faultCell(wl, shots, 0, 4000)
+	if (clean.artery.Faults != fault.Counters{}) {
+		t.Fatalf("rate-0 cell injected faults: %+v", clean.artery.Faults)
+	}
+	if ratio := clean.qubic.MeanLatencyNs / clean.artery.MeanLatencyNs; ratio < 2 {
+		t.Fatalf("fault-free speedup %.2fx below 2x", ratio)
+	}
+
+	prevSpeedup := clean.qubic.MeanLatencyNs / clean.artery.MeanLatencyNs
+	for i, rate := range []float64{0.1, 0.4} {
+		row := s.faultCell(wl, shots, rate, uint64(4100+10*i))
+		// Graceful floor: degraded ARTERY never falls meaningfully below the
+		// baseline (its blocking path costs readout + 160 ns vs QubiC's
+		// readout + 150 ns, plus the pre-trip misprediction transient — allow
+		// a 12% band).
+		if row.artery.MeanLatencyNs > 1.12*row.qubic.MeanLatencyNs {
+			t.Errorf("rate %.2f: ARTERY latency %.0f ns fell below the baseline floor %.0f ns",
+				rate, row.artery.MeanLatencyNs, row.qubic.MeanLatencyNs)
+		}
+		speedup := row.qubic.MeanLatencyNs / row.artery.MeanLatencyNs
+		if speedup > prevSpeedup {
+			t.Errorf("rate %.2f: speedup %.2fx not degrading (previous %.2fx)", rate, speedup, prevSpeedup)
+		}
+		prevSpeedup = speedup
+		if row.artery.Faults.Total() == 0 {
+			t.Errorf("rate %.2f: no faults injected", rate)
+		}
+	}
+
+	// At the heaviest rate the fallback machinery must carry most feedbacks.
+	heavy := s.faultCell(wl, shots, 0.4, 4120)
+	if heavy.artery.FallbackRate < 0.5 {
+		t.Errorf("rate 0.40: fallback rate %.2f, want most feedbacks on the blocking path",
+			heavy.artery.FallbackRate)
+	}
+	if heavy.artery.CommitRate > 0.5 {
+		t.Errorf("rate 0.40: commit rate %.2f did not collapse", heavy.artery.CommitRate)
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHeadlineShapesSeed1 is the statistical regression net over the
+// EXPERIMENTS.md headline shapes at the canonical seed 1: the qualitative
+// claims the repository's evaluation stands on must survive any refactor
+// of the engine, predictor or controllers. Guarded by -short because it
+// regenerates three full experiments.
+func TestHeadlineShapesSeed1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape regeneration skipped in -short mode")
+	}
+	s := NewSuite(1, 40)
+
+	// Shape 1 — Table 1: mean ARTERY feedback speedup over QubiC > 2x.
+	tab1 := s.Table1()
+	speedup := -1.0
+	for _, note := range tab1.Notes {
+		if i := strings.LastIndex(note, "-> speedup "); i >= 0 {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(note[i+len("-> speedup "):]), "x"), 64)
+			if err != nil {
+				t.Fatalf("cannot parse speedup from note %q: %v", note, err)
+			}
+			speedup = v
+		}
+	}
+	if speedup < 0 {
+		t.Fatalf("Table 1 notes carry no speedup headline: %q", tab1.Notes)
+	}
+	if speedup <= 2 {
+		t.Errorf("Table 1 ARTERY speedup vs QubiC = %.2fx, headline requires > 2x", speedup)
+	}
+
+	// Shape 2 — Figure 15b: mean prediction accuracy ≥ 85%% per benchmark.
+	fig15b := s.Figure15b()
+	for _, row := range fig15b.Rows {
+		acc := parseF(t, row[2])
+		if acc < 85 {
+			t.Errorf("Figure 15b: %s mean accuracy %.1f%% below the 85%% headline", row[0], acc)
+		}
+	}
+
+	// Shape 3 — Figure 12d: the latency-benefit crossover sits at d = 13.
+	fig12d := s.Figure12d()
+	last := fig12d.Rows[len(fig12d.Rows)-1]
+	if last[0] != "last beneficial distance" {
+		t.Fatalf("Figure 12d ends with %q, expected the crossover row", last[0])
+	}
+	if last[1] != "13" {
+		t.Errorf("Figure 12d crossover at d = %s, paper (and headline) say 13", last[1])
+	}
+}

@@ -1,0 +1,395 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"artery/internal/stats"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative drop rate", func(c *Config) { c.BackplaneDropRate = -0.1 }},
+		{"drop rate one", func(c *Config) { c.BackplaneDropRate = 1 }},
+		{"corrupt rate one", func(c *Config) { c.BackplaneCorruptRate = 1.5 }},
+		{"outage rate negative", func(c *Config) { c.ReadoutOutageRate = -1 }},
+		{"glitch rate one", func(c *Config) { c.IQGlitchRate = 1 }},
+		{"table rate one", func(c *Config) { c.TableCorruptRate = 1 }},
+		{"negative retries", func(c *Config) { c.MaxRetries = -1 }},
+		{"inverted hysteresis", func(c *Config) { c.FallbackTrip = 0.2; c.FallbackRecover = 0.3 }},
+		{"equal hysteresis", func(c *Config) { c.FallbackTrip = 0.2; c.FallbackRecover = 0.2 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultPolicy()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("DefaultPolicy invalid: %v", err)
+	}
+	if err := Scaled(0.4).Validate(); err != nil {
+		t.Fatalf("Scaled(0.4) invalid: %v", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if DefaultPolicy().Enabled() {
+		t.Fatal("policy-only config (all rates zero) reports enabled")
+	}
+	if !Scaled(0.1).Enabled() {
+		t.Fatal("Scaled(0.1) reports disabled")
+	}
+	var nilInj *Injector
+	if nilInj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if NewInjector(DefaultPolicy()).Enabled() {
+		t.Fatal("injector over zero-rate config reports enabled")
+	}
+	if !NewInjector(Scaled(0.2)).Enabled() {
+		t.Fatal("injector over Scaled(0.2) reports disabled")
+	}
+}
+
+func TestNewInjectorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector accepted an invalid config")
+		}
+	}()
+	cfg := DefaultPolicy()
+	cfg.MaxRetries = -1
+	NewInjector(cfg)
+}
+
+func TestScaledRates(t *testing.T) {
+	c := Scaled(0.4)
+	if c.BackplaneDropRate != 0.1 || c.BackplaneCorruptRate != 0.1 {
+		t.Fatalf("backplane rates = %v/%v, want 0.1/0.1", c.BackplaneDropRate, c.BackplaneCorruptRate)
+	}
+	if math.Abs(c.ReadoutOutageRate-0.04) > 1e-15 {
+		t.Fatalf("outage rate = %v, want 0.04", c.ReadoutOutageRate)
+	}
+	if c.IQGlitchRate != 0.4 || c.TableCorruptRate != 0.4 {
+		t.Fatalf("glitch/table rates = %v/%v, want 0.4/0.4", c.IQGlitchRate, c.TableCorruptRate)
+	}
+	if c.TriggerJitterNs != 16 {
+		t.Fatalf("jitter mean = %v, want 16", c.TriggerJitterNs)
+	}
+	if !Scaled(0).Enabled() == false {
+		// Scaled(0) keeps policy knobs but zero rates: must be disabled.
+		t.Fatal("Scaled(0) should be disabled")
+	}
+}
+
+func TestCountersAddTotal(t *testing.T) {
+	a := Counters{Drops: 1, Corruptions: 2, Retries: 3, LostTriggers: 4,
+		Outages: 5, Glitches: 6, Jitters: 7, TableFaults: 8, Fallbacks: 9}
+	var c Counters
+	c.Add(a)
+	c.Add(a)
+	if c.Drops != 2 || c.Corruptions != 4 || c.Retries != 6 || c.LostTriggers != 8 ||
+		c.Outages != 10 || c.Glitches != 12 || c.Jitters != 14 || c.TableFaults != 16 ||
+		c.Fallbacks != 18 {
+		t.Fatalf("Add mismatch: %+v", c)
+	}
+	// Total excludes the response counters Retries and Fallbacks.
+	if got, want := a.Total(), 1+2+4+5+6+7+8; got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+}
+
+// sessionPair returns two sessions over independent but identically seeded
+// streams, for determinism checks.
+func sessionPair(cfg Config, seed uint64) (*Session, *Session) {
+	in := NewInjector(cfg)
+	return in.Session(stats.NewRNG(seed)), in.Session(stats.NewRNG(seed))
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	drive := func(s *Session) ([]float64, Counters) {
+		var log []float64
+		samples := make([]complex128, 256)
+		for i := 0; i < 200; i++ {
+			if s.ReadoutOutage() {
+				log = append(log, 1)
+			}
+			if s.GlitchIQ(samples) {
+				log = append(log, real(samples[0]))
+			}
+			log = append(log, s.TriggerJitter())
+			if f := s.TableCorruptor(); f != nil {
+				log = append(log, f(0.25))
+			}
+			r1, ok := s.TransmitTrigger(3)
+			log = append(log, float64(r1))
+			if !ok {
+				log = append(log, -1)
+			}
+			log = append(log, float64(s.TransmitReliable(2)))
+		}
+		return log, s.C
+	}
+	s1, s2 := sessionPair(Scaled(0.3), 99)
+	l1, c1 := drive(s1)
+	l2, c2 := drive(s2)
+	if len(l1) != len(l2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	if c1 != c2 {
+		t.Fatalf("counters diverge: %+v vs %+v", c1, c2)
+	}
+	if c1.Total() == 0 {
+		t.Fatal("no faults injected at Scaled(0.3) over 200 iterations")
+	}
+}
+
+func TestDisabledChannelsDrawNothing(t *testing.T) {
+	// A session whose config disables every channel must leave its RNG
+	// stream untouched, so downstream draws are byte-identical.
+	in := NewInjector(DefaultPolicy()) // all rates zero
+	rng := stats.NewRNG(7)
+	ref := stats.NewRNG(7)
+	s := in.Session(rng)
+	samples := make([]complex128, 64)
+	for i := 0; i < 50; i++ {
+		if s.ReadoutOutage() || s.GlitchIQ(samples) {
+			t.Fatal("zero-rate session injected a fault")
+		}
+		if s.TriggerJitter() != 0 {
+			t.Fatal("zero-rate session produced jitter")
+		}
+		if s.TableCorruptor() != nil {
+			t.Fatal("zero-rate session produced a table corruptor")
+		}
+		if r, ok := s.TransmitTrigger(3); r != 0 || !ok {
+			t.Fatal("zero-rate trigger transmission failed")
+		}
+		if s.TransmitReliable(3) != 0 {
+			t.Fatal("zero-rate reliable transmission retried")
+		}
+	}
+	if rng.Uint64() != ref.Uint64() {
+		t.Fatal("zero-rate session consumed RNG draws")
+	}
+	if (s.C != Counters{}) {
+		t.Fatalf("zero-rate session counted faults: %+v", s.C)
+	}
+}
+
+func TestNilSessionSafe(t *testing.T) {
+	var s *Session
+	if s.ReadoutOutage() {
+		t.Fatal("nil outage")
+	}
+	if s.GlitchIQ(make([]complex128, 8)) {
+		t.Fatal("nil glitch")
+	}
+	if s.TriggerJitter() != 0 {
+		t.Fatal("nil jitter")
+	}
+	if s.TableCorruptor() != nil {
+		t.Fatal("nil corruptor")
+	}
+	if r, ok := s.TransmitTrigger(3); r != 0 || !ok {
+		t.Fatal("nil trigger transmission")
+	}
+	if s.TransmitReliable(3) != 0 {
+		t.Fatal("nil reliable transmission")
+	}
+}
+
+func TestGlitchIQBounds(t *testing.T) {
+	cfg := DefaultPolicy()
+	cfg.IQGlitchRate = 0.999 // always fires (Bool(p) with p≈1)
+	cfg.GlitchSpanSamples = 64
+	cfg.GlitchAmp = 8
+	in := NewInjector(cfg)
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		s := in.Session(rng.Split())
+		samples := make([]complex128, 100) // shorter than 2*span: burst must clamp
+		if !s.GlitchIQ(samples) {
+			continue
+		}
+		n := 0
+		for _, v := range samples {
+			switch v {
+			case 0:
+			case complex(8, 0), complex(-8, 0):
+				n++
+			default:
+				t.Fatalf("glitched sample %v not at ±GlitchAmp", v)
+			}
+		}
+		if n != 64 {
+			t.Fatalf("glitch span = %d samples, want 64", n)
+		}
+	}
+	// Span longer than the pulse saturates the whole pulse.
+	s := in.Session(stats.NewRNG(4))
+	short := make([]complex128, 10)
+	for !s.GlitchIQ(short) {
+	}
+	for i, v := range short {
+		if v != complex(8, 0) && v != complex(-8, 0) {
+			t.Fatalf("short[%d] = %v, want saturated", i, v)
+		}
+	}
+	// Empty pulse: no draw, no panic.
+	if s.GlitchIQ(nil) {
+		t.Fatal("glitched an empty pulse")
+	}
+}
+
+func TestTransmitTriggerRetryBudget(t *testing.T) {
+	cfg := DefaultPolicy()
+	cfg.BackplaneDropRate = 0.999 // effectively always drops
+	cfg.MaxRetries = 4
+	in := NewInjector(cfg)
+	s := in.Session(stats.NewRNG(11))
+	retries, delivered := s.TransmitTrigger(2)
+	if delivered {
+		t.Fatal("trigger delivered through a dead link")
+	}
+	if retries != cfg.MaxRetries {
+		t.Fatalf("retries = %d, want %d", retries, cfg.MaxRetries)
+	}
+	if s.C.LostTriggers != 1 {
+		t.Fatalf("LostTriggers = %d, want 1", s.C.LostTriggers)
+	}
+	if s.C.Retries != cfg.MaxRetries {
+		t.Fatalf("Retries = %d, want %d", s.C.Retries, cfg.MaxRetries)
+	}
+	if s.C.Drops == 0 {
+		t.Fatal("no drops counted")
+	}
+	// Zero hops (on-chip) never draws or fails.
+	if r, ok := s.TransmitTrigger(0); r != 0 || !ok {
+		t.Fatal("on-chip trigger failed")
+	}
+}
+
+func TestTransmitReliableHardCap(t *testing.T) {
+	cfg := DefaultPolicy()
+	cfg.BackplaneCorruptRate = 0.999
+	in := NewInjector(cfg)
+	s := in.Session(stats.NewRNG(13))
+	if got := s.TransmitReliable(1); got != 32 {
+		t.Fatalf("retries = %d, want hard cap 32", got)
+	}
+	if s.C.Corruptions == 0 {
+		t.Fatal("no corruptions counted")
+	}
+	// A clean link returns immediately with zero retries.
+	clean := NewInjector(Config{BackplaneDropRate: 1e-9})
+	if got := clean.Session(stats.NewRNG(1)).TransmitReliable(3); got != 0 {
+		t.Fatalf("clean link retried %d times", got)
+	}
+}
+
+func TestTableCorruptorComplements(t *testing.T) {
+	cfg := DefaultPolicy()
+	cfg.TableCorruptRate = 0.999
+	s := NewInjector(cfg).Session(stats.NewRNG(17))
+	f := s.TableCorruptor()
+	if f == nil {
+		t.Fatal("corruptor nil with rate set")
+	}
+	// With rate ≈ 1 nearly every lookup is complemented.
+	hit := 0
+	for i := 0; i < 50; i++ {
+		if f(0.2) == 0.8 {
+			hit++
+		}
+	}
+	if hit < 45 {
+		t.Fatalf("only %d/50 lookups corrupted at rate 0.999", hit)
+	}
+	if s.C.TableFaults != hit {
+		t.Fatalf("TableFaults = %d, want %d", s.C.TableFaults, hit)
+	}
+}
+
+func TestTrackerHysteresis(t *testing.T) {
+	tr := NewTracker(8, 0.5, 0.25)
+	if tr.Degraded() {
+		t.Fatal("fresh tracker degraded")
+	}
+	// One early bad event in a near-empty window must not trip (half-full
+	// guard): 1/1 = 100% ≥ trip but filled < window/2.
+	tr.Observe(true)
+	if tr.Degraded() {
+		t.Fatal("tripped before window half full")
+	}
+	// Fill to half with bad events → trips.
+	tr.Observe(true)
+	tr.Observe(true)
+	tr.Observe(true)
+	if !tr.Degraded() {
+		t.Fatalf("not tripped at bad rate %v with half-full window", tr.BadRate())
+	}
+	// Good events wash the window; recovery only below 0.25.
+	for i := 0; i < 4; i++ {
+		tr.Observe(false)
+		// 4 bad of 5..8: rates 0.8, 0.67, 0.57, 0.5 — all above recover.
+		if !tr.Degraded() {
+			t.Fatalf("recovered early at rate %v", tr.BadRate())
+		}
+	}
+	tr.Observe(false) // evicts a bad: 3/8
+	tr.Observe(false) // 2/8 = 0.25 ≤ recover → untrips
+	if tr.Degraded() {
+		t.Fatalf("still degraded at rate %v", tr.BadRate())
+	}
+	// Re-trips when the rate climbs back.
+	for i := 0; i < 8; i++ {
+		tr.Observe(true)
+	}
+	if !tr.Degraded() {
+		t.Fatal("did not re-trip")
+	}
+}
+
+func TestTrackerDisabled(t *testing.T) {
+	for _, tr := range []*Tracker{nil, NewTracker(0, 0.5, 0.2), NewTracker(8, 0, 0)} {
+		for i := 0; i < 20; i++ {
+			tr.Observe(true)
+		}
+		if tr.Degraded() {
+			t.Fatal("disabled tracker tripped")
+		}
+		if tr.BadRate() != 0 {
+			t.Fatal("disabled tracker reports a bad rate")
+		}
+	}
+}
+
+func TestTrackerBadRate(t *testing.T) {
+	tr := NewTracker(4, 0.9, 0.1)
+	tr.Observe(true)
+	tr.Observe(false)
+	if got := tr.BadRate(); got != 0.5 {
+		t.Fatalf("BadRate = %v, want 0.5", got)
+	}
+	// Window slides: four good events evict the bad one.
+	for i := 0; i < 4; i++ {
+		tr.Observe(false)
+	}
+	if got := tr.BadRate(); got != 0 {
+		t.Fatalf("BadRate after wash = %v, want 0", got)
+	}
+}

@@ -125,6 +125,40 @@ func (t *Topology) Latency(src, dst int) float64 {
 	}
 }
 
+// MessageHops returns the number of store-and-forward message hops a
+// feedback message traverses from src to dst — the hop count the fault
+// model exposes to loss/corruption, one chance per hop. On-chip paths are
+// fabric wires with no message framing (0 hops); a backplane path is two
+// serdes hops; an inter-backplane path adds the crossbar (3 hops).
+func (t *Topology) MessageHops(src, dst int) int {
+	switch t.RouteLevel(src, dst) {
+	case LevelOnChip:
+		return 0
+	case LevelBackplane:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// RetryPenaltyNs prices retries resends of a message over the src→dst
+// path: each resend pays the (doubling) receiver timeout plus one fresh
+// transit of the full path. This is the latency the graceful-degradation
+// policy adds to a feedback when its backplane messages are dropped or
+// corrupted.
+func (t *Topology) RetryPenaltyNs(src, dst, retries int, backoffNs float64) float64 {
+	if retries <= 0 {
+		return 0
+	}
+	transit := t.Latency(src, dst)
+	penalty := 0.0
+	for k := 0; k < retries; k++ {
+		penalty += backoffNs + transit
+		backoffNs *= 2
+	}
+	return penalty
+}
+
 // WorstCaseLatency returns the maximum trigger latency over all qubit
 // pairs — the bound that sizes the dynamic timing controller's windows.
 func (t *Topology) WorstCaseLatency() float64 {

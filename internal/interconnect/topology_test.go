@@ -130,3 +130,46 @@ func TestLevelString(t *testing.T) {
 		t.Fatal("Level.String broken")
 	}
 }
+
+func TestMessageHops(t *testing.T) {
+	top := PaperTopology() // 6 qubits/FPGA, 2 FPGAs/backplane
+	cases := []struct {
+		src, dst, hops int
+	}{
+		{0, 5, 0},   // same FPGA: fabric wires, no message framing
+		{0, 0, 0},   // self
+		{0, 6, 2},   // same backplane, different FPGA: two serdes hops
+		{0, 12, 3},  // across backplanes: serdes + crossbar + serdes
+		{17, 0, 3},  // symmetric
+	}
+	for _, c := range cases {
+		if got := top.MessageHops(c.src, c.dst); got != c.hops {
+			t.Errorf("MessageHops(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestRetryPenaltyNs(t *testing.T) {
+	top := PaperTopology()
+	if got := top.RetryPenaltyNs(0, 12, 0, 16); got != 0 {
+		t.Fatalf("zero retries cost %v ns", got)
+	}
+	transit := top.Latency(0, 12)
+	// One retry: one backoff + one fresh transit.
+	if got, want := top.RetryPenaltyNs(0, 12, 1, 16), 16+transit; got != want {
+		t.Fatalf("1 retry = %v, want %v", got, want)
+	}
+	// Three retries: backoff doubles 16+32+64, plus three transits.
+	if got, want := top.RetryPenaltyNs(0, 12, 3, 16), 16+32+64+3*transit; got != want {
+		t.Fatalf("3 retries = %v, want %v", got, want)
+	}
+	// Penalty is monotone in retries.
+	prev := 0.0
+	for r := 1; r <= 6; r++ {
+		p := top.RetryPenaltyNs(0, 6, r, 16)
+		if p <= prev {
+			t.Fatalf("penalty not monotone at %d retries: %v <= %v", r, p, prev)
+		}
+		prev = p
+	}
+}

@@ -166,8 +166,16 @@ func (p *Predictor) Predict(pulse *readout.Pulse) Decision {
 // every window boundary; the branch commits at the first threshold
 // crossing.
 func (p *Predictor) PredictWithHistory(pulse *readout.Pulse, pHist float64) Decision {
+	return p.PredictWithHistoryFault(pulse, pHist, nil)
+}
+
+// PredictWithHistoryFault is PredictWithHistory with a table-fault hook:
+// when tableFault is non-nil every state-table lookup passes through it
+// before entering the Bayesian fusion, which is how the fault subsystem
+// models corrupted table RAM (a nil hook is the fault-free fast path).
+func (p *Predictor) PredictWithHistoryFault(pulse *readout.Pulse, pHist float64, tableFault func(float64) float64) Decision {
 	bits := p.channel.Classifier.WindowBits(pulse, 0)
-	return p.predictBits(bits, pHist, func() int {
+	return p.predictBits(bits, pHist, tableFault, func() int {
 		return p.channel.Classifier.ClassifyFull(pulse)
 	})
 }
@@ -180,19 +188,29 @@ func (p *Predictor) PredictWithHistory(pulse *readout.Pulse, pHist float64) Deci
 // parallel pipeline uses it to keep the cheap Bayesian fusion on the
 // sequential merge path while workers do the windowing.
 func (p *Predictor) PredictFromBits(bits []int, final int, pHist float64) Decision {
-	return p.predictBits(bits, pHist, func() int { return final })
+	return p.predictBits(bits, pHist, nil, func() int { return final })
+}
+
+// PredictFromBitsFault is PredictFromBits with the table-fault hook of
+// PredictWithHistoryFault.
+func (p *Predictor) PredictFromBitsFault(bits []int, final int, pHist float64, tableFault func(float64) float64) Decision {
+	return p.predictBits(bits, pHist, tableFault, func() int { return final })
 }
 
 // predictBits evaluates the posterior at every window boundary and commits
 // at the first threshold crossing; finalFn supplies the full-readout
 // classification for the no-commitment fallback (deferred because the
-// committed path never needs it).
-func (p *Predictor) predictBits(bits []int, pHist float64, finalFn func() int) Decision {
+// committed path never needs it). tableFault, when non-nil, intercepts
+// every state-table lookup (fault injection).
+func (p *Predictor) predictBits(bits []int, pHist float64, tableFault func(float64) float64, finalFn func() int) Decision {
 	windowNs := p.channel.Classifier.WindowNs
 
 	var trace []PredictionPoint
 	for n := 1; n <= len(bits); n++ {
 		pRead := p.channel.Table.PRead1(bits[:n])
+		if tableFault != nil {
+			pRead = tableFault(pRead)
+		}
 		var post float64
 		switch p.cfg.Mode {
 		case ModeHistory:

@@ -1,0 +1,83 @@
+package pulse
+
+import (
+	"bytes"
+	"testing"
+
+	"artery/internal/workload"
+)
+
+// fuzzSeedCorpus returns realistic codec inputs: the compiled per-qubit DAC
+// sample streams of the benchmark circuits — the byte distribution the
+// hardware decoders actually face — plus a few synthetic edges.
+func fuzzSeedCorpus() [][]byte {
+	corpus := [][]byte{
+		nil,
+		{0},
+		{0xFF},
+		bytes.Repeat([]byte{0}, 300),
+		bytes.Repeat([]byte{1, 2}, 100),
+	}
+	for _, wl := range []*workload.Workload{workload.QRW(3), workload.QECCycle(1)} {
+		for q, w := range CompileCircuit(wl.Circuit) {
+			if q > 2 { // a few channels suffice; corpora should stay small
+				continue
+			}
+			b := w.Bytes()
+			if len(b) > 4096 {
+				b = b[:4096]
+			}
+			corpus = append(corpus, b)
+		}
+	}
+	return corpus
+}
+
+// fuzzRoundTrip is the shared property: Decode(Encode(x)) == x, and Decode
+// of arbitrary bytes returns (data or error) without panicking. The
+// arbitrary-decode leg caps its input because the codecs legitimately
+// amplify (RLE's 4-byte extended run expands to 64 KiB), and the fuzzer
+// would otherwise chase multi-gigabyte allocations instead of logic bugs.
+func fuzzRoundTrip(f *testing.F, c Codec) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := c.Encode(data)
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode of own encoding failed: %v", c.Name(), err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%s: round trip mismatch: %d bytes in, %d bytes out", c.Name(), len(data), len(dec))
+		}
+		// Treat the input as a (likely corrupt) encoded stream: the decoder
+		// must reject or decode it, never panic or over-allocate.
+		if len(data) <= 1024 {
+			if out, err := c.Decode(data); err == nil && len(out) > (len(data)+1)*65536 {
+				t.Fatalf("%s: decoded %d bytes from %d — amplification bound broken", c.Name(), len(out), len(data))
+			}
+		}
+	})
+}
+
+func FuzzCodecRoundTripHuffman(f *testing.F)  { fuzzRoundTrip(f, HuffmanCodec{}) }
+func FuzzCodecRoundTripRLE(f *testing.F)      { fuzzRoundTrip(f, RLECodec{}) }
+func FuzzCodecRoundTripCombined(f *testing.F) { fuzzRoundTrip(f, CombinedCodec{}) }
+
+// TestHuffmanDecodeRejectsOversizedHeader pins the hardening the fuzzer
+// relies on: a 4 GiB-claiming header over a tiny payload must error out
+// before allocating.
+func TestHuffmanDecodeRejectsOversizedHeader(t *testing.T) {
+	src := make([]byte, 4+256+2)
+	src[0], src[1], src[2], src[3] = 0xFF, 0xFF, 0xFF, 0xFF // origLen = 4 GiB - 1
+	src[4] = 1                                              // symbol 0, code length 1
+	if _, err := (HuffmanCodec{}).Decode(src); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+	// A header exactly matching the payload's bit budget still works.
+	enc := HuffmanCodec{}.Encode(bytes.Repeat([]byte{7}, 16))
+	if dec, err := (HuffmanCodec{}).Decode(enc); err != nil || len(dec) != 16 {
+		t.Fatalf("valid stream rejected: %v (%d bytes)", err, len(dec))
+	}
+}

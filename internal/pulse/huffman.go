@@ -173,6 +173,13 @@ func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
 	if origLen == 0 {
 		return []byte{}, nil
 	}
+	// Every decoded byte consumes at least one payload bit, so a header
+	// claiming more bytes than the payload has bits is corrupt. Rejecting it
+	// here also stops a fuzzed 4-byte header from pre-allocating gigabytes.
+	if origLen > len(payload)*8 {
+		return nil, fmt.Errorf("pulse: huffman header claims %d bytes but payload has only %d bits",
+			origLen, len(payload)*8)
+	}
 
 	// Build a canonical decoding table: for each code length, the first
 	// code value and the index of its first symbol.

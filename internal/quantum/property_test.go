@@ -1,0 +1,189 @@
+package quantum
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"artery/internal/stats"
+)
+
+// TestGatesPreserveNorm is the unitarity property: every gate of the set,
+// applied to random states at random angles, keeps ‖ψ‖ = 1 to machine
+// precision.
+func TestGatesPreserveNorm(t *testing.T) {
+	rng := stats.NewRNG(101)
+	gates := []struct {
+		name  string
+		apply func(s *State, q int)
+	}{
+		{"X", (*State).X}, {"Y", (*State).Y}, {"Z", (*State).Z},
+		{"H", (*State).H}, {"S", (*State).S}, {"Sdg", (*State).Sdg},
+		{"T", (*State).T}, {"Tdg", (*State).Tdg},
+		{"RX", func(s *State, q int) { s.RX(q, rng.Float64()*2*math.Pi) }},
+		{"RY", func(s *State, q int) { s.RY(q, rng.Float64()*2*math.Pi) }},
+		{"RZ", func(s *State, q int) { s.RZ(q, rng.Float64()*2*math.Pi) }},
+		{"CZ", func(s *State, q int) { s.CZ(q, (q+1)%3) }},
+		{"CNOT", func(s *State, q int) { s.CNOT(q, (q+1)%3) }},
+		{"SWAP", func(s *State, q int) { s.SWAP(q, (q+1)%3) }},
+	}
+	for _, g := range gates {
+		for trial := 0; trial < 20; trial++ {
+			s := randomState(3, rng)
+			g.apply(s, rng.Intn(3))
+			if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+				t.Fatalf("%s: norm %v after application (trial %d)", g.name, n, trial)
+			}
+		}
+	}
+}
+
+// TestGateMatricesUnitary checks unitarity structurally: the columns of
+// each gate's matrix (its action on basis states) are orthonormal.
+func TestGateMatricesUnitary(t *testing.T) {
+	gates := []struct {
+		name   string
+		qubits int
+		apply  func(s *State)
+	}{
+		{"X", 1, func(s *State) { s.X(0) }},
+		{"Y", 1, func(s *State) { s.Y(0) }},
+		{"Z", 1, func(s *State) { s.Z(0) }},
+		{"H", 1, func(s *State) { s.H(0) }},
+		{"S", 1, func(s *State) { s.S(0) }},
+		{"T", 1, func(s *State) { s.T(0) }},
+		{"RX(0.7)", 1, func(s *State) { s.RX(0, 0.7) }},
+		{"RY(1.1)", 1, func(s *State) { s.RY(0, 1.1) }},
+		{"RZ(2.3)", 1, func(s *State) { s.RZ(0, 2.3) }},
+		{"CZ", 2, func(s *State) { s.CZ(0, 1) }},
+		{"CNOT", 2, func(s *State) { s.CNOT(0, 1) }},
+		{"SWAP", 2, func(s *State) { s.SWAP(0, 1) }},
+	}
+	for _, g := range gates {
+		dim := 1 << g.qubits
+		cols := make([][]complex128, dim)
+		for b := 0; b < dim; b++ {
+			s := NewState(g.qubits)
+			// Prepare basis state |b⟩ from |0…0⟩.
+			for q := 0; q < g.qubits; q++ {
+				if b>>q&1 == 1 {
+					s.X(q)
+				}
+			}
+			g.apply(s)
+			col := make([]complex128, dim)
+			for i := range col {
+				col[i] = s.Amplitude(i)
+			}
+			cols[b] = col
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				var dot complex128
+				for k := 0; k < dim; k++ {
+					dot += cols[i][k] * cmplxConj(cols[j][k])
+				}
+				want := complex(0, 0)
+				if i == j {
+					want = 1
+				}
+				if cmplxAbs(dot-want) > 1e-9 {
+					t.Fatalf("%s: ⟨col%d|col%d⟩ = %v, want %v", g.name, j, i, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func cmplxConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+func cmplxAbs(c complex128) float64     { return math.Hypot(real(c), imag(c)) }
+
+// TestNoiseChannelsTracePreserving is the CPTP property as realized by the
+// Monte-Carlo unraveling: every noise channel leaves random states
+// normalized (each trajectory is renormalized, so trace preservation holds
+// pathwise).
+func TestNoiseChannelsTracePreserving(t *testing.T) {
+	rng := stats.NewRNG(202)
+	n := DeviceNoise()
+	channels := []struct {
+		name  string
+		apply func(s *State, q int)
+	}{
+		{"idle", func(s *State, q int) { s.Norm(); n.ApplyIdle(s, q, 500+rng.Float64()*3000, rng) }},
+		{"depolarizing", func(s *State, q int) { n.ApplyDepolarizing(s, q, 0.2, rng) }},
+		{"amp-damp", func(s *State, q int) { s.applyAmplitudeDamping(q, 0.3, rng) }},
+		{"gate1q", func(s *State, q int) { n.AfterGate1Q(s, q, rng) }},
+		{"gate2q", func(s *State, q int) { n.AfterGate2Q(s, q, (q+1)%4, rng) }},
+		{"idle-detuned", func(s *State, q int) { n.ApplyIdleDetuned(s, q, 2000, 1e5, false, rng) }},
+		{"idle-dd", func(s *State, q int) { n.ApplyIdleDetuned(s, q, 2000, 1e5, true, rng) }},
+		{"noisy-measure", func(s *State, q int) { n.NoisyMeasure(s, q, rng) }},
+	}
+	for _, c := range channels {
+		for trial := 0; trial < 25; trial++ {
+			s := randomState(4, rng)
+			c.apply(s, rng.Intn(4))
+			if nm := s.Norm(); math.Abs(nm-1) > 1e-6 {
+				t.Fatalf("%s: norm %v after channel (trial %d)", c.name, nm, trial)
+			}
+		}
+	}
+}
+
+// TestStatePoolNoAliasingOrDirtyBuffers drives a pool from many goroutines
+// (run under -race) and checks every Get returns a clean |0…0⟩ state that
+// no other in-flight goroutine holds.
+func TestStatePoolNoAliasingOrDirtyBuffers(t *testing.T) {
+	pool := NewStatePool(4)
+	const goroutines = 8
+	const rounds = 200
+	var mu sync.Mutex
+	inFlight := map[*State]int{}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(300 + id))
+			for r := 0; r < rounds; r++ {
+				s := pool.Get()
+				mu.Lock()
+				if owner, dup := inFlight[s]; dup {
+					mu.Unlock()
+					errs <- "pool handed one state to two goroutines"
+					_ = owner
+					return
+				}
+				inFlight[s] = id
+				mu.Unlock()
+
+				// Clean |0…0⟩: amplitude 1 at index 0, 0 elsewhere.
+				if s.Amplitude(0) != 1 {
+					errs <- "pool returned a dirty state (amp[0] != 1)"
+					return
+				}
+				for i := 1; i < 16; i++ {
+					if s.Amplitude(i) != 0 {
+						errs <- "pool returned a dirty state (nonzero tail)"
+						return
+					}
+				}
+				// Dirty it thoroughly before returning it.
+				for q := 0; q < 4; q++ {
+					s.H(q)
+					s.RZ(q, rng.Float64())
+				}
+				mu.Lock()
+				delete(inFlight, s)
+				mu.Unlock()
+				pool.Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

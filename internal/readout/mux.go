@@ -146,13 +146,31 @@ func CalibrateMux(g *MuxGroup, windowNs float64, nTrain int, rng *stats.RNG) []*
 	return out
 }
 
-// Classify returns qubit k's state from a multiplexed record.
-func (mc *MuxChannel) Classify(p *MuxPulse) int {
-	return mc.Classifier.ClassifyFull(p.QubitPulse(mc.Index))
+// Classify returns qubit k's state from a multiplexed record. It rejects
+// records that do not match the channel's group — a nil pulse, a per-qubit
+// width different from the group size, or a sample count different from the
+// group's capture length — instead of silently demodulating garbage (a
+// width mismatch used to index out of range or classify another group's
+// tones as this qubit's).
+func (mc *MuxChannel) Classify(p *MuxPulse) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("readout: mux classify of nil pulse")
+	}
+	n := len(mc.Group.Cals)
+	if len(p.Prepared) != n || len(p.DecayedAtNs) != n {
+		return 0, fmt.Errorf("readout: mux pulse width %d/%d does not match group size %d",
+			len(p.Prepared), len(p.DecayedAtNs), n)
+	}
+	if want := mc.Group.Cals[0].Samples(); len(p.Samples) != want {
+		return 0, fmt.Errorf("readout: mux pulse has %d samples, group captures %d",
+			len(p.Samples), want)
+	}
+	return mc.Classifier.ClassifyFull(p.QubitPulse(mc.Index)), nil
 }
 
 // Accuracy measures assignment fidelity of this channel over random
-// multiplexed shots.
+// multiplexed shots. It panics if Classify rejects a pulse — impossible
+// here, since every record is synthesized by the channel's own group.
 func (mc *MuxChannel) Accuracy(shots int, rng *stats.RNG) float64 {
 	if shots < 1 {
 		return 0
@@ -166,7 +184,11 @@ func (mc *MuxChannel) Accuracy(shots int, rng *stats.RNG) float64 {
 			}
 		}
 		mp := mc.Group.Synthesize(states, rng)
-		if mc.Classify(mp) == states[mc.Index] {
+		got, err := mc.Classify(mp)
+		if err != nil {
+			panic(fmt.Sprintf("readout: mux accuracy on self-synthesized pulse: %v", err))
+		}
+		if got == states[mc.Index] {
 			ok++
 		}
 	}

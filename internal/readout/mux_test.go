@@ -63,7 +63,11 @@ func TestMuxStatesIndependent(t *testing.T) {
 	for i := 0; i < trials; i++ {
 		mpA := g.Synthesize([]int{1, 0, 0}, rng)
 		mpB := g.Synthesize([]int{1, 1, 1}, rng)
-		a, b := mc.Classify(mpA), mc.Classify(mpB)
+		a, errA := mc.Classify(mpA)
+		b, errB := mc.Classify(mpB)
+		if errA != nil || errB != nil {
+			t.Fatalf("classify of own group's pulse failed: %v / %v", errA, errB)
+		}
 		if a == 1 {
 			agree++
 		}
@@ -119,5 +123,40 @@ func TestMuxCrosstalkBoundedVsSingle(t *testing.T) {
 	muxAcc := chans[1].Accuracy(300, rng)
 	if muxAcc < singleAcc-0.05 {
 		t.Fatalf("multiplexing penalty too large: %v vs %v", muxAcc, singleAcc)
+	}
+}
+
+func TestMuxClassifyRejectsMalformedPulses(t *testing.T) {
+	g := NewMuxGroup(DefaultCalibration(), 3)
+	rng := stats.NewRNG(8)
+	mc := CalibrateMux(g, 30, 100, rng)[0]
+
+	if _, err := mc.Classify(nil); err == nil {
+		t.Error("nil pulse accepted")
+	}
+
+	// A record from a differently sized group: per-qubit width mismatch.
+	g2 := NewMuxGroup(DefaultCalibration(), 2)
+	mp2 := g2.Synthesize([]int{1, 0}, rng)
+	if _, err := mc.Classify(mp2); err == nil {
+		t.Error("pulse of a 2-qubit group accepted by a 3-qubit channel")
+	}
+
+	// Matching width but truncated capture.
+	mp := g.Synthesize([]int{1, 0, 1}, rng)
+	short := &MuxPulse{
+		Samples:     mp.Samples[:len(mp.Samples)/2],
+		Prepared:    mp.Prepared,
+		DecayedAtNs: mp.DecayedAtNs,
+	}
+	if _, err := mc.Classify(short); err == nil {
+		t.Error("truncated capture accepted")
+	}
+
+	// The untouched record still classifies.
+	if got, err := mc.Classify(mp); err != nil {
+		t.Fatalf("well-formed pulse rejected: %v", err)
+	} else if got != 0 && got != 1 {
+		t.Fatalf("classification %d outside {0,1}", got)
 	}
 }
