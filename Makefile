@@ -5,8 +5,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 FAULT_COVER_FLOOR ?= 80.0
+# Allowed fractional throughput loss of the (disabled) tracing hooks vs
+# the BENCH_engine.json snapshot.
+TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault bench-engine bench
+.PHONY: tier1 ci fuzz-smoke cover-fault trace-overhead bench-engine bench
 
 tier1:
 	$(GO) build ./...
@@ -17,6 +20,7 @@ ci: tier1
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover-fault
+	$(MAKE) trace-overhead
 
 # Short fuzzing pass over the pulse codecs (one -fuzz target per
 # invocation, as the go tool requires).
@@ -31,6 +35,13 @@ cover-fault:
 	@$(GO) tool cover -func=/tmp/fault.cover | awk -v floor=$(FAULT_COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); printf "internal/fault coverage: %s%% (floor %s%%)\n", $$3, floor; \
 		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
+# Gate: the tracing layer's disabled hooks must cost < 1% throughput vs
+# the BENCH_engine.json snapshot, and enabling tracing must not change
+# RunResult. Regenerate the snapshot on this machine (`make bench-engine`)
+# before relying on the comparison.
+trace-overhead:
+	$(GO) run ./cmd/artery-bench -trace-overhead BENCH_engine.json -tolerance $(TRACE_OVERHEAD_TOL)
 
 # Regenerate the engine-throughput snapshot (BENCH_engine.json).
 bench-engine:

@@ -18,14 +18,25 @@
 //
 // Quickstart:
 //
-//	sys := artery.New(artery.Options{Seed: 1})
+//	sys, err := artery.New(artery.WithSeed(1))
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	report := sys.Run(artery.QRW(5), 200)
 //	fmt.Printf("latency %.2f µs, accuracy %.1f%%\n",
 //	    report.MeanLatencyUs, 100*report.Accuracy)
+//
+// Construction takes functional options (WithSeed, WithWorkers,
+// WithTracing, ...); the Options struct from earlier releases remains
+// fully supported through FromOptions:
+//
+//	sys, err := artery.FromOptions(artery.Options{Seed: 1})
 package artery
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"artery/internal/controller"
 	"artery/internal/core"
@@ -35,11 +46,18 @@ import (
 	"artery/internal/quantum"
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/trace"
 	"artery/internal/workload"
 )
 
 // Options configures a System. The zero value selects the paper's
 // evaluation configuration.
+//
+// Options is the struct-based configuration from earlier releases; pass it
+// through FromOptions. New code usually reads better with New and the
+// functional With* options, which also reach features (tracing, metrics)
+// that have no Options field. Both construction paths build identical
+// systems for the settings they share.
 type Options struct {
 	// Seed drives every stochastic component; runs are reproducible per
 	// seed. Zero selects seed 1.
@@ -103,7 +121,21 @@ type Report struct {
 	// Fidelity is the mean end-of-circuit state fidelity against an ideal
 	// zero-latency execution (NaN when state simulation is disabled).
 	Fidelity float64
+	// Stages is the per-stage feedback-latency breakdown over the run's
+	// feedback outcomes, in pipeline order (stages that never occurred are
+	// omitted). It is always populated — tracing need not be on — and is
+	// bit-identical at any worker count.
+	Stages []StageLatency
+	// Canceled reports that the run's context was canceled before all
+	// requested shots executed; the metrics then cover the Shots merged
+	// shots.
+	Canceled bool
 }
+
+// StageLatency is one row of a Report's per-stage latency breakdown: how
+// often a feedback pipeline stage occurred and how many nanoseconds it
+// consumed.
+type StageLatency = core.StageLatency
 
 func (r Report) String() string {
 	return fmt.Sprintf("%-12s %-14s latency=%6.2fµs accuracy=%5.1f%% commit=%5.1f%% fidelity=%.4f",
@@ -117,27 +149,165 @@ type System struct {
 	channel *readout.Channel
 	topo    *interconnect.Topology
 	rng     *stats.RNG
+	// rec / metrics instrument every run when non-nil (see WithTracing and
+	// WithMetrics); traceW receives each run's JSONL event stream.
+	rec     *trace.Recorder
+	metrics *trace.Registry
+	traceW  io.Writer
 }
 
-// New calibrates a system: it generates the training pulse corpus, fits the
-// readout classifier, and pre-generates the trajectory state table (the
-// paper's hardware-initialization step).
-func New(opts Options) *System {
-	if opts.Seed == 0 {
-		opts.Seed = 1
+// config is the resolved constructor configuration: the legacy Options
+// plus the observability settings only reachable through functional
+// options.
+type config struct {
+	Options
+	traceW  io.Writer
+	metrics bool
+}
+
+// Option configures New. Options compose left to right; later options
+// override earlier ones.
+type Option func(*config)
+
+// WithSeed seeds every stochastic component; runs are reproducible per
+// seed. Zero (and omitting the option) selects seed 1.
+func WithSeed(seed uint64) Option { return func(c *config) { c.Seed = seed } }
+
+// WithWorkers bounds shot-level parallelism: 0 uses GOMAXPROCS workers, 1
+// forces serial execution. Results are bit-identical at every setting.
+func WithWorkers(n int) Option { return func(c *config) { c.Workers = n } }
+
+// WithWindowNs sets the demodulation window length in nanoseconds
+// (default 30 ns, §6.1).
+func WithWindowNs(ns float64) Option { return func(c *config) { c.WindowNs = ns } }
+
+// WithHistoryDepth sets the number of branch-history registers k
+// (default 6).
+func WithHistoryDepth(k int) Option { return func(c *config) { c.HistoryDepth = k } }
+
+// WithTheta sets the symmetric confidence threshold (default 0.91,
+// Figure 17). Valid thresholds lie in (0.5, 1).
+func WithTheta(theta float64) Option { return func(c *config) { c.Theta = theta } }
+
+// WithMode selects the predictor features (default: combined).
+func WithMode(m PredictorMode) Option { return func(c *config) { c.Mode = m } }
+
+// WithoutStateSim skips the per-shot quantum-state fidelity simulation
+// (latency and accuracy remain available; much faster for sweeps).
+func WithoutStateSim() Option { return func(c *config) { c.DisableStateSim = true } }
+
+// WithDynamicalDecoupling executes feedback idle windows as X-echo
+// sequences; see Options.DynamicalDecoupling.
+func WithDynamicalDecoupling() Option { return func(c *config) { c.DynamicalDecoupling = true } }
+
+// WithQuasiStaticSigma adds a per-shot frozen frequency detuning (rad/ns)
+// to the noise model; see Options.QuasiStaticSigma.
+func WithQuasiStaticSigma(sigma float64) Option { return func(c *config) { c.QuasiStaticSigma = sigma } }
+
+// WithTracing records typed span events for every shot of every run —
+// readout classification, per-window posterior evolution, interconnect
+// hops, per-stage latency partitions — and streams them to w as JSON
+// Lines after each run completes. Tracing never perturbs results: events
+// are committed in shot order, so the stream (like the Report) is
+// bit-identical at any worker count. A nil w disables tracing.
+func WithTracing(w io.Writer) Option {
+	return func(c *config) { c.traceW = w }
+}
+
+// WithMetrics attaches a metrics registry — counters and latency
+// histograms updated on every run — exposed through System.WriteMetrics
+// in Prometheus text format.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// New calibrates a system: it generates the training pulse corpus, fits
+// the readout classifier, and pre-generates the trajectory state table
+// (the paper's hardware-initialization step). It returns an error for
+// out-of-range settings (Theta outside (0.5, 1), negative WindowNs,
+// HistoryDepth outside [1, 20], ...).
+func New(opts ...Option) (*System, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if opts.WindowNs == 0 {
-		opts.WindowNs = readout.DefaultWinNs
+	return newSystem(cfg)
+}
+
+// FromOptions is New for the struct-based Options configuration of
+// earlier releases. Existing callers of the old New(Options) constructor
+// migrate by renaming the call and handling the error (or using MustNew
+// with functional options):
+//
+//	sys := artery.New(artery.Options{Seed: 7})          // old
+//	sys, err := artery.FromOptions(artery.Options{Seed: 7}) // new
+//	sys := artery.MustNew(artery.WithSeed(7))           // new, panicking
+func FromOptions(opts Options) (*System, error) {
+	return newSystem(config{Options: opts})
+}
+
+// MustNew is New but panics on an invalid configuration — convenient in
+// tests, examples and package-level variables.
+func MustNew(opts ...Option) *System {
+	s, err := New(opts...)
+	if err != nil {
+		panic(err)
 	}
-	if opts.HistoryDepth == 0 {
-		opts.HistoryDepth = readout.DefaultK
+	return s
+}
+
+// newSystem applies defaults, validates, and calibrates.
+func newSystem(cfg config) (*System, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
-	if opts.Theta == 0 {
-		opts.Theta = 0.91
+	if cfg.WindowNs == 0 {
+		cfg.WindowNs = readout.DefaultWinNs
 	}
-	rng := stats.NewRNG(opts.Seed)
-	ch := readout.NewChannel(readout.DefaultCalibration(), opts.WindowNs, opts.HistoryDepth, rng.Split())
-	return &System{opts: opts, channel: ch, topo: interconnect.PaperTopology(), rng: rng}
+	if cfg.HistoryDepth == 0 {
+		cfg.HistoryDepth = readout.DefaultK
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.91
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	ch := readout.NewChannel(readout.DefaultCalibration(), cfg.WindowNs, cfg.HistoryDepth, rng.Split())
+	s := &System{opts: cfg.Options, channel: ch, topo: interconnect.PaperTopology(), rng: rng}
+	if cfg.traceW != nil {
+		s.rec = trace.NewRecorder(0)
+		s.traceW = cfg.traceW
+	}
+	if cfg.metrics {
+		s.metrics = trace.NewRegistry()
+	}
+	return s, nil
+}
+
+// validateConfig rejects out-of-range settings after defaulting.
+func validateConfig(cfg config) error {
+	if cfg.Theta <= 0.5 || cfg.Theta >= 1 {
+		return fmt.Errorf("artery: Theta must lie in (0.5, 1), got %v", cfg.Theta)
+	}
+	if cfg.WindowNs < 0 {
+		return fmt.Errorf("artery: WindowNs must be positive, got %v", cfg.WindowNs)
+	}
+	if dur := readout.DefaultCalibration().DurationNs; cfg.WindowNs > dur {
+		return fmt.Errorf("artery: WindowNs %v exceeds the %v ns readout", cfg.WindowNs, dur)
+	}
+	if cfg.HistoryDepth < 1 || cfg.HistoryDepth > 20 {
+		return fmt.Errorf("artery: HistoryDepth must lie in [1, 20], got %d", cfg.HistoryDepth)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("artery: Workers must be non-negative, got %d", cfg.Workers)
+	}
+	if cfg.QuasiStaticSigma < 0 {
+		return fmt.Errorf("artery: QuasiStaticSigma must be non-negative, got %v", cfg.QuasiStaticSigma)
+	}
+	if m := predict.Mode(cfg.Mode); m != predict.ModeCombined && m != predict.ModeHistory && m != predict.ModeTrajectory {
+		return fmt.Errorf("artery: unknown predictor mode %d", cfg.Mode)
+	}
+	return nil
 }
 
 // ControllerNames lists the available feedback controllers: "ARTERY" plus
@@ -148,21 +318,21 @@ func ControllerNames() []string {
 
 // newController builds a fresh controller by name (fresh predictor state
 // per run, so runs are independent).
-func (s *System) newController(name string) controller.Controller {
+func (s *System) newController(name string) (controller.Controller, error) {
 	switch name {
 	case "ARTERY":
 		cfg := predict.Config{Theta0: s.opts.Theta, Theta1: s.opts.Theta, Mode: predict.Mode(s.opts.Mode)}
-		return controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel))
+		return controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel)), nil
 	case "QubiC":
-		return controller.NewBaseline(name, controller.QubiCOverheadNs, s.topo)
+		return controller.NewBaseline(name, controller.QubiCOverheadNs, s.topo), nil
 	case "HERQULES":
-		return controller.NewBaseline(name, controller.HERQULESOverheadNs, s.topo)
+		return controller.NewBaseline(name, controller.HERQULESOverheadNs, s.topo), nil
 	case "Salathe et al.":
-		return controller.NewBaseline(name, controller.SalatheOverheadNs, s.topo)
+		return controller.NewBaseline(name, controller.SalatheOverheadNs, s.topo), nil
 	case "Reuer et al.":
-		return controller.NewBaseline(name, controller.ReuerOverheadNs, s.topo)
+		return controller.NewBaseline(name, controller.ReuerOverheadNs, s.topo), nil
 	default:
-		panic(fmt.Sprintf("artery: unknown controller %q", name))
+		return nil, fmt.Errorf("artery: unknown controller %q", name)
 	}
 }
 
@@ -171,15 +341,48 @@ func (s *System) Run(wl *Workload, shots int) Report {
 	return s.RunWith("ARTERY", wl, shots)
 }
 
-// RunWith executes a workload under a named controller.
+// RunWith executes a workload under a named controller. It panics on an
+// invalid workload or unknown controller name; RunWithContext is the
+// error-returning form.
 func (s *System) RunWith(name string, wl *Workload, shots int) Report {
+	rep, err := s.RunWithContext(context.Background(), name, wl, shots)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// RunContext is Run with cooperative cancellation and error reporting:
+// the engine checks ctx at shot-batch boundaries, and a canceled context
+// returns the aggregates over the shots merged so far with
+// Report.Canceled set (not an error — the partial result is still valid
+// and deterministic). The error path covers invalid workloads.
+func (s *System) RunContext(ctx context.Context, wl *Workload, shots int) (Report, error) {
+	return s.RunWithContext(ctx, "ARTERY", wl, shots)
+}
+
+// RunWithContext is RunContext under a named controller (see
+// ControllerNames).
+func (s *System) RunWithContext(ctx context.Context, name string, wl *Workload, shots int) (Report, error) {
+	if err := core.ValidateWorkload(wl); err != nil {
+		return Report{}, err
+	}
+	ctrl, err := s.newController(name)
+	if err != nil {
+		return Report{}, err
+	}
 	noise := quantum.DeviceNoise()
 	noise.QuasiStaticSigma = s.opts.QuasiStaticSigma
-	eng := core.NewEngine(s.newController(name), s.channel, noise)
+	eng := core.NewEngine(ctrl, s.channel, noise)
 	eng.SimulateState = !s.opts.DisableStateSim
 	eng.EnableDD = s.opts.DynamicalDecoupling
 	eng.Workers = s.opts.Workers
-	res := eng.Run(wl, shots, s.rng.Split())
+	eng.Trace = s.rec
+	eng.Metrics = s.metrics
+	res := eng.RunContext(ctx, wl, shots, s.rng.Split())
+	if err := s.flushTrace(); err != nil {
+		return Report{}, err
+	}
 	return Report{
 		Workload:      res.Workload,
 		Controller:    res.Controller,
@@ -188,7 +391,27 @@ func (s *System) RunWith(name string, wl *Workload, shots int) Report {
 		Accuracy:      res.Accuracy,
 		CommitRate:    res.CommitRate,
 		Fidelity:      res.MeanFidelity,
+		Stages:        res.Stages,
+		Canceled:      res.Canceled,
+	}, nil
+}
+
+// flushTrace streams the recorder's committed events to the tracing
+// writer and clears the recorder for the next run.
+func (s *System) flushTrace() error {
+	if s.rec == nil || s.traceW == nil {
+		return nil
 	}
+	err := s.rec.WriteJSONL(s.traceW)
+	s.rec.Reset()
+	return err
+}
+
+// WriteMetrics writes the system's accumulated metrics — counters and
+// latency histograms over every run so far — in the Prometheus text
+// exposition format. Without WithMetrics it writes nothing.
+func (s *System) WriteMetrics(w io.Writer) error {
+	return s.metrics.WriteProm(w)
 }
 
 // Compare runs a workload under every controller and returns the reports

@@ -7,10 +7,10 @@ import (
 )
 
 // one shared system: calibration is the expensive step.
-var sys = New(Options{Seed: 7, DisableStateSim: true})
+var sys = MustNew(WithSeed(7), WithoutStateSim())
 
 func TestNewDefaults(t *testing.T) {
-	s := New(Options{})
+	s := MustNew()
 	if s.opts.Seed != 1 || s.opts.WindowNs != 30 || s.opts.HistoryDepth != 6 || s.opts.Theta != 0.91 {
 		t.Fatalf("defaults wrong: %+v", s.opts)
 	}
@@ -98,7 +98,7 @@ func TestReportString(t *testing.T) {
 }
 
 func TestFidelityAvailableWithStateSim(t *testing.T) {
-	s := New(Options{Seed: 11})
+	s := MustNew(WithSeed(11))
 	r := s.Run(QRW(2), 10)
 	if math.IsNaN(r.Fidelity) || r.Fidelity <= 0 {
 		t.Fatalf("fidelity %v", r.Fidelity)
@@ -106,8 +106,8 @@ func TestFidelityAvailableWithStateSim(t *testing.T) {
 }
 
 func TestDeterministicPerSeed(t *testing.T) {
-	a := New(Options{Seed: 3, DisableStateSim: true}).Run(QRW(2), 20)
-	b := New(Options{Seed: 3, DisableStateSim: true}).Run(QRW(2), 20)
+	a := MustNew(WithSeed(3), WithoutStateSim()).Run(QRW(2), 20)
+	b := MustNew(WithSeed(3), WithoutStateSim()).Run(QRW(2), 20)
 	if a.MeanLatencyUs != b.MeanLatencyUs || a.Accuracy != b.Accuracy {
 		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
 	}
@@ -117,8 +117,8 @@ func TestModeAblationAffectsLatency(t *testing.T) {
 	// Trajectory-only must be slower than combined on a skewed workload
 	// (Figure 14's direction). 200 shots keeps the gap well clear of
 	// Monte-Carlo noise across seeds.
-	comb := New(Options{Seed: 5, DisableStateSim: true})
-	traj := New(Options{Seed: 5, Mode: ModeTrajectory, DisableStateSim: true})
+	comb := MustNew(WithSeed(5), WithoutStateSim())
+	traj := MustNew(WithSeed(5), WithMode(ModeTrajectory), WithoutStateSim())
 	wl := RCNOT(2)
 	rc := comb.Run(wl, 200)
 	rt := traj.Run(wl, 200)
@@ -179,10 +179,16 @@ func TestTuneThresholdFacade(t *testing.T) {
 func TestDynamicalDecouplingOption(t *testing.T) {
 	// With quasi-static dephasing, the DD option must improve fidelity.
 	base := Options{Seed: 31, QuasiStaticSigma: 2e-4}
-	plain := New(base)
+	plain, err := FromOptions(base)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ddOpts := base
 	ddOpts.DynamicalDecoupling = true
-	dd := New(ddOpts)
+	dd, err := FromOptions(ddOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wl := QRW(10)
 	fPlain := plain.RunWith("QubiC", wl, 40).Fidelity
 	fDD := dd.RunWith("QubiC", wl, 40).Fidelity

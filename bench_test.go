@@ -166,7 +166,7 @@ func BenchmarkFigure17Threshold(b *testing.B) {
 // shot (pulse synthesis + demodulation + table lookups + Bayesian fusion),
 // the per-shot work the FPGA performs in O(1) per window.
 func BenchmarkPredictorShot(b *testing.B) {
-	sys := New(Options{Seed: 1, DisableStateSim: true})
+	sys := MustNew(WithSeed(1), WithoutStateSim())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.PredictShot(i%2, 0.5)
@@ -176,7 +176,7 @@ func BenchmarkPredictorShot(b *testing.B) {
 // BenchmarkEngineQRWShot measures one full engine shot with state
 // simulation (gates + noise channels + feedback).
 func BenchmarkEngineQRWShot(b *testing.B) {
-	sys := New(Options{Seed: 1})
+	sys := MustNew(WithSeed(1))
 	wl := QRW(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -205,7 +205,10 @@ func BenchmarkEngineRun(b *testing.B) {
 		for _, workers := range []int{1, 8} {
 			name := c.name + "/workers=" + strconv.Itoa(workers)
 			b.Run(name, func(b *testing.B) {
-				sys := New(Options{Seed: 1, DisableStateSim: !c.stateSim, Workers: workers})
+				sys, err := FromOptions(Options{Seed: 1, DisableStateSim: !c.stateSim, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
 				wl := QRW(5)
 				sys.RunWith(c.ctrl, wl, 2) // warm calibration + analysis caches
 				b.ResetTimer()

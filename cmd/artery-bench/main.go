@@ -5,6 +5,8 @@
 //
 //	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-workers N] [-list] [-faults]
 //	artery-bench -engine-bench BENCH_engine.json [-shots N] [-seed N]
+//	artery-bench -trace [-metrics] [-shots N] [-seed N]
+//	artery-bench -trace-overhead BENCH_engine.json [-tolerance F]
 //
 // Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
 // fig12c, fig12d, table1, fig13, fig14, fig15a, fig15b, table2, fig16,
@@ -13,19 +15,34 @@
 // -engine-bench measures Engine.Run's shot throughput at worker counts
 // 1/2/4/8/GOMAXPROCS and writes the result as JSON (the repository's
 // BENCH_engine.json snapshot).
+//
+// -trace / -metrics run the observability demo: a QRW-5 sweep under the
+// ARTERY controller with shot tracing and the metrics registry attached,
+// writing the JSONL event stream to trace.jsonl and the Prometheus-style
+// exposition to metrics.prom (override with -trace-out / -metrics-out)
+// plus a per-stage latency table on stdout.
+//
+// -trace-overhead is the CI regression gate for the tracing layer: it
+// re-measures tracing-off engine throughput and fails when it falls more
+// than -tolerance (default 1%) below the BENCH_engine.json snapshot, and
+// additionally asserts that enabling tracing does not change RunResult.
+// -pprof FILE writes a CPU profile of whichever mode runs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
+	"artery"
 	"artery/internal/controller"
 	"artery/internal/core"
 	"artery/internal/experiment"
@@ -33,6 +50,7 @@ import (
 	"artery/internal/predict"
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/trace"
 	"artery/internal/workload"
 )
 
@@ -75,8 +93,48 @@ func main() {
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
 		engOut  = flag.String("engine-bench", "", "measure Engine.Run shot throughput across worker counts, write JSON to this path, and exit")
+
+		doTrace    = flag.Bool("trace", false, "observability demo: record a shot trace for a QRW-5 ARTERY run and write it as JSONL")
+		doMetrics  = flag.Bool("metrics", false, "observability demo: collect the metrics registry for a QRW-5 ARTERY run and write the Prometheus text exposition")
+		traceOut   = flag.String("trace-out", "trace.jsonl", "JSONL output path for -trace (\"-\" = stdout)")
+		metricsOut = flag.String("metrics-out", "metrics.prom", "metrics output path for -metrics (\"-\" = stdout)")
+		overhead   = flag.String("trace-overhead", "", "regression gate: compare tracing-off throughput against this BENCH_engine.json snapshot and exit")
+		tolerance  = flag.Float64("tolerance", 0.01, "allowed fractional throughput regression for -trace-overhead")
+		profOut    = flag.String("pprof", "", "write a CPU profile of the selected mode to this path")
 	)
 	flag.Parse()
+
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *overhead != "" {
+		if err := runTraceOverhead(*overhead, *tolerance); err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *doTrace || *doMetrics {
+		if err := runObsDemo(*seed, *shots, *doTrace, *doMetrics, *traceOut, *metricsOut); err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *engOut != "" {
 		if err := runEngineBench(*engOut, *seed, *shots); err != nil {
@@ -239,4 +297,170 @@ func runEngineBench(path string, seed uint64, shots int) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// openSink opens path for writing; "-" means stdout (whose closer is a
+// no-op so the caller can always defer it).
+func openSink(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// runObsDemo exercises the observability exporters end to end: a QRW-5
+// run under the ARTERY controller with shot tracing and/or the metrics
+// registry enabled, dumping the JSONL event stream and the Prometheus
+// text exposition, plus the per-stage latency table on stdout.
+func runObsDemo(seed uint64, shots int, doTrace, doMetrics bool, tracePath, metricsPath string) error {
+	if shots < 200 {
+		shots = 200 // enough shots for the histograms to be meaningful
+	}
+	opts := []artery.Option{artery.WithSeed(seed)}
+	var traceW io.Writer
+	var closeTrace func() error
+	if doTrace {
+		w, cl, err := openSink(tracePath)
+		if err != nil {
+			return err
+		}
+		traceW, closeTrace = w, cl
+		opts = append(opts, artery.WithTracing(traceW))
+	}
+	if doMetrics {
+		opts = append(opts, artery.WithMetrics())
+	}
+	sys, err := artery.New(opts...)
+	if err != nil {
+		return err
+	}
+	rep := sys.Run(artery.QRW(5), shots)
+	fmt.Println(rep)
+	fmt.Printf("\n%-14s %8s %14s %12s\n", "stage", "count", "total_ns", "mean_ns")
+	for _, sl := range rep.Stages {
+		fmt.Printf("%-14s %8d %14.1f %12.1f\n", sl.Stage, sl.Count, sl.TotalNs, sl.MeanNs)
+	}
+	if doTrace {
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		if tracePath != "-" {
+			fmt.Printf("\nshot trace (JSONL) written to %s\n", tracePath)
+		}
+	}
+	if doMetrics {
+		w, cl, err := openSink(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := sys.WriteMetrics(w); err != nil {
+			cl()
+			return err
+		}
+		if err := cl(); err != nil {
+			return err
+		}
+		if metricsPath != "-" {
+			fmt.Printf("metrics exposition written to %s\n", metricsPath)
+		}
+	}
+	return nil
+}
+
+// runTraceOverhead is the `make trace-overhead` gate. It re-measures the
+// tracing-off throughput of each BENCH_engine.json case at workers=1
+// (the most noise-stable point), takes the best of three runs, and fails
+// when any case falls more than tol below its snapshot rate — i.e. when
+// the disabled instrumentation hooks stop being free. It also asserts
+// that attaching a recorder does not change RunResult (determinism under
+// tracing).
+func runTraceOverhead(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("trace-overhead: %w (run `make bench-engine` first)", err)
+	}
+	var rep engineBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("trace-overhead: %s: %w", path, err)
+	}
+
+	ch := readout.NewChannel(readout.DefaultCalibration(), readout.DefaultWinNs, readout.DefaultK, stats.NewRNG(rep.Seed))
+	topo := interconnect.PaperTopology()
+	wl := workload.QRW(5)
+	makeCase := map[string]func() *core.Engine{
+		"QubiC/QRW-5/state-sim": func() *core.Engine {
+			return core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, nil)
+		},
+		"ARTERY/QRW-5/latency-only": func() *core.Engine {
+			p := predict.New(predict.DefaultConfig(), ch)
+			e := core.NewEngine(controller.NewArtery(controller.DefaultUnits(), topo, p), ch, nil)
+			e.SimulateState = false
+			return e
+		},
+	}
+
+	fail := false
+	for _, c := range rep.Cases {
+		mk, ok := makeCase[c.Name]
+		if !ok {
+			return fmt.Errorf("trace-overhead: unknown case %q in %s", c.Name, path)
+		}
+		var baseline float64
+		for _, pt := range c.Points {
+			if pt.Workers == 1 {
+				baseline = pt.ShotsPerSec
+			}
+		}
+		if baseline == 0 {
+			return fmt.Errorf("trace-overhead: case %q has no workers=1 point", c.Name)
+		}
+
+		// Best-of-three serial throughput with tracing off (nil recorder:
+		// the disabled state every hook must treat as free).
+		var best float64
+		for i := 0; i < 3; i++ {
+			e := mk()
+			e.Workers = 1
+			e.Run(wl, 2, stats.NewRNG(rep.Seed+1))
+			start := time.Now()
+			e.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
+			rate := float64(rep.Shots) / time.Since(start).Seconds()
+			if rate > best {
+				best = rate
+			}
+		}
+		loss := 1 - best/baseline
+		status := "ok"
+		if loss > tol {
+			status, fail = "FAIL", true
+		}
+		fmt.Printf("%-28s snapshot %8.1f shots/s  now %8.1f shots/s  overhead %+6.2f%%  [%s]\n",
+			c.Name, baseline, best, 100*loss, status)
+
+		// Determinism under tracing: attaching a recorder must not change
+		// the result.
+		off := mk()
+		off.Workers = 1
+		resOff := off.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
+		on := mk()
+		on.Workers = 1
+		on.Trace = trace.NewRecorder(0)
+		on.Metrics = trace.NewRegistry()
+		resOn := on.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
+		same := resOn.MeanLatencyNs == resOff.MeanLatencyNs &&
+			(resOn.MeanFidelity == resOff.MeanFidelity ||
+				(resOn.MeanFidelity != resOn.MeanFidelity && resOff.MeanFidelity != resOff.MeanFidelity))
+		if !same {
+			fail = true
+			fmt.Printf("%-28s FAIL: RunResult differs with tracing enabled\n", c.Name)
+		}
+	}
+	if fail {
+		return fmt.Errorf("trace-overhead: tracing layer regressed beyond %.1f%% (or broke determinism)", 100*tol)
+	}
+	return nil
 }

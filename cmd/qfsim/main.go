@@ -3,17 +3,26 @@
 //
 // Usage:
 //
-//	qfsim [-workload name] [-param N] [-controller name] [-shots N] [-seed N] [-workers N] [-trace N]
+//	qfsim [-workload name] [-param N] [-controller name] [-shots N] [-seed N]
+//	      [-workers N] [-posterior N] [-trace FILE] [-metrics FILE] [-pprof FILE]
 //
 // Workloads: qrw, rcnot, dqt, rusqnn, reset, random, qec.
 // Controllers: ARTERY (default), QubiC, HERQULES, "Salathe et al.",
 // "Reuer et al.".
+//
+// -trace streams every shot's span events (classification, posterior
+// windows, interconnect hops, stage latencies) as JSON Lines; -metrics
+// writes Prometheus-style counters and histograms after the run; both
+// accept "-" for stdout. -pprof writes a CPU profile. The former -trace N
+// posterior print is now -posterior N.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 
 	"artery"
 	"artery/internal/circuit"
@@ -25,6 +34,24 @@ import (
 	"artery/internal/stats"
 )
 
+// openSink resolves an output flag: "-" is stdout (no close), anything
+// else is created as a file.
+func openSink(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		wlName   = flag.String("workload", "qrw", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec|eswap|msi")
@@ -35,7 +62,10 @@ func main() {
 		shots    = flag.Int("shots", 100, "number of shots")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "shot-level worker count (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
-		traceN   = flag.Int("trace", 1, "print the posterior trace of N predicted shots")
+		traceN   = flag.Int("posterior", 1, "print the posterior trace of N predicted shots")
+		traceOut = flag.String("trace", "", "write the shot trace as JSON Lines to FILE (- for stdout)")
+		metrics  = flag.String("metrics", "", "write Prometheus-style metrics to FILE (- for stdout)")
+		profOut  = flag.String("pprof", "", "write a CPU profile to FILE")
 		compare  = flag.Bool("compare", false, "run all controllers and compare")
 		dumpQASM = flag.Bool("qasm", false, "print the workload circuit in QASM form and exit")
 		timeline = flag.Bool("timeline", false, "print the workload's per-qubit schedule and exit")
@@ -103,7 +133,47 @@ func main() {
 		return
 	}
 
-	sys := artery.New(artery.Options{Seed: *seed, Workers: *workers})
+	opts := []artery.Option{artery.WithSeed(*seed), artery.WithWorkers(*workers)}
+	if *traceOut != "" {
+		w, closeTrace, err := openSink(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeTrace()
+		opts = append(opts, artery.WithTracing(w))
+	}
+	if *metrics != "" {
+		opts = append(opts, artery.WithMetrics())
+	}
+	sys, err := artery.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *metrics != "" {
+		defer func() {
+			w, closeMetrics, err := openSink(*metrics)
+			if err != nil {
+				fatal(err)
+			}
+			defer closeMetrics()
+			if err := sys.WriteMetrics(w); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	fmt.Printf("workload %s: %d feedback sites over %d qubits\n\n",
 		wl.Name, wl.NumFeedback(), wl.Circuit.NumQubits)
 

@@ -9,7 +9,7 @@ import (
 // Example demonstrates the quickstart flow: calibrate a system, run a
 // workload under ARTERY and the conventional baseline, and compare.
 func Example() {
-	sys := artery.New(artery.Options{Seed: 1, DisableStateSim: true})
+	sys := artery.MustNew(artery.WithSeed(1), artery.WithoutStateSim())
 	wl := artery.QRW(5)
 	a := sys.Run(wl, 50)
 	q := sys.RunWith("QubiC", wl, 50)
@@ -25,7 +25,7 @@ func Example() {
 // ExampleSystem_PredictShot traces one predicted shot: the posterior climbs
 // as readout windows accumulate until the threshold commits the branch.
 func ExampleSystem_PredictShot() {
-	sys := artery.New(artery.Options{Seed: 1})
+	sys := artery.MustNew(artery.WithSeed(1))
 	tr := sys.PredictShot(1, 0.7)
 	fmt.Println("committed before readout end:", tr.Committed && tr.TimeUs < 2.0)
 	fmt.Println("posterior trace recorded:", len(tr.Posterior) > 0)

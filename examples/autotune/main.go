@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	sys := artery.New(artery.Options{Seed: 17})
+	sys := artery.MustNew(artery.WithSeed(17))
 
 	fmt.Println("threshold auto-tuning (400 training shots per candidate):")
 	fmt.Println("prior P(read 1)   tuned θ   latency (µs)   accuracy")

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	sys := artery.New(artery.Options{Seed: 7, DisableStateSim: true})
+	sys := artery.MustNew(artery.WithSeed(7), artery.WithoutStateSim())
 
 	// One QEC cycle has 16 feedback sites: 8 syndrome readouts with
 	// data-qubit pre-correction (case 1) and 8 syndrome pre-resets (case 3).

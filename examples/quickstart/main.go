@@ -14,7 +14,7 @@ func main() {
 	// New calibrates the readout channel and pre-generates the
 	// <trajectory, P_read_1> state table — the paper's hardware
 	// initialization step.
-	sys := artery.New(artery.Options{Seed: 42})
+	sys := artery.MustNew(artery.WithSeed(42))
 
 	// One predicted shot: a qubit prepared in |1⟩ at a feedback site whose
 	// history says branch 1 happens 70 % of the time (the worked example

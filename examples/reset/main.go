@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	sys := artery.New(artery.Options{Seed: 5, DisableStateSim: true})
+	sys := artery.MustNew(artery.WithSeed(5), artery.WithoutStateSim())
 
 	fmt.Println("active qubit reset (thermal excitation 12%):")
 	for _, n := range []int{1, 5, 25} {

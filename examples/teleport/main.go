@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	sys := artery.New(artery.Options{Seed: 99})
+	sys := artery.MustNew(artery.WithSeed(99))
 
 	fmt.Println("deterministic quantum teleportation with feed-forward:")
 	fmt.Println("distance   controller      latency (µs)   fidelity")

@@ -50,7 +50,7 @@ func TestIntegrationPredictCompileCompressRun(t *testing.T) {
 
 	// 4. The system executes it faster than the conventional baseline with
 	//    high prediction accuracy and a real fidelity number.
-	sys := New(Options{Seed: 77})
+	sys := MustNew(WithSeed(77))
 	a := sys.Run(wl, 40)
 	q := sys.RunWith("QubiC", wl, 40)
 	if a.MeanLatencyUs >= q.MeanLatencyUs {
@@ -90,7 +90,7 @@ func TestIntegrationCalibrationPersistsAcrossSystems(t *testing.T) {
 // feedback latency from the controller model feeds the memory simulation,
 // and the latency advantage becomes a logical-error advantage.
 func TestIntegrationQECPipelineEndToEnd(t *testing.T) {
-	sys := New(Options{Seed: 9, DisableStateSim: true})
+	sys := MustNew(WithSeed(9), WithoutStateSim())
 	wl := QEC(1)
 	a := sys.Run(wl, 30)
 	q := sys.RunWith("QubiC", wl, 30)

@@ -7,6 +7,7 @@ import (
 	"artery/internal/predict"
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/trace"
 )
 
 // Site describes one feedback site to the controller: its pre-execution
@@ -46,6 +47,11 @@ type Shot struct {
 	// controller draws its outage/jitter/backplane/table faults from it and
 	// applies its graceful-degradation policies. Nil means fault-free.
 	Faults *fault.Session
+	// Span, when non-nil, receives the shot's trace events: the controller
+	// emits its per-window posterior evolution, interconnect hop traversal
+	// and the per-stage latency partition of the outcome. Nil (the default)
+	// is tracing off — every recording call degenerates to a nil check.
+	Span *trace.ShotSpan
 }
 
 // Outcome reports how the controller handled one feedback shot.
@@ -74,21 +80,90 @@ type Outcome struct {
 	Breakdown LatencyBreakdown
 }
 
-// LatencyBreakdown decomposes a committed feedback's latency (Figure 9's
-// stages): the predictor's decision time, the Bayesian pipeline delay, the
-// interconnect transit, the speculative staging (prep + DAC + optional
-// ancilla preparation), and any wait on the case-3 readout-end floor.
+// LatencyBreakdown decomposes a feedback's latency into its pipeline
+// stages (Figure 9's view, extended to every path). Both controllers fill
+// it on every outcome — committed, conventional, mispredicted and
+// degraded — and the components always partition LatencyNs: Total() equals
+// the outcome's latency on every path, which is what lets the engine build
+// its per-stage breakdown table and the trace layer emit additive spans
+// without re-deriving controller internals.
+//
+// Committed predictions use DecisionNs/PipelineNs/TransitNs/StagingNs/
+// FloorWaitNs (plus RetryNs under faults). Blocking paths use ReadoutNs/
+// ClassifyNs/StagingNs (plus TransitNs/RetryNs remotely and FaultNs for
+// fault-imposed penalties); mispredictions additionally pay RecoveryNs.
 type LatencyBreakdown struct {
-	DecisionNs  float64
-	PipelineNs  float64
-	TransitNs   float64
-	StagingNs   float64
+	// DecisionNs is the predictor's time-to-threshold.
+	DecisionNs float64
+	// PipelineNs is the Bayesian output delay plus trigger clock
+	// quantization (and injected trigger jitter).
+	PipelineNs float64
+	// TransitNs is the interconnect transit of the feedback signal.
+	TransitNs float64
+	// StagingNs is pulse staging: prep + DAC (+ case-2 ancilla).
+	StagingNs float64
+	// FloorWaitNs is the case-3 wait for the readout-end floor.
 	FloorWaitNs float64
+	// ReadoutNs is a blocking wait for the full readout pulse.
+	ReadoutNs float64
+	// ClassifyNs is the post-readout ADC + classification chain (for
+	// baselines, their published processing overhead).
+	ClassifyNs float64
+	// RecoveryNs is the inverse program undoing a wrong branch.
+	RecoveryNs float64
+	// RetryNs is the retry penalty of dropped/corrupted backplane messages.
+	RetryNs float64
+	// FaultNs is fault-imposed latency with no fault-free counterpart
+	// (e.g. the re-read after a readout-channel outage).
+	FaultNs float64
 }
 
-// Total sums the components.
+// Total sums the components; it equals the outcome's LatencyNs.
 func (b LatencyBreakdown) Total() float64 {
-	return b.DecisionNs + b.PipelineNs + b.TransitNs + b.StagingNs + b.FloorWaitNs
+	return b.DecisionNs + b.PipelineNs + b.TransitNs + b.StagingNs + b.FloorWaitNs +
+		b.ReadoutNs + b.ClassifyNs + b.RecoveryNs + b.RetryNs + b.FaultNs
+}
+
+// Stages calls f for every nonzero component in pipeline order with its
+// trace stage. The engine's per-stage breakdown table and the trace
+// layer's additive spans both walk this enumeration, so they can never
+// disagree on how a latency decomposes.
+func (b LatencyBreakdown) Stages(f func(st trace.Stage, durNs float64)) {
+	walk := func(st trace.Stage, d float64) {
+		if d != 0 {
+			f(st, d)
+		}
+	}
+	walk(trace.StageReadout, b.ReadoutNs)
+	walk(trace.StageDecision, b.DecisionNs)
+	walk(trace.StagePipeline, b.PipelineNs)
+	walk(trace.StageClassify, b.ClassifyNs)
+	walk(trace.StageTransit, b.TransitNs)
+	walk(trace.StageRetry, b.RetryNs)
+	walk(trace.StageStaging, b.StagingNs)
+	walk(trace.StageFloorWait, b.FloorWaitNs)
+	walk(trace.StageRecovery, b.RecoveryNs)
+	walk(trace.StageFault, b.FaultNs)
+}
+
+// recordBreakdown emits the outcome's latency partition into span as
+// additive stage events in pipeline order with cumulative offsets.
+// Zero-duration stages are skipped; the emitted durations always sum to
+// the outcome's LatencyNs. Nil-safe via the span.
+func recordBreakdown(span *trace.ShotSpan, out Outcome) {
+	if span == nil {
+		return
+	}
+	t := 0.0
+	mis := out.Committed && !out.Correct
+	out.Breakdown.Stages(func(st trace.Stage, d float64) {
+		if st == trace.StageRetry || st == trace.StageFault || out.FellBack {
+			span.SpanFault(st, t, t+d, 0)
+		} else {
+			span.SpanOutcome(st, t, t+d, out.Predicted, mis)
+		}
+		t += d
+	})
 }
 
 // Controller executes the classical half of a feedback site.
@@ -216,8 +291,15 @@ func (a *Artery) reliableSendNs(sess *fault.Session, site Site) float64 {
 	return a.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
 }
 
-// Feedback runs one predicted feedback shot.
+// Feedback runs one predicted feedback shot and, when the shot carries a
+// trace span, records the outcome's per-stage latency partition.
 func (a *Artery) Feedback(site Site, shot Shot) Outcome {
+	out := a.feedback(site, shot)
+	recordBreakdown(shot.Span, out)
+	return out
+}
+
+func (a *Artery) feedback(site Site, shot Shot) Outcome {
 	hist := a.siteHistory(site)
 	sess := shot.Faults
 	a.ensureTracker(sess)
@@ -228,27 +310,45 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	transit := a.topo.Latency(site.ReadQubit, site.BranchQubit)
 	remote := a.topo.RouteLevel(site.ReadQubit, site.BranchQubit) != interconnect.LevelOnChip
 	readout := a.pred.ReadoutDurationNs()
+	if remote {
+		a.topo.RecordHops(shot.Span, site.ReadQubit, site.BranchQubit)
+	}
 
 	// conventional prices the blocking wait-for-readout path (plus any
-	// fault-imposed extra latency and, remotely, a reliable faulted send).
-	conventional := func(extraNs float64) float64 {
-		lat := readout + a.units.Processing() + extraNs
-		if remote {
-			lat += transit + a.reliableSendNs(sess, site)
+	// fault-imposed extra latency and, remotely, a reliable faulted send)
+	// and returns its stage partition. faultNs is penalty latency with no
+	// fault-free counterpart; retryNs is retry latency already paid before
+	// falling back (the abandoned-trigger path).
+	conventional := func(faultNs, retryNs float64) (float64, LatencyBreakdown) {
+		bd := LatencyBreakdown{
+			ReadoutNs:  readout,
+			ClassifyNs: a.units.ADC + a.units.Classify,
+			StagingNs:  a.units.Prep + a.units.DAC,
+			FaultNs:    faultNs,
+			RetryNs:    retryNs,
 		}
-		return lat
+		lat := readout + a.units.Processing() + faultNs + retryNs
+		if remote {
+			send := a.reliableSendNs(sess, site)
+			bd.TransitNs = transit
+			bd.RetryNs += send
+			lat += transit + send
+		}
+		return lat, bd
 	}
 
 	// Readout-channel outage: no trajectory windows arrive, so prediction
 	// is impossible and the shot blocks on a repeated readout.
 	if sess.ReadoutOutage() {
 		a.observeDegrade(true)
+		lat, bd := conventional(sess.Config().OutagePenaltyNs, 0)
 		return Outcome{
-			LatencyNs: conventional(sess.Config().OutagePenaltyNs),
+			LatencyNs: lat,
 			Predicted: shot.Truth,
 			Committed: false,
 			Correct:   true,
 			FellBack:  true,
+			Breakdown: bd,
 		}
 	}
 
@@ -264,6 +364,7 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	} else {
 		d = a.pred.PredictWithHistoryFault(shot.Pulse, hist.P(), corrupt)
 	}
+	d.RecordWindows(shot.Span)
 
 	if a.degrade.Degraded() {
 		// Graceful degradation: fault/misprediction rates crossed the
@@ -273,23 +374,27 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 			sess.C.Fallbacks++
 		}
 		a.observeDegrade(d.Committed && d.Branch != shot.Truth)
+		lat, bd := conventional(0, 0)
 		return Outcome{
-			LatencyNs: conventional(0),
+			LatencyNs: lat,
 			Predicted: shot.Truth,
 			Committed: false,
 			Correct:   true,
 			FellBack:  true,
+			Breakdown: bd,
 		}
 	}
 
 	if !d.Committed || !site.Case.PreExecutable() {
 		// Conventional path: wait for the full readout and processing chain.
 		a.observeDegrade(false)
+		lat, bd := conventional(0, 0)
 		return Outcome{
-			LatencyNs: conventional(0),
+			LatencyNs: lat,
 			Predicted: d.Branch,
 			Committed: false,
 			Correct:   true,
+			Breakdown: bd,
 		}
 	}
 
@@ -307,12 +412,14 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 		}
 		if !delivered {
 			a.observeDegrade(true)
+			lat, bd := conventional(0, retryNs)
 			return Outcome{
-				LatencyNs: conventional(retryNs),
+				LatencyNs: lat,
 				Predicted: shot.Truth,
 				Committed: false,
 				Correct:   true,
 				FellBack:  true,
+				Breakdown: bd,
 			}
 		}
 	}
@@ -343,7 +450,8 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 		bd := LatencyBreakdown{
 			DecisionNs: d.TimeNs,
 			PipelineNs: trig.IssuedAtNs - d.TimeNs, // bayes + clock quantization
-			TransitNs:  trig.TransitNs,
+			TransitNs:  transit,
+			RetryNs:    retryNs,
 			StagingNs:  staging,
 		}
 		if floor := start - stageDone; floor > 0 {
@@ -370,8 +478,16 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 	}
 	known := readout + a.units.ADC + a.units.Classify
 	lat := known + a.units.Prep + a.units.DAC + undo
+	bd := LatencyBreakdown{
+		ReadoutNs:  readout,
+		ClassifyNs: a.units.ADC + a.units.Classify,
+		StagingNs:  a.units.Prep + a.units.DAC,
+		RecoveryNs: undo,
+	}
 	if remote {
-		lat += transit + a.reliableSendNs(sess, site)
+		send := a.reliableSendNs(sess, site)
+		bd.TransitNs, bd.RetryNs = transit, send
+		lat += transit + send
 	}
 	return Outcome{
 		LatencyNs:  lat,
@@ -380,6 +496,7 @@ func (a *Artery) Feedback(site Site, shot Shot) Outcome {
 		Correct:    false,
 		RecoveryNs: undo,
 		Trigger:    trig,
+		Breakdown:  bd,
 	}
 }
 
@@ -414,23 +531,31 @@ func (b *Baseline) Name() string { return b.name }
 // touched is the shot's own fault session).
 func (b *Baseline) Feedback(site Site, shot Shot) Outcome {
 	sess := shot.Faults
+	bd := LatencyBreakdown{ReadoutNs: ReadoutNs, ClassifyNs: b.overheadNs}
 	lat := ReadoutNs + b.overheadNs
 	if sess.ReadoutOutage() {
-		lat += sess.Config().OutagePenaltyNs
+		bd.FaultNs = sess.Config().OutagePenaltyNs
+		lat += bd.FaultNs
 	}
 	if b.topo.RouteLevel(site.ReadQubit, site.BranchQubit) != interconnect.LevelOnChip {
-		lat += b.topo.Latency(site.ReadQubit, site.BranchQubit)
+		b.topo.RecordHops(shot.Span, site.ReadQubit, site.BranchQubit)
+		bd.TransitNs = b.topo.Latency(site.ReadQubit, site.BranchQubit)
+		lat += bd.TransitNs
 		hops := b.topo.MessageHops(site.ReadQubit, site.BranchQubit)
 		if retries := sess.TransmitReliable(hops); retries > 0 {
-			lat += b.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
+			bd.RetryNs = b.topo.RetryPenaltyNs(site.ReadQubit, site.BranchQubit, retries, sess.Config().RetryBackoffNs)
+			lat += bd.RetryNs
 		}
 	}
-	return Outcome{
+	out := Outcome{
 		LatencyNs: lat,
 		Predicted: shot.Truth,
 		Committed: false,
 		Correct:   true,
+		Breakdown: bd,
 	}
+	recordBreakdown(shot.Span, out)
+	return out
 }
 
 // Published per-shot processing overheads of the baseline systems (ns),

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"artery/internal/quantum"
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/trace"
 	"artery/internal/workload"
 )
 
@@ -61,6 +63,18 @@ type Engine struct {
 	// Workers setting: a session is only ever used by its own shot, worker
 	// phase strictly before merge phase.
 	Faults *fault.Injector
+	// Trace, when non-nil, records typed span events for every shot:
+	// readout classification, per-window posterior evolution, interconnect
+	// hops, and the per-stage latency partition of every feedback outcome.
+	// Workers record into private per-shot buffers that are committed on
+	// the in-order merge path, so the event stream is bit-identical at any
+	// Workers setting; a nil recorder reduces every hook to a nil check
+	// and leaves RunResult byte-identical to an uninstrumented run.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives counters and latency histograms
+	// (artery_shots_total, artery_shot_latency_ns, ...). All updates happen
+	// on the merge path in shot order.
+	Metrics *trace.Registry
 
 	// mu guards the lazily built caches below (Run may be entered from
 	// multiple goroutines, and shot workers share the pools).
@@ -147,11 +161,23 @@ type ShotResult struct {
 	Faults fault.Counters
 }
 
+// StageLatency is one row of the per-stage latency breakdown table: how
+// often a pipeline stage occurred across the run's feedback outcomes and
+// how many nanoseconds it consumed. Stage names follow trace.Stage.
+type StageLatency struct {
+	Stage   string
+	Count   int
+	TotalNs float64
+	MeanNs  float64
+}
+
 // RunResult aggregates a workload run.
 type RunResult struct {
 	Workload   string
 	Controller string
-	Shots      int
+	// Shots is the number of shots executed and merged. It equals the
+	// requested shot count unless the run was canceled mid-sweep.
+	Shots int
 	// MeanLatencyNs is the average per-shot summed feedback latency.
 	MeanLatencyNs float64
 	// Accuracy is the fraction of committed predictions that were correct
@@ -171,6 +197,46 @@ type RunResult struct {
 	// FallbackRate is the fraction of feedback executions served on the
 	// degraded blocking path (0 for fault-free runs).
 	FallbackRate float64
+	// Stages is the per-stage latency breakdown over all feedback
+	// outcomes, in pipeline order (stages that never occurred are
+	// omitted). It is derived from the controllers' latency partitions on
+	// the merge path, so it is populated whether or not tracing is on and
+	// is bit-identical at any Workers setting.
+	Stages []StageLatency
+	// Canceled reports that the run's context was canceled before all
+	// requested shots executed; the aggregates then cover the Shots
+	// merged shots.
+	Canceled bool
+}
+
+// cancelBatch is the shot-batch granularity of context-cancellation
+// checks: the merge path polls ctx.Err() once per batch, so a canceled
+// context stops a sweep within cancelBatch merged shots.
+const cancelBatch = 32
+
+// metricSet holds the engine's pre-resolved instruments. With a nil
+// Metrics registry every instrument is nil and every update reduces to a
+// nil check.
+type metricSet struct {
+	shots, sites, commits, mispredicts, fallbacks *trace.Counter
+	canceled                                      *trace.Counter
+	shotLat, siteLat, decision                    *trace.Histogram
+}
+
+func (e *Engine) metricSet() metricSet {
+	m := e.Metrics
+	lat := trace.DefaultLatencyBucketsNs()
+	return metricSet{
+		shots:       m.Counter("artery_shots_total", "shots executed and merged"),
+		sites:       m.Counter("artery_feedback_sites_total", "feedback site executions"),
+		commits:     m.Counter("artery_commits_total", "predictions committed before readout end"),
+		mispredicts: m.Counter("artery_mispredicts_total", "committed predictions that needed recovery"),
+		fallbacks:   m.Counter("artery_fallbacks_total", "feedbacks served on the degraded blocking path"),
+		canceled:    m.Counter("artery_runs_canceled_total", "runs stopped early by context cancellation"),
+		shotLat:     m.Histogram("artery_shot_latency_ns", "per-shot summed feedback latency", lat),
+		siteLat:     m.Histogram("artery_site_latency_ns", "per-site feedback latency", lat),
+		decision:    m.Histogram("artery_decision_ns", "predictor time-to-threshold of committed feedbacks", lat),
+	}
 }
 
 // Run executes the workload for the given number of shots.
@@ -194,8 +260,25 @@ type RunResult struct {
 //
 // Shot results are merged in shot order in all three modes, so RunResult —
 // including the floating-point aggregation order — is bit-identical for
-// any Workers setting.
+// any Workers setting. The same holds for the trace stream: shot spans are
+// recorded by whichever goroutine runs the shot but committed in shot
+// order on the merge path.
 func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
+	return e.run(nil, wl, shots, rng)
+}
+
+// RunContext is Run with cooperative cancellation: the merge path checks
+// ctx at shot-batch boundaries (every cancelBatch shots) and, when the
+// context is canceled, stops the sweep, drains its workers and returns the
+// aggregates over the shots merged so far with Canceled set. A canceled
+// run's prefix is still deterministic — only its length depends on timing.
+func (e *Engine) RunContext(ctx context.Context, wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
+	return e.run(ctx, wl, shots, rng)
+}
+
+// run is the shared implementation; a nil ctx (plain Run) skips every
+// cancellation check.
+func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
 	if err := wl.Validate(); err != nil {
 		panic(err)
 	}
@@ -219,58 +302,101 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 		return sessions[i]
 	}
 
+	ms := e.metricSet()
 	var fid stats.RunningMean
 	var perSite stats.RunningMean
-	committed, correct, sites := 0, 0, 0
+	var stages stageAgg
+	committed, correct, sites, merged := 0, 0, 0, 0
 	res.Latencies = make([]float64, 0, shots)
 	merge := func(sr ShotResult) {
+		merged++
+		stages.addPayload(wl.GatePayloadNs)
 		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
 		res.MeanLatencyNs += sr.FeedbackLatencyNs
 		res.Faults.Add(sr.Faults)
 		if !math.IsNaN(sr.Fidelity) {
 			fid.Add(sr.Fidelity)
 		}
+		ms.shots.Inc()
+		ms.shotLat.Observe(sr.FeedbackLatencyNs)
 		for _, o := range sr.Outcomes {
 			sites++
 			perSite.Add(o.LatencyNs)
+			stages.add(o.Breakdown)
+			ms.sites.Inc()
+			ms.siteLat.Observe(o.LatencyNs)
+			if o.FellBack {
+				ms.fallbacks.Inc()
+			}
 			if o.Committed {
 				committed++
+				ms.commits.Inc()
+				ms.decision.Observe(o.Breakdown.DecisionNs)
 				if o.Correct {
 					correct++
+				} else {
+					ms.mispredicts.Inc()
 				}
 			}
 		}
+	}
+	// canceled polls the context at shot-batch boundaries on the merge
+	// path (nil ctx: never).
+	canceled := func(mergedSoFar int) bool {
+		if ctx == nil || mergedSoFar%cancelBatch != 0 {
+			return false
+		}
+		return ctx.Err() != nil
 	}
 
 	workers := e.workerCount()
 	switch {
 	case e.ctrlShotSafe():
 		// Whole shots are independent: fan them out.
-		forEachShot(shots, workers, func(i int) ShotResult {
-			return e.runShot(wl, analyses, shotRNGs[i], sessionOf(i))
-		}, func(_ int, sr ShotResult) { merge(sr) })
+		forEachShot(shots, workers, canceled, func(i int) shotOut {
+			span := e.Trace.Shot(i)
+			return shotOut{e.runShot(wl, analyses, shotRNGs[i], sessionOf(i), span), span}
+		}, func(_ int, so shotOut) {
+			merge(so.sr)
+			e.Trace.Commit(so.span)
+		})
 	case !e.simulates(wl.Circuit):
 		// Two-phase pipeline: the per-shot physics is independent of the
 		// controller when no state is simulated, so workers synthesize and
 		// classify the readout pulses while the sequential controller runs
-		// on the in-order merge path. A shot's fault session is used first
-		// by its worker (IQ glitches) and then by the merge path (controller
-		// faults); the pipeline's reorder buffer guarantees the worker phase
+		// on the in-order merge path. A shot's fault session and trace span
+		// are used first by its worker (IQ glitches, classification events)
+		// and then by the merge path (controller faults and stage spans);
+		// the pipeline's reorder buffer guarantees the worker phase
 		// happens-before the merge phase of the same shot.
 		fbIdx := wl.Circuit.FeedbackSites()
-		forEachShot(shots, workers, func(i int) []siteShot {
-			return e.synthShot(wl, shotRNGs[i], sessionOf(i))
-		}, func(i int, ss []siteShot) {
-			merge(e.feedbackShot(wl, analyses, fbIdx, ss, sessionOf(i)))
+		forEachShot(shots, workers, canceled, func(i int) synthOut {
+			span := e.Trace.Shot(i)
+			return synthOut{e.synthShot(wl, fbIdx, shotRNGs[i], sessionOf(i), span), span}
+		}, func(i int, so synthOut) {
+			merge(e.feedbackShot(wl, analyses, fbIdx, so.ss, sessionOf(i), so.span))
+			e.Trace.Commit(so.span)
 		})
 	default:
 		// State simulation couples each shot's physics to the sequential
 		// controller's decisions: run serially, one stream per shot.
 		for i := 0; i < shots; i++ {
-			merge(e.runShot(wl, analyses, shotRNGs[i], sessionOf(i)))
+			if canceled(i) {
+				break
+			}
+			span := e.Trace.Shot(i)
+			merge(e.runShot(wl, analyses, shotRNGs[i], sessionOf(i), span))
+			e.Trace.Commit(span)
 		}
 	}
-	res.MeanLatencyNs /= float64(shots)
+	if merged < shots {
+		res.Canceled = true
+		ms.canceled.Inc()
+	}
+	res.Shots = merged
+	if merged > 0 {
+		res.MeanLatencyNs /= float64(merged)
+	}
 	res.MeanDecisionNs = perSite.Mean()
 	if committed > 0 {
 		res.Accuracy = float64(correct) / float64(committed)
@@ -286,7 +412,59 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 	} else {
 		res.MeanFidelity = math.NaN()
 	}
+	res.Stages = stages.table()
 	return res
+}
+
+// shotOut pairs a shot's result with its trace span for in-order commit.
+type shotOut struct {
+	sr   ShotResult
+	span *trace.ShotSpan
+}
+
+// synthOut pairs a shot's pre-computed physics with its trace span.
+type synthOut struct {
+	ss   []siteShot
+	span *trace.ShotSpan
+}
+
+// stageAgg accumulates per-stage latency sums over outcomes in merge
+// order.
+type stageAgg struct {
+	count [trace.NumStages]int
+	total [trace.NumStages]float64
+}
+
+func (a *stageAgg) add(bd controller.LatencyBreakdown) {
+	bd.Stages(func(st trace.Stage, d float64) {
+		a.count[st]++
+		a.total[st] += d
+	})
+}
+
+// addPayload records one shot's fixed gate payload, so the aggregate's
+// stage totals partition the full shot latency (payload + site stages).
+func (a *stageAgg) addPayload(d float64) {
+	a.count[trace.StagePayload]++
+	a.total[trace.StagePayload] += d
+}
+
+// table renders the aggregate as RunResult.Stages, omitting stages that
+// never occurred.
+func (a *stageAgg) table() []StageLatency {
+	var out []StageLatency
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		if a.count[st] == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage:   st.String(),
+			Count:   a.count[st],
+			TotalNs: a.total[st],
+			MeanNs:  a.total[st] / float64(a.count[st]),
+		})
+	}
+	return out
 }
 
 // RunShot executes one shot of the workload, fault-free (fault injection
@@ -294,16 +472,20 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 // analyses come from the engine's per-circuit cache, so calling RunShot in
 // a loop no longer re-runs the pre-execution analysis every shot.
 func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
-	return e.runShot(wl, e.analysesFor(wl.Circuit), rng, nil)
+	return e.runShot(wl, e.analysesFor(wl.Circuit), rng, nil, nil)
 }
 
 // runShot executes one shot against pre-computed site analyses. It is a
 // pure function of (wl, analyses, rng, sess) plus the controller's state,
 // so shot-safe controllers may run it concurrently, one RNG stream (and
-// fault session) per call.
-func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session) ShotResult {
+// fault session, and trace span) per call.
+func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	c := wl.Circuit
 	simulate := e.simulates(c)
+
+	// The workload's fixed gate payload is a shot-scoped span (site -1),
+	// recorded before the first SetSite.
+	span.Span(trace.StagePayload, 0, wl.GatePayloadNs)
 
 	var noisy, ideal *quantum.State
 	idealAlive := true
@@ -373,8 +555,9 @@ func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis
 			// downstream (classification included) sees it — exactly where
 			// an amplifier spike lands on hardware.
 			sess.GlitchIQ(pulse.Samples)
-			truth := e.Channel.Classifier.ClassifyFull(pulse)
-			out := e.Ctrl.Feedback(e.siteFor(a, siteIdx, fb, prior), controller.Shot{Pulse: pulse, Truth: truth, Faults: sess})
+			span.SetSite(siteIdx, fb.Qubit)
+			truth := e.Channel.Classifier.ClassifyFullTrace(pulse, span)
+			out := e.Ctrl.Feedback(e.siteFor(a, siteIdx, fb, prior), controller.Shot{Pulse: pulse, Truth: truth, Faults: sess, Span: span})
 			sr.Outcomes = append(sr.Outcomes, out)
 			sr.FeedbackLatencyNs += out.LatencyNs
 
@@ -453,8 +636,12 @@ type siteShot struct {
 // the readout pulse, classify it, and demodulate its trajectory windows.
 // The RNG draw order matches runShot's non-simulated path exactly, so a
 // shot's physics is bit-identical whichever path executes it. Fault draws
-// (IQ glitches) come from the shot's own session, never the physics stream.
-func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG, sess *fault.Session) []siteShot {
+// (IQ glitches) come from the shot's own session, never the physics
+// stream. The span (worker-private until merge) receives the shot's
+// payload span and per-site classification events; fbIdx is
+// wl.Circuit.FeedbackSites(), hoisted by the caller.
+func (e *Engine) synthShot(wl *workload.Workload, fbIdx []int, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) []siteShot {
+	span.Span(trace.StagePayload, 0, wl.GatePayloadNs)
 	ss := make([]siteShot, len(wl.SiteP1))
 	for i, prior := range wl.SiteP1 {
 		var m int
@@ -463,8 +650,9 @@ func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG, sess *fault.Se
 		}
 		pulse := e.Channel.Cal.Synthesize(m, rng)
 		sess.GlitchIQ(pulse.Samples)
+		span.SetSite(i, wl.Circuit.Ins[fbIdx[i]].Feedback.Qubit)
 		ss[i] = siteShot{
-			truth: e.Channel.Classifier.ClassifyFull(pulse),
+			truth: e.Channel.Classifier.ClassifyFullTrace(pulse, span),
 			bits:  e.Channel.Classifier.WindowBits(pulse, 0),
 		}
 	}
@@ -474,14 +662,15 @@ func (e *Engine) synthShot(wl *workload.Workload, rng *stats.RNG, sess *fault.Se
 // feedbackShot drives the (sequential) controller over one shot's
 // pre-synthesized sites in site order and assembles the ShotResult.
 // fbIdx is wl.Circuit.FeedbackSites(), hoisted by the caller.
-func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot, sess *fault.Session) ShotResult {
+func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
 	sr.Outcomes = make([]controller.Outcome, 0, len(ss))
 	for i, s := range ss {
 		fb := wl.Circuit.Ins[fbIdx[i]].Feedback
+		span.SetSite(i, fb.Qubit)
 		out := e.Ctrl.Feedback(
 			e.siteFor(analyses[i], i, fb, wl.SiteP1[i]),
-			controller.Shot{Truth: s.truth, Bits: s.bits, Faults: sess},
+			controller.Shot{Truth: s.truth, Bits: s.bits, Faults: sess, Span: span},
 		)
 		sr.Outcomes = append(sr.Outcomes, out)
 		sr.FeedbackLatencyNs += out.LatencyNs
@@ -572,7 +761,20 @@ func projectIdeal(s *quantum.State, q, m int) bool {
 // Validate is a convenience that panics with context when a workload is
 // inconsistent (used by cmd tools before long runs).
 func Validate(wl *workload.Workload) {
-	if err := wl.Validate(); err != nil {
-		panic(fmt.Sprintf("core: %v", err))
+	if err := ValidateWorkload(wl); err != nil {
+		panic(err.Error())
 	}
+}
+
+// ValidateWorkload is the error-returning twin of Validate, for callers
+// that prefer to surface configuration problems as errors rather than
+// panics (the public artery API routes through it).
+func ValidateWorkload(wl *workload.Workload) error {
+	if wl == nil {
+		return fmt.Errorf("core: nil workload")
+	}
+	if err := wl.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }

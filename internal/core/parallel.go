@@ -20,8 +20,14 @@ import (
 // shots has returned i tickets, so at least one of the window+i tickets
 // supplied so far reaches index i).
 //
+// canceled is polled with the merged-shot count before each merge; when it
+// reports true the merger stops consuming, drains the workers and returns
+// early (a nil-safe always-false func disables cancellation). In-flight
+// shots past the cancellation point are computed but never merged, so the
+// merged prefix is identical to an uncanceled run's prefix.
+//
 // workers <= 1 degenerates to a plain serial loop with no goroutines.
-func forEachShot[T any](shots, workers int, body func(int) T, merge func(int, T)) {
+func forEachShot[T any](shots, workers int, canceled func(int) bool, body func(int) T, merge func(int, T)) {
 	if shots <= 0 {
 		return
 	}
@@ -30,6 +36,9 @@ func forEachShot[T any](shots, workers int, body func(int) T, merge func(int, T)
 	}
 	if workers <= 1 {
 		for i := 0; i < shots; i++ {
+			if canceled(i) {
+				return
+			}
 			merge(i, body(i))
 		}
 		return
@@ -68,11 +77,17 @@ func forEachShot[T any](shots, workers int, body func(int) T, merge func(int, T)
 
 	var zero T
 	for i := 0; i < shots; i++ {
+		if canceled(i) {
+			break
+		}
 		<-ready[i]
 		merge(i, results[i])
 		results[i] = zero // release the result's memory promptly
 		tickets <- struct{}{}
 	}
+	// The merger is the only ticket sender, so closing here lets workers
+	// drain any buffered tickets and exit; on cancellation their remaining
+	// in-flight shots are computed but discarded.
 	close(tickets)
 	wg.Wait()
 }

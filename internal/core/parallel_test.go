@@ -11,11 +11,14 @@ import (
 	"artery/internal/workload"
 )
 
+// never is the disabled cancellation predicate used by tests.
+func never(int) bool { return false }
+
 func TestForEachShotOrderAndCoverage(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		const shots = 200
 		var got []int
-		forEachShot(shots, workers, func(i int) int {
+		forEachShot(shots, workers, never, func(i int) int {
 			return i * i
 		}, func(i int, v int) {
 			if v != i*i {
@@ -36,7 +39,7 @@ func TestForEachShotOrderAndCoverage(t *testing.T) {
 
 func TestForEachShotZeroShots(t *testing.T) {
 	called := false
-	forEachShot(0, 4, func(i int) int { called = true; return 0 },
+	forEachShot(0, 4, never, func(i int) int { called = true; return 0 },
 		func(int, int) { called = true })
 	if called {
 		t.Fatal("forEachShot(0, ...) invoked a callback")
@@ -48,7 +51,7 @@ func TestForEachShotBodiesRunConcurrently(t *testing.T) {
 	// structures (here a mutex-guarded counter) must be race-free.
 	var mu sync.Mutex
 	n := 0
-	forEachShot(100, 8, func(i int) int {
+	forEachShot(100, 8, never, func(i int) int {
 		mu.Lock()
 		n++
 		mu.Unlock()

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"artery/internal/stats"
+	"artery/internal/trace"
+	"artery/internal/workload"
+)
+
+// normNaN makes a RunResult comparable with reflect.DeepEqual by mapping
+// a NaN fidelity (state simulation off) to a sentinel.
+func normNaN(res RunResult) RunResult {
+	if math.IsNaN(res.MeanFidelity) {
+		res.MeanFidelity = -1
+	}
+	return res
+}
+
+// tracedRun executes one ARTERY QRW-5 sweep and returns the result plus
+// the committed trace stream (nil when tracing is off).
+func tracedRun(t *testing.T, shots, workers int, traced bool) (RunResult, []trace.Event) {
+	t.Helper()
+	e := arteryEngine()
+	e.SimulateState = false
+	e.Workers = workers
+	if traced {
+		e.Trace = trace.NewRecorder(0)
+		e.Metrics = trace.NewRegistry()
+	}
+	res := e.Run(workload.QRW(5), shots, stats.NewRNG(1))
+	return res, e.Trace.Events()
+}
+
+// TestTracingDeterministicAcrossWorkers is the PR's headline guarantee:
+// tracing on/off × workers 1/8 all produce the same RunResult, and the
+// two traced runs produce the same ordered event stream.
+func TestTracingDeterministicAcrossWorkers(t *testing.T) {
+	const shots = 60
+	ref, _ := tracedRun(t, shots, 1, false)
+	refEv := []trace.Event(nil)
+	for _, c := range []struct {
+		name    string
+		workers int
+		traced  bool
+	}{
+		{"off/w8", 8, false},
+		{"on/w1", 1, true},
+		{"on/w8", 8, true},
+	} {
+		res, ev := tracedRun(t, shots, c.workers, c.traced)
+		if !reflect.DeepEqual(normNaN(res), normNaN(ref)) {
+			t.Errorf("%s: RunResult differs from tracing-off workers=1 baseline\n got: %+v\nwant: %+v",
+				c.name, res, ref)
+		}
+		if !c.traced {
+			if ev != nil {
+				t.Errorf("%s: tracing off but recorder has events", c.name)
+			}
+			continue
+		}
+		if len(ev) == 0 {
+			t.Fatalf("%s: traced run committed no events", c.name)
+		}
+		if refEv == nil {
+			refEv = ev
+			continue
+		}
+		if !reflect.DeepEqual(ev, refEv) {
+			t.Errorf("%s: trace stream differs across worker counts (%d vs %d events)",
+				c.name, len(ev), len(refEv))
+		}
+	}
+}
+
+// TestTraceSpansPartitionShotLatency checks the additive-stage invariant
+// on a 200-shot QRW-5 trace: for every shot, the durations of its
+// additive spans (the shot's gate payload plus each site's pipeline
+// stages) sum to that shot's total feedback latency within 1 ns.
+func TestTraceSpansPartitionShotLatency(t *testing.T) {
+	const shots = 200
+	wl := workload.QRW(5)
+	res, ev := tracedRun(t, shots, 4, true)
+	if len(res.Latencies) != shots {
+		t.Fatalf("got %d shot latencies, want %d", len(res.Latencies), shots)
+	}
+
+	sum := make([]float64, shots)
+	seen := make([]bool, shots)
+	sites := make(map[int32]map[int16]bool, shots)
+	last := int32(-1)
+	for _, e := range ev {
+		if e.Shot < last {
+			t.Fatalf("trace stream out of shot order: %d after %d", e.Shot, last)
+		}
+		last = e.Shot
+		if !e.Stage.Additive() {
+			continue
+		}
+		seen[e.Shot] = true
+		sum[e.Shot] += e.DurationNs()
+		if e.Site >= 0 {
+			if sites[e.Shot] == nil {
+				sites[e.Shot] = map[int16]bool{}
+			}
+			sites[e.Shot][e.Site] = true
+		}
+	}
+	for shot := 0; shot < shots; shot++ {
+		if !seen[shot] {
+			t.Fatalf("shot %d has no additive spans", shot)
+		}
+		if len(sites[int32(shot)]) != wl.NumFeedback() {
+			t.Fatalf("shot %d covered %d feedback sites, want %d",
+				shot, len(sites[int32(shot)]), wl.NumFeedback())
+		}
+		want := res.Latencies[shot] + wl.GatePayloadNs
+		if d := math.Abs(sum[shot] - want); d > 1 {
+			t.Fatalf("shot %d: additive spans sum to %.3f ns, latency+payload is %.3f ns (off by %.3f)",
+				shot, sum[shot], want, d)
+		}
+	}
+}
+
+// cancelAfter is a Context whose Err starts reporting Canceled after n
+// polls — a deterministic stand-in for a context canceled mid-sweep.
+type cancelAfter struct {
+	context.Context
+	polls, n int
+}
+
+func (c *cancelAfter) Err() error {
+	c.polls++
+	if c.polls > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	const shots = 100
+	wl := workload.QRW(5)
+
+	for _, workers := range []int{1, 4} {
+		// Pre-canceled context: zero shots merged, flag set, aggregates empty.
+		e := arteryEngine()
+		e.SimulateState = false
+		e.Workers = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res := e.RunContext(ctx, wl, shots, stats.NewRNG(1))
+		if !res.Canceled || res.Shots != 0 || len(res.Latencies) != 0 {
+			t.Fatalf("workers=%d pre-canceled: Canceled=%v Shots=%d len=%d; want true/0/0",
+				workers, res.Canceled, res.Shots, len(res.Latencies))
+		}
+		if res.MeanLatencyNs != 0 {
+			t.Fatalf("workers=%d pre-canceled: mean latency %v over zero shots", workers, res.MeanLatencyNs)
+		}
+
+		// Canceled after two poll batches: a deterministic partial prefix.
+		e = arteryEngine()
+		e.SimulateState = false
+		e.Workers = workers
+		res = e.RunContext(&cancelAfter{Context: context.Background(), n: 2}, wl, shots, stats.NewRNG(1))
+		if !res.Canceled || res.Shots == 0 || res.Shots >= shots {
+			t.Fatalf("workers=%d mid-cancel: Canceled=%v Shots=%d; want a strict partial prefix",
+				workers, res.Canceled, res.Shots)
+		}
+		if res.Shots%cancelBatch != 0 {
+			t.Fatalf("workers=%d mid-cancel: merged %d shots, not a cancelBatch multiple", workers, res.Shots)
+		}
+		if len(res.Latencies) != res.Shots {
+			t.Fatalf("workers=%d mid-cancel: %d latencies for %d shots", workers, len(res.Latencies), res.Shots)
+		}
+
+		// The canceled prefix must match the same shots of an uncanceled run.
+		e = arteryEngine()
+		e.SimulateState = false
+		e.Workers = workers
+		full := e.Run(wl, shots, stats.NewRNG(1))
+		if !reflect.DeepEqual(res.Latencies, full.Latencies[:res.Shots]) {
+			t.Fatalf("workers=%d: canceled prefix latencies diverge from the full run", workers)
+		}
+
+		// A live context leaves the run untouched.
+		e = arteryEngine()
+		e.SimulateState = false
+		e.Workers = workers
+		live := e.RunContext(context.Background(), wl, shots, stats.NewRNG(1))
+		if live.Canceled || live.Shots != shots {
+			t.Fatalf("workers=%d live ctx: Canceled=%v Shots=%d", workers, live.Canceled, live.Shots)
+		}
+		if !reflect.DeepEqual(normNaN(live), normNaN(full)) {
+			t.Fatalf("workers=%d: RunContext(background) differs from Run", workers)
+		}
+	}
+}
+
+// TestStagesPartitionWithoutTracing checks that RunResult.Stages — which
+// is populated from the controllers' latency partitions even with tracing
+// off — sums to the run's total feedback latency plus gate payload.
+func TestStagesPartitionWithoutTracing(t *testing.T) {
+	const shots = 50
+	wl := workload.QRW(5)
+	res, _ := tracedRun(t, shots, 1, false)
+	if len(res.Stages) == 0 {
+		t.Fatal("RunResult.Stages empty with tracing off")
+	}
+	var total float64
+	for _, sl := range res.Stages {
+		if sl.Count <= 0 {
+			t.Fatalf("stage %s has nonpositive count %d", sl.Stage, sl.Count)
+		}
+		if m := sl.TotalNs / float64(sl.Count); math.Abs(m-sl.MeanNs) > 1e-9 {
+			t.Fatalf("stage %s mean %v inconsistent with total/count %v", sl.Stage, sl.MeanNs, m)
+		}
+		total += sl.TotalNs
+	}
+	want := res.MeanLatencyNs*float64(shots) + wl.GatePayloadNs*float64(shots)
+	if math.Abs(total-want) > 1 {
+		t.Fatalf("stage totals %.3f ns vs shot latency+payload %.3f ns", total, want)
+	}
+}

@@ -34,6 +34,20 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Stages optionally carries the machine-readable per-stage latency
+	// breakdown behind the table (exported as the "stages" field of the
+	// schema-version-2 JSON form; empty for tables without one).
+	Stages []StageRow
+}
+
+// StageRow is one row of a table's supplementary per-stage latency
+// breakdown: a feedback pipeline stage, its occurrence count over the
+// run's feedback outcomes, and the nanoseconds it consumed.
+type StageRow struct {
+	Stage   string  `json:"stage"`
+	Count   int     `json:"count"`
+	TotalNs float64 `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
 }
 
 // AddRow appends a formatted row.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -484,6 +485,75 @@ func TestTableJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseTableJSON([]byte("not json")); err == nil {
 		t.Fatal("garbage json accepted")
+	}
+}
+
+// TestTableJSONSchemaVersions pins the wire-format compatibility rules:
+// version-1 documents (no schema_version field, written by earlier
+// releases) still decode, version-2 documents round-trip the stage
+// breakdown, and future versions are rejected.
+func TestTableJSONSchemaVersions(t *testing.T) {
+	// Verbatim version-1 fixture as WriteJSON emitted it before the
+	// schema_version field existed.
+	v1 := []byte(`{
+  "id": "Table 1",
+  "title": "Evaluation of feedback latency (µs)",
+  "header": ["method", "QRW=1"],
+  "rows": [["QubiC", "5.38"], ["ARTERY", "0.92"]],
+  "notes": ["legacy export"]
+}`)
+	tab, err := ParseTableJSON(v1)
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	if tab.ID != "Table 1" || len(tab.Rows) != 2 || len(tab.Stages) != 0 {
+		t.Fatalf("v1 decode wrong: %+v", tab)
+	}
+
+	// v2 round-trips the stage breakdown.
+	src := &Table{ID: "X", Title: "stages", Header: []string{"a"}}
+	src.AddRow("1")
+	src.Stages = []StageRow{{Stage: "readout", Count: 10, TotalNs: 3000, MeanNs: 300}}
+	var b strings.Builder
+	if err := src.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"schema_version": 2`) {
+		t.Fatalf("v2 export missing schema_version:\n%s", b.String())
+	}
+	back, err := ParseTableJSON([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != 1 || back.Stages[0] != src.Stages[0] {
+		t.Fatalf("stage breakdown lost in round trip: %+v", back.Stages)
+	}
+
+	// Future versions are rejected, not silently misread.
+	future := []byte(`{"schema_version": 3, "id": "X", "header": ["a"], "rows": []}`)
+	if _, err := ParseTableJSON(future); err == nil {
+		t.Fatal("future schema_version accepted")
+	}
+}
+
+// TestExtraStageBreakdownPartition checks the xtr-stages table: ARTERY's
+// stage totals must sum to its total feedback latency.
+func TestExtraStageBreakdownPartition(t *testing.T) {
+	tab := suite.ExtraStageBreakdown()
+	if len(tab.Stages) == 0 {
+		t.Fatal("no stage metadata attached")
+	}
+	var sum float64
+	for _, sr := range tab.Stages {
+		sum += sr.TotalNs
+	}
+	// The note records "<stage total> ns vs <shot total> ns ...".
+	var stageTotal, shotTotal float64
+	if _, err := fmt.Sscanf(tab.Notes[0], "ARTERY stage totals sum to %f ns vs %f ns", &stageTotal, &shotTotal); err != nil {
+		t.Fatalf("note format: %q: %v", tab.Notes[0], err)
+	}
+	if diff := sum - shotTotal; diff > 1 || diff < -1 {
+		t.Fatalf("stage totals %v do not partition shot latency %v", sum, shotTotal)
 	}
 }
 

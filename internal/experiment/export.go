@@ -37,21 +37,31 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// TableSchemaVersion is the current version of the JSON wire form.
+// Version 1 (written by earlier releases without a "schema_version"
+// field) carried only the rendered grid; version 2 adds the
+// machine-readable per-stage latency breakdown ("stages").
+const TableSchemaVersion = 2
+
 // jsonTable is the JSON wire form of a Table.
 type jsonTable struct {
-	ID     string     `json:"id"`
-	Title  string     `json:"title"`
-	Header []string   `json:"header"`
-	Rows   [][]string `json:"rows"`
-	Notes  []string   `json:"notes,omitempty"`
+	SchemaVersion int        `json:"schema_version,omitempty"`
+	ID            string     `json:"id"`
+	Title         string     `json:"title"`
+	Header        []string   `json:"header"`
+	Rows          [][]string `json:"rows"`
+	Notes         []string   `json:"notes,omitempty"`
+	Stages        []StageRow `json:"stages,omitempty"`
 }
 
-// WriteJSON emits the table as a JSON object.
+// WriteJSON emits the table as a JSON object (schema version 2).
 func (t *Table) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(jsonTable{
-		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+		SchemaVersion: TableSchemaVersion,
+		ID:            t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+		Notes: t.Notes, Stages: t.Stages,
 	}); err != nil {
 		return fmt.Errorf("experiment: json export: %w", err)
 	}
@@ -59,16 +69,25 @@ func (t *Table) WriteJSON(w io.Writer) error {
 }
 
 // ParseTableJSON reads a table back from WriteJSON output (for tooling
-// that post-processes saved results).
+// that post-processes saved results). Version-1 documents — written
+// before the schema_version field existed — decode as tables without a
+// stage breakdown; versions newer than TableSchemaVersion are rejected.
 func ParseTableJSON(data []byte) (*Table, error) {
 	var jt jsonTable
 	if err := json.Unmarshal(data, &jt); err != nil {
 		return nil, fmt.Errorf("experiment: parse table json: %w", err)
 	}
+	if jt.SchemaVersion > TableSchemaVersion {
+		return nil, fmt.Errorf("experiment: table json schema_version %d newer than supported %d",
+			jt.SchemaVersion, TableSchemaVersion)
+	}
 	if jt.ID == "" || len(jt.Header) == 0 {
 		return nil, fmt.Errorf("experiment: table json missing id or header")
 	}
-	return &Table{ID: jt.ID, Title: jt.Title, Header: jt.Header, Rows: jt.Rows, Notes: jt.Notes}, nil
+	return &Table{
+		ID: jt.ID, Title: jt.Title, Header: jt.Header, Rows: jt.Rows,
+		Notes: jt.Notes, Stages: jt.Stages,
+	}, nil
 }
 
 // WriteAs dispatches on format: "text", "csv" or "json".

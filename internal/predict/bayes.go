@@ -15,6 +15,7 @@ import (
 
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/trace"
 )
 
 // BayesCombine fuses the historical probability P_history_1 and the
@@ -110,6 +111,26 @@ type Decision struct {
 	PFinal float64
 	// Trace records the per-window posterior evolution (Figure 15a).
 	Trace []PredictionPoint
+}
+
+// RecordWindows emits the decision's per-window posterior evolution into
+// span as StageWindow annotations: one event per demodulation window, with
+// Value holding P_predict after the window and Outcome the window's
+// running branch lean. Nil-safe via the span (tracing off costs one nil
+// check).
+func (d *Decision) RecordWindows(span *trace.ShotSpan) {
+	if span == nil {
+		return
+	}
+	prev := 0.0
+	for _, pt := range d.Trace {
+		lean := 0
+		if pt.PPredict >= 0.5 {
+			lean = 1
+		}
+		span.Annotate(trace.StageWindow, prev, pt.TimeNs, lean, pt.PPredict)
+		prev = pt.TimeNs
+	}
 }
 
 // Predictor is one feedback site's reconciled branch predictor. It owns the

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"artery/internal/stats"
+	"artery/internal/trace"
 )
 
 // Classifier assigns qubit states to demodulated IQ points by distance to
@@ -73,6 +74,16 @@ func (c *Classifier) ClassifyFull(p *Pulse) int {
 		return 1
 	}
 	return 0
+}
+
+// ClassifyFullTrace is ClassifyFull with a trace hook: the classification
+// is additionally recorded into span as a StageClassifyFull annotation
+// covering the full readout window. Nil-safe via the span — the engine
+// calls it unconditionally on its instrumented paths.
+func (c *Classifier) ClassifyFullTrace(p *Pulse, span *trace.ShotSpan) int {
+	state := c.ClassifyFull(p)
+	span.Annotate(trace.StageClassifyFull, 0, c.cal.DurationNs, state, 0)
+	return state
 }
 
 // WindowBits classifies the cumulative IQ trajectory at each window

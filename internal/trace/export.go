@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	Shot       int32   `json:"shot"`
+	Site       int16   `json:"site"`
+	Qubit      int16   `json:"qubit"`
+	Stage      string  `json:"stage"`
+	TStartNs   float64 `json:"t_start_ns"`
+	TEndNs     float64 `json:"t_end_ns"`
+	Outcome    int8    `json:"outcome"`
+	Mispredict bool    `json:"mispredict,omitempty"`
+	Fault      bool    `json:"fault,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+}
+
+// WriteJSONL writes the retained stream as one JSON object per line, in
+// commit (shot) order. Nil-safe (writes nothing).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(jsonEvent{
+			Shot: e.Shot, Site: e.Site, Qubit: e.Qubit, Stage: e.Stage.String(),
+			TStartNs: e.StartNs, TEndNs: e.EndNs, Outcome: e.Outcome,
+			Mispredict: e.Mispredict, Fault: e.Fault, Value: e.Value,
+		}); err != nil {
+			return fmt.Errorf("trace: jsonl export: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL decodes a WriteJSONL stream back into events (for tooling
+// and tests that post-process trace dumps).
+func ParseJSONL(data []byte) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("trace: parse jsonl: %w", err)
+		}
+		st, ok := StageFromName(je.Stage)
+		if !ok {
+			return nil, fmt.Errorf("trace: parse jsonl: unknown stage %q", je.Stage)
+		}
+		out = append(out, Event{
+			Shot: je.Shot, Site: je.Site, Qubit: je.Qubit, Stage: st,
+			StartNs: je.TStartNs, EndNs: je.TEndNs, Outcome: je.Outcome,
+			Mispredict: je.Mispredict, Fault: je.Fault, Value: je.Value,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry: named counters, gauges
+// and fixed-bucket histograms with a Prometheus text exposition. A nil
+// *Registry is the disabled registry — every lookup returns a nil
+// instrument, and every instrument method is nil-safe, so instrumented
+// code updates metrics unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, help: help}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, help: help}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram over the
+// given ascending upper bounds (an implicit +Inf bucket is appended). The
+// bucket layout of an existing histogram is kept.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		ub := make([]float64, len(buckets))
+		copy(ub, buckets)
+		sort.Float64s(ub)
+		h = &Histogram{name: name, help: help, bounds: ub, counts: make([]atomic.Uint64, len(ub)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket counts plus a
+// running sum and count, all updated atomically (observations from the
+// engine arrive on the single merge goroutine, but the layer stays safe
+// for concurrent use).
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; counts has one extra +Inf bin
+	counts     []atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// Observe records v into its bucket. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DefaultLatencyBucketsNs is the fixed bucket layout used for feedback
+// latencies: sub-window resolution around the predictor's commit times up
+// through the multi-microsecond blocking paths.
+func DefaultLatencyBucketsNs() []float64 {
+	return []float64{
+		30, 60, 90, 120, 180, 250, 350, 500, 700,
+		1000, 1400, 2000, 2800, 4000, 5600, 8000, 12000,
+	}
+}
+
+// WriteProm writes every registered metric in the Prometheus text
+// exposition format, in lexicographic name order. Nil-safe (writes
+// nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := sortedKeys(r.counters)
+	gauges := sortedKeys(r.gauges)
+	hists := sortedKeys(r.hists)
+	r.mu.Unlock()
+
+	for _, name := range counters {
+		c := r.counters[name]
+		if err := writeHeader(w, name, c.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		g := r.gauges[name]
+		if err := writeHeader(w, name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatProm(g.Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		h := r.hists[name]
+		if err := writeHeader(w, name, h.help, "histogram"); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatProm(ub), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatProm(h.Sum()), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// formatProm renders a float the way Prometheus clients do: integral
+// values without a decimal point.
+func formatProm(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCapacity is the ring capacity of NewRecorder(0): enough for a
+// few hundred thousand shots of a small workload before eviction starts.
+const DefaultCapacity = 1 << 20
+
+// Recorder collects shot spans into a bounded, deterministically ordered
+// event stream. Workers obtain a per-shot ShotSpan, record into it
+// privately, and the engine commits spans on its in-order merge path; the
+// committed stream is therefore identical at any worker count. A nil
+// *Recorder is the disabled recorder: Shot returns a nil span and every
+// recording call on it is a no-op.
+type Recorder struct {
+	cap  int
+	pool sync.Pool // *ShotSpan; per-P pools shard recycling across workers
+
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of the oldest retained event
+	count   int // retained events
+	total   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewRecorder returns a recorder retaining at most capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{cap: capacity}
+	r.pool.New = func() any { return &ShotSpan{buf: make([]Event, 0, 64)} }
+	return r
+}
+
+// Shot leases a span for one shot. Nil-safe: a nil recorder returns a nil
+// span, which is itself a no-op sink.
+func (r *Recorder) Shot(shot int) *ShotSpan {
+	if r == nil {
+		return nil
+	}
+	s := r.pool.Get().(*ShotSpan)
+	s.rec = r
+	s.shot = int32(shot)
+	s.site = -1
+	s.qubit = -1
+	s.buf = s.buf[:0]
+	return s
+}
+
+// Commit appends a span's events to the ordered stream and recycles the
+// span. The engine calls it on the merge path in strict shot order; the
+// span must not be used afterwards. Nil-safe in both receiver and
+// argument.
+func (r *Recorder) Commit(s *ShotSpan) {
+	if r == nil || s == nil {
+		return
+	}
+	r.total.Add(uint64(len(s.buf)))
+	r.mu.Lock()
+	if r.ring == nil {
+		r.ring = make([]Event, r.cap)
+	}
+	for _, e := range s.buf {
+		if r.count == r.cap {
+			// Ring full: evict the oldest event (commit order, hence
+			// deterministic).
+			r.start++
+			if r.start == r.cap {
+				r.start = 0
+			}
+			r.count--
+			r.dropped.Add(1)
+		}
+		i := r.start + r.count
+		if i >= r.cap {
+			i -= r.cap
+		}
+		r.ring[i] = e
+		r.count++
+	}
+	r.mu.Unlock()
+	s.rec = nil
+	r.pool.Put(s)
+}
+
+// Events returns a copy of the retained stream in commit order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		j := r.start + i
+		if j >= r.cap {
+			j -= r.cap
+		}
+		out[i] = r.ring[j]
+	}
+	return out
+}
+
+// Total returns the number of events ever committed.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Dropped returns the number of events evicted by the ring bound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Reset discards the retained stream and the drop/total counters (the
+// buffer pool is kept warm).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.start, r.count = 0, 0
+	r.mu.Unlock()
+	r.total.Store(0)
+	r.dropped.Store(0)
+}
+
+// ShotSpan is one shot's private event buffer. Methods are nil-safe: a
+// nil span swallows every call, so instrumented code records
+// unconditionally. A span is single-goroutine at any instant — the
+// engine's pipeline hands it from the shot's worker to the merge path
+// with a happens-before edge, never sharing it concurrently.
+type ShotSpan struct {
+	rec   *Recorder
+	shot  int32
+	site  int16
+	qubit int16
+	buf   []Event
+}
+
+// SetSite scopes subsequent events to feedback site index `site` reading
+// qubit `qubit`. Site -1 returns to shot scope.
+func (s *ShotSpan) SetSite(site, qubit int) {
+	if s == nil {
+		return
+	}
+	s.site = int16(site)
+	s.qubit = int16(qubit)
+}
+
+// Len returns the number of buffered events.
+func (s *ShotSpan) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buf)
+}
+
+func (s *ShotSpan) add(e Event) {
+	e.Shot = s.shot
+	e.Site = s.site
+	e.Qubit = s.qubit
+	s.buf = append(s.buf, e)
+}
+
+// Span records an additive stage with no outcome.
+func (s *ShotSpan) Span(st Stage, startNs, endNs float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Stage: st, Outcome: -1, StartNs: startNs, EndNs: endNs})
+}
+
+// SpanOutcome records a stage carrying a branch outcome and misprediction
+// flag.
+func (s *ShotSpan) SpanOutcome(st Stage, startNs, endNs float64, outcome int, mispredict bool) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Stage: st, Outcome: int8(outcome), Mispredict: mispredict, StartNs: startNs, EndNs: endNs})
+}
+
+// SpanFault records a fault-flagged stage; value is stage-specific (retry
+// count, penalty source).
+func (s *ShotSpan) SpanFault(st Stage, startNs, endNs, value float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Stage: st, Outcome: -1, Fault: true, StartNs: startNs, EndNs: endNs, Value: value})
+}
+
+// Annotate records a non-additive annotation event.
+func (s *ShotSpan) Annotate(st Stage, startNs, endNs float64, outcome int, value float64) {
+	if s == nil {
+		return
+	}
+	s.add(Event{Stage: st, Outcome: int8(outcome), StartNs: startNs, EndNs: endNs, Value: value})
+}

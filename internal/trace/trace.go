@@ -1,0 +1,132 @@
+// Package trace is ARTERY's shot-level observability layer: a typed span
+// recorder that sees every stage of the feedback pipeline (readout window,
+// prediction, trigger transit, staging, recovery, retries) and a metrics
+// registry of counters, gauges and fixed-bucket latency histograms.
+//
+// The design goal is zero cost when tracing is off and determinism when it
+// is on:
+//
+//   - Every recording method is nil-safe: a nil *Recorder or *ShotSpan is
+//     the disabled state, and every call on it reduces to a pointer check.
+//     The engine and controllers therefore instrument unconditionally.
+//   - Shot buffers are recycled through a sync.Pool, whose per-P free
+//     lists shard recycling across the engine's shot workers — after
+//     warmup the hot path performs no allocation.
+//   - Workers record into private per-shot buffers; the engine commits
+//     buffers on its in-order merge path, so the committed stream is
+//     ordered by (shot, emission order) and is bit-identical at any
+//     worker count.
+//   - The committed stream is a fixed-capacity ring: a long run keeps the
+//     most recent Cap events and counts the rest in Dropped(). Because
+//     eviction follows commit order, the retained window is itself a
+//     deterministic function of the run.
+package trace
+
+import "fmt"
+
+// Stage identifies one pipeline stage of a feedback shot. Stages below
+// StageWindow are additive: per feedback site they partition the site's
+// feedback latency, so summing their durations (plus the shot's
+// StagePayload span) reproduces the shot latency exactly. Stages from
+// StageWindow on are annotations — overlapping, informational events that
+// are excluded from latency accounting.
+type Stage uint8
+
+// Pipeline stages.
+const (
+	// StagePayload is the workload's unconditional gate payload (site -1).
+	StagePayload Stage = iota
+	// StageReadout is a blocking wait for the full readout pulse
+	// (conventional and fallback paths).
+	StageReadout
+	// StageDecision is the predictor's time-to-threshold (committed path).
+	StageDecision
+	// StagePipeline is the Bayesian output delay plus trigger clock
+	// quantization (and any injected trigger jitter).
+	StagePipeline
+	// StageTransit is the interconnect transit of the feedback signal.
+	StageTransit
+	// StageRetry is the retry penalty of dropped/corrupted backplane
+	// messages (Value holds the resend count).
+	StageRetry
+	// StageStaging is speculative pulse staging: prep + DAC (+ case-2
+	// ancilla preparation).
+	StageStaging
+	// StageFloorWait is the case-3 wait for the readout-end floor.
+	StageFloorWait
+	// StageClassify is the post-readout ADC + state-classification chain.
+	StageClassify
+	// StageRecovery is the inverse program undoing a mispredicted branch.
+	StageRecovery
+	// StageFault is fault-imposed latency with no fault-free counterpart
+	// (e.g. the re-read after a readout-channel outage).
+	StageFault
+
+	// Annotation stages (not additive).
+
+	// StageWindow is one demodulation-window posterior evaluation
+	// (Value holds P_predict after the window).
+	StageWindow
+	// StageClassifyFull is the full-pulse ground-truth classification
+	// (Outcome holds the classified state).
+	StageClassifyFull
+	// StageHop is one interconnect hop traversal (Value holds the hop
+	// index on the route).
+	StageHop
+
+	// NumStages is the number of defined stages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"payload", "readout", "decision", "pipeline", "transit", "retry",
+	"staging", "floor_wait", "classify", "recovery", "fault",
+	"window", "classify_full", "hop",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Additive reports whether the stage takes part in the per-site latency
+// partition (see the Stage doc).
+func (s Stage) Additive() bool { return s < StageWindow }
+
+// StageFromName resolves a stage name emitted by Stage.String; ok is false
+// for unknown names.
+func StageFromName(name string) (Stage, bool) {
+	for i, n := range stageNames {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one typed span of the shot pipeline. Times are in nanoseconds
+// relative to the owning feedback site's readout start (StagePayload,
+// which has no site, starts at 0). Site is -1 for shot-scoped events.
+type Event struct {
+	Shot  int32
+	Site  int16
+	Qubit int16
+	Stage Stage
+	// Outcome is the stage's branch/classification outcome, -1 when not
+	// applicable.
+	Outcome int8
+	// Mispredict marks spans of a shot whose committed prediction proved
+	// wrong.
+	Mispredict bool
+	// Fault marks spans caused or stretched by injected faults.
+	Fault   bool
+	StartNs float64
+	EndNs   float64
+	// Value is stage-specific (posterior, retry count, hop index).
+	Value float64
+}
+
+// DurationNs returns the span length.
+func (e Event) DurationNs() float64 { return e.EndNs - e.StartNs }

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStageNamesRoundTrip(t *testing.T) {
+	for st := Stage(0); st < NumStages; st++ {
+		name := st.String()
+		if strings.HasPrefix(name, "stage(") {
+			t.Fatalf("stage %d has no name", st)
+		}
+		got, ok := StageFromName(name)
+		if !ok || got != st {
+			t.Fatalf("StageFromName(%q) = %v, %v; want %v, true", name, got, ok, st)
+		}
+	}
+	if _, ok := StageFromName("bogus"); ok {
+		t.Fatal("StageFromName accepted an unknown name")
+	}
+	if Stage(200).String() != "stage(200)" {
+		t.Fatalf("out-of-range stage string = %q", Stage(200).String())
+	}
+}
+
+func TestStageAdditiveBoundary(t *testing.T) {
+	for st := Stage(0); st < StageWindow; st++ {
+		if !st.Additive() {
+			t.Fatalf("stage %v should be additive", st)
+		}
+	}
+	for st := StageWindow; st < NumStages; st++ {
+		if st.Additive() {
+			t.Fatalf("stage %v should be an annotation", st)
+		}
+	}
+}
+
+func TestRecorderCommitOrderAndScoping(t *testing.T) {
+	r := NewRecorder(16)
+	for shot := 0; shot < 2; shot++ {
+		s := r.Shot(shot)
+		s.Span(StagePayload, 0, 100)
+		s.SetSite(0, 3)
+		s.SpanOutcome(StageDecision, 0, 250, 1, shot == 1)
+		s.SpanFault(StageRetry, 250, 300, 2)
+		s.Annotate(StageWindow, 0, 50, 1, 0.75)
+		if s.Len() != 4 {
+			t.Fatalf("shot %d: Len = %d, want 4", shot, s.Len())
+		}
+		r.Commit(s)
+	}
+	ev := r.Events()
+	if len(ev) != 8 || r.Total() != 8 || r.Dropped() != 0 {
+		t.Fatalf("events=%d total=%d dropped=%d; want 8/8/0", len(ev), r.Total(), r.Dropped())
+	}
+	// Shot scope, then site scope.
+	if ev[0].Site != -1 || ev[0].Qubit != -1 || ev[0].Stage != StagePayload {
+		t.Fatalf("payload event scoped wrong: %+v", ev[0])
+	}
+	if ev[1].Site != 0 || ev[1].Qubit != 3 || ev[1].Outcome != 1 || ev[1].Mispredict {
+		t.Fatalf("decision event wrong: %+v", ev[1])
+	}
+	if !ev[2].Fault || ev[2].Value != 2 {
+		t.Fatalf("fault event wrong: %+v", ev[2])
+	}
+	if ev[5].Shot != 1 || !ev[5].Mispredict {
+		t.Fatalf("second shot's decision wrong: %+v", ev[5])
+	}
+	if d := ev[1].DurationNs(); d != 250 {
+		t.Fatalf("DurationNs = %v, want 250", d)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for shot := 0; shot < 3; shot++ {
+		s := r.Shot(shot)
+		s.Span(StageStaging, 0, float64(shot))
+		s.Span(StageTransit, 0, float64(shot))
+		r.Commit(s)
+	}
+	// 6 events through a 4-slot ring: the two oldest evicted.
+	if r.Total() != 6 || r.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d; want 6/2", r.Total(), r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	if ev[0].Shot != 1 || ev[3].Shot != 2 {
+		t.Fatalf("ring retained wrong window: first=%+v last=%+v", ev[0], ev[3])
+	}
+
+	r.Reset()
+	if r.Total() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear the stream")
+	}
+	s := r.Shot(9)
+	s.Span(StageReadout, 0, 1)
+	r.Commit(s)
+	if got := r.Events(); len(got) != 1 || got[0].Shot != 9 {
+		t.Fatalf("post-Reset commit lost: %+v", got)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	s := r.Shot(0)
+	if s != nil {
+		t.Fatal("nil recorder leased a span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetSite(1, 2)
+	s.Span(StageReadout, 0, 1)
+	s.SpanOutcome(StageDecision, 0, 1, 0, false)
+	s.SpanFault(StageFault, 0, 1, 1)
+	s.Annotate(StageHop, 0, 1, 0, 0)
+	if s.Len() != 0 {
+		t.Fatal("nil span has nonzero Len")
+	}
+	r.Commit(s)
+	r.Reset()
+	if r.Events() != nil || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteJSONL: %v", err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	s := r.Shot(7)
+	s.Span(StagePayload, 0, 120)
+	s.SetSite(2, 4)
+	s.SpanOutcome(StageDecision, 0, 430.5, 1, true)
+	s.SpanFault(StageRetry, 430.5, 470, 3)
+	s.Annotate(StageWindow, 0, 50, 0, 0.25)
+	r.Commit(s)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ParseJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	if _, err := ParseJSONL([]byte(`{"stage":"nope"}`)); err == nil {
+		t.Fatal("ParseJSONL accepted an unknown stage")
+	}
+	if _, err := ParseJSONL([]byte(`{bad json`)); err == nil {
+		t.Fatal("ParseJSONL accepted malformed input")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("artery_test_total", "test counter")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if reg.Counter("artery_test_total", "ignored") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+
+	g := reg.Gauge("artery_test_gauge", "test gauge")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+
+	h := reg.Histogram("artery_test_ns", "test histogram", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("histogram count=%d sum=%v; want 3/555", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x", "", DefaultLatencyBucketsNs())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported state")
+	}
+	if err := reg.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteProm: %v", err)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("artery_b_total", "second").Add(7)
+	reg.Counter("artery_a_total", "first").Inc()
+	reg.Gauge("artery_g", "a gauge").Set(1.5)
+	h := reg.Histogram("artery_lat_ns", "latencies", []float64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(1000)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+
+	// Counters in lexicographic order.
+	if strings.Index(out, "artery_a_total 1") > strings.Index(out, "artery_b_total 7") {
+		t.Fatalf("counters out of order:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP artery_a_total first",
+		"# TYPE artery_a_total counter",
+		"artery_g 1.5",
+		`artery_lat_ns_bucket{le="100"} 1`,
+		`artery_lat_ns_bucket{le="200"} 2`,
+		`artery_lat_ns_bucket{le="+Inf"} 3`,
+		"artery_lat_ns_sum 1200",
+		"artery_lat_ns_count 3",
+		"# TYPE artery_lat_ns histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultLatencyBucketsAscending(t *testing.T) {
+	b := DefaultLatencyBucketsNs()
+	if len(b) == 0 {
+		t.Fatal("no default buckets")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not strictly ascending at %d: %v", i, b)
+		}
+	}
+}
