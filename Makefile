@@ -5,11 +5,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 FAULT_COVER_FLOOR ?= 80.0
+SERVER_COVER_FLOOR ?= 80.0
 # Allowed fractional throughput loss of the (disabled) tracing hooks vs
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault trace-overhead bench-engine bench
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server serve-smoke trace-overhead bench-engine bench
 
 tier1:
 	$(GO) build ./...
@@ -17,10 +18,12 @@ tier1:
 
 ci: tier1
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover-fault
+	$(MAKE) cover-server
 	$(MAKE) trace-overhead
+	$(MAKE) serve-smoke
 
 # Short fuzzing pass over the pulse codecs (one -fuzz target per
 # invocation, as the go tool requires).
@@ -35,6 +38,20 @@ cover-fault:
 	@$(GO) tool cover -func=/tmp/fault.cover | awk -v floor=$(FAULT_COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); printf "internal/fault coverage: %s%% (floor %s%%)\n", $$3, floor; \
 		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
+# Statement-coverage floor for the job-service subsystem.
+cover-server:
+	$(GO) test -coverprofile=/tmp/server.cover ./internal/server
+	@$(GO) tool cover -func=/tmp/server.cover | awk -v floor=$(SERVER_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/server coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
+# End-to-end service gate: boot arteryd on an ephemeral port, drive it
+# with the loadgen (concurrent clients, zero dropped jobs, every 429 must
+# carry Retry-After, resubmission must reproduce result bytes), check
+# /metrics, then SIGTERM and require a clean drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Gate: the tracing layer's disabled hooks must cost < 1% throughput vs
 # the BENCH_engine.json snapshot, and enabling tracing must not change

@@ -254,8 +254,9 @@ func MustNew(opts ...Option) *System {
 	return s
 }
 
-// newSystem applies defaults, validates, and calibrates.
-func newSystem(cfg config) (*System, error) {
+// applyDefaults resolves the zero values of a configuration to the
+// paper's evaluation settings.
+func applyDefaults(cfg *config) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -268,6 +269,21 @@ func newSystem(cfg config) (*System, error) {
 	if cfg.Theta == 0 {
 		cfg.Theta = 0.91
 	}
+}
+
+// ValidateOptions reports whether opts (after defaulting, exactly as
+// FromOptions would resolve it) describes a constructible system, without
+// paying for calibration. Servers use it to reject bad requests at
+// admission time instead of failing the job later.
+func ValidateOptions(opts Options) error {
+	cfg := config{Options: opts}
+	applyDefaults(&cfg)
+	return validateConfig(cfg)
+}
+
+// newSystem applies defaults, validates, and calibrates.
+func newSystem(cfg config) (*System, error) {
+	applyDefaults(&cfg)
 	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
@@ -310,30 +326,52 @@ func validateConfig(cfg config) error {
 	return nil
 }
 
+// controllerRegistry is the single ordered table of feedback controllers:
+// ControllerNames and newController both read it, so a controller cannot
+// be listed without being constructible (or vice versa). The order is the
+// paper's presentation order — ARTERY first, then the four baselines —
+// and Compare reports in this order.
+var controllerRegistry = []struct {
+	name string
+	make func(s *System) controller.Controller
+}{
+	{"ARTERY", func(s *System) controller.Controller {
+		cfg := predict.Config{Theta0: s.opts.Theta, Theta1: s.opts.Theta, Mode: predict.Mode(s.opts.Mode)}
+		return controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel))
+	}},
+	{"QubiC", func(s *System) controller.Controller {
+		return controller.NewBaseline("QubiC", controller.QubiCOverheadNs, s.topo)
+	}},
+	{"HERQULES", func(s *System) controller.Controller {
+		return controller.NewBaseline("HERQULES", controller.HERQULESOverheadNs, s.topo)
+	}},
+	{"Salathe et al.", func(s *System) controller.Controller {
+		return controller.NewBaseline("Salathe et al.", controller.SalatheOverheadNs, s.topo)
+	}},
+	{"Reuer et al.", func(s *System) controller.Controller {
+		return controller.NewBaseline("Reuer et al.", controller.ReuerOverheadNs, s.topo)
+	}},
+}
+
 // ControllerNames lists the available feedback controllers: "ARTERY" plus
 // the paper's four baselines.
 func ControllerNames() []string {
-	return []string{"ARTERY", "QubiC", "HERQULES", "Salathe et al.", "Reuer et al."}
+	out := make([]string, len(controllerRegistry))
+	for i, e := range controllerRegistry {
+		out[i] = e.name
+	}
+	return out
 }
 
 // newController builds a fresh controller by name (fresh predictor state
 // per run, so runs are independent).
 func (s *System) newController(name string) (controller.Controller, error) {
-	switch name {
-	case "ARTERY":
-		cfg := predict.Config{Theta0: s.opts.Theta, Theta1: s.opts.Theta, Mode: predict.Mode(s.opts.Mode)}
-		return controller.NewArtery(controller.DefaultUnits(), s.topo, predict.New(cfg, s.channel)), nil
-	case "QubiC":
-		return controller.NewBaseline(name, controller.QubiCOverheadNs, s.topo), nil
-	case "HERQULES":
-		return controller.NewBaseline(name, controller.HERQULESOverheadNs, s.topo), nil
-	case "Salathe et al.":
-		return controller.NewBaseline(name, controller.SalatheOverheadNs, s.topo), nil
-	case "Reuer et al.":
-		return controller.NewBaseline(name, controller.ReuerOverheadNs, s.topo), nil
-	default:
-		return nil, fmt.Errorf("artery: unknown controller %q", name)
+	for _, e := range controllerRegistry {
+		if e.name == name {
+			return e.make(s), nil
+		}
 	}
+	return nil, fmt.Errorf("artery: unknown controller %q", name)
 }
 
 // Run executes a workload for the given shots under the ARTERY controller.
@@ -364,6 +402,43 @@ func (s *System) RunContext(ctx context.Context, wl *Workload, shots int) (Repor
 // RunWithContext is RunContext under a named controller (see
 // ControllerNames).
 func (s *System) RunWithContext(ctx context.Context, name string, wl *Workload, shots int) (Report, error) {
+	return s.runStream(ctx, name, wl, shots, nil)
+}
+
+// ShotUpdate is one committed shot of a streaming run: the per-shot
+// feedback latency, fidelity and site/commit tallies, delivered in shot
+// order as the engine's merge path commits the shot.
+type ShotUpdate struct {
+	// Shot is the 0-based shot index.
+	Shot int
+	// LatencyNs is the shot's summed feedback latency (plus gate payload).
+	LatencyNs float64
+	// Fidelity is the shot's end-of-circuit fidelity (NaN when state
+	// simulation is disabled).
+	Fidelity float64
+	// Sites is the number of feedback sites the shot executed.
+	Sites int
+	// Commits counts sites whose prediction committed before readout end;
+	// Correct counts the committed predictions that needed no recovery.
+	Commits, Correct int
+	// Fallbacks counts sites served on the degraded blocking path.
+	Fallbacks int
+}
+
+// RunStream is RunWithContext with a per-shot observer: fn is invoked for
+// every merged shot, strictly in shot order, before the final Report is
+// assembled. The update stream is bit-identical at any worker count (it
+// is produced on the engine's in-order merge path), which is what lets a
+// network service stream partial results while preserving the engine's
+// determinism guarantee. fn must not block — the merge path stalls until
+// it returns. A nil fn degenerates to RunWithContext.
+func (s *System) RunStream(ctx context.Context, name string, wl *Workload, shots int, fn func(ShotUpdate)) (Report, error) {
+	return s.runStream(ctx, name, wl, shots, fn)
+}
+
+// runStream is the shared run implementation behind RunWithContext and
+// RunStream.
+func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots int, fn func(ShotUpdate)) (Report, error) {
 	if err := core.ValidateWorkload(wl); err != nil {
 		return Report{}, err
 	}
@@ -379,6 +454,28 @@ func (s *System) RunWithContext(ctx context.Context, name string, wl *Workload, 
 	eng.Workers = s.opts.Workers
 	eng.Trace = s.rec
 	eng.Metrics = s.metrics
+	if fn != nil {
+		eng.OnShot = func(shot int, sr core.ShotResult) {
+			u := ShotUpdate{
+				Shot:      shot,
+				LatencyNs: sr.FeedbackLatencyNs,
+				Fidelity:  sr.Fidelity,
+				Sites:     len(sr.Outcomes),
+			}
+			for _, o := range sr.Outcomes {
+				if o.Committed {
+					u.Commits++
+					if o.Correct {
+						u.Correct++
+					}
+				}
+				if o.FellBack {
+					u.Fallbacks++
+				}
+			}
+			fn(u)
+		}
+	}
 	res := eng.RunContext(ctx, wl, shots, s.rng.Split())
 	if err := s.flushTrace(); err != nil {
 		return Report{}, err
@@ -455,6 +552,19 @@ type ShotTrace struct {
 	TimeUs    float64
 	// Posterior holds (time µs, P_predict_1) pairs per window.
 	Posterior [][2]float64
+}
+
+// WorkloadNames lists the named workloads WorkloadByName can build, in
+// presentation order: qrw, rcnot, dqt, rusqnn, reset, qec, eswap, msi.
+// (Random is not name-addressable — it takes its own seed.)
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName builds a benchmark workload from its short name and size
+// parameter — the single registry behind the server's request decoder and
+// the CLI workload flags. It returns an error for an unknown name or an
+// out-of-range parameter.
+func WorkloadByName(name string, param int) (*Workload, error) {
+	return workload.ByName(name, param)
 }
 
 // Workload constructors (re-exported from the workload package).

@@ -1,0 +1,271 @@
+// Package client is the Go client for arteryd's job API: submission with
+// retry-and-jittered-backoff on 429/5xx (honoring Retry-After), status
+// polling, and a streaming iterator over per-shot NDJSON updates. Wire
+// types are shared with the server (artery/internal/server), so the two
+// cannot drift.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"artery/internal/server"
+)
+
+// Wire types re-exported for callers.
+type (
+	// Request is a job submission (see server.Request).
+	Request = server.Request
+	// RequestOptions carries the optional calibration settings.
+	RequestOptions = server.RequestOptions
+	// JobStatus is a job's status document.
+	JobStatus = server.JobStatus
+	// Result is a finished job's result.
+	Result = server.Result
+	// ShotEvent is one per-shot streaming update.
+	ShotEvent = server.ShotEvent
+)
+
+// RetryInfo describes one retried attempt, for observability hooks.
+type RetryInfo struct {
+	// Status is the HTTP status that triggered the retry (429 or 5xx),
+	// or 0 for a transport error.
+	Status int
+	// RetryAfter is true when the response carried a Retry-After header.
+	RetryAfter bool
+	// Delay is the backoff the client will sleep before the next attempt.
+	Delay time.Duration
+}
+
+// Client talks to one arteryd base URL.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	onRetry func(RetryInfo)
+	rng     *rand.Rand
+	sleep   func(time.Duration) // test seam
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout sets the per-request timeout of the default HTTP client
+// (ignored after WithHTTPClient). Streams override it — they live as long
+// as the job.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
+
+// WithRetries bounds the retry attempts for Submit (default 5).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base and cap of the jittered exponential backoff
+// (defaults 100ms, 5s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxWait = base, max }
+}
+
+// WithRetryHook installs an observer invoked before every retry sleep.
+func WithRetryHook(fn func(RetryInfo)) Option { return func(c *Client) { c.onRetry = fn } }
+
+// New builds a client for the given base URL (e.g. "http://127.0.0.1:7717").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 5,
+		backoff: 100 * time.Millisecond,
+		maxWait: 5 * time.Second,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:   time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Submit posts a job. Over-capacity (429) and transient server errors
+// (5xx) are retried with jittered exponential backoff — a 429's
+// Retry-After header, when present, replaces the exponential delay — up
+// to the configured retry budget. 4xx errors other than 429 fail fast.
+func (c *Client) Submit(ctx context.Context, req Request) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		st, retryable, err := c.trySubmit(ctx, body)
+		if err == nil {
+			return st, nil
+		}
+		last = err
+		if !retryable || attempt >= c.retries {
+			return nil, last
+		}
+		info := c.delay(attempt, err)
+		if c.onRetry != nil {
+			c.onRetry(info)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		c.sleep(info.Delay)
+	}
+}
+
+// httpError is a non-2xx response.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+	hasRetry   bool
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.status, e.msg)
+}
+
+// trySubmit performs one POST attempt; retryable marks 429/5xx/transport
+// failures.
+func (c *Client) trySubmit(ctx context.Context, body []byte) (st *JobStatus, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var js JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+			return nil, false, err
+		}
+		return &js, false, nil
+	}
+	he := &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil {
+			he.retryAfter = time.Duration(secs) * time.Second
+			he.hasRetry = true
+		}
+	}
+	retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+	return nil, retryable, he
+}
+
+// delay computes the next sleep: the server's Retry-After estimate when
+// a 429 carried one, else exponential backoff from the base — either
+// way jittered into [d/2, d] to decorrelate a fleet of clients hammering
+// a full queue.
+func (c *Client) delay(attempt int, err error) RetryInfo {
+	var info RetryInfo
+	d := c.backoff << uint(attempt)
+	if he, ok := err.(*httpError); ok {
+		info.Status = he.status
+		info.RetryAfter = he.hasRetry
+		if he.hasRetry && he.retryAfter > 0 {
+			d = he.retryAfter
+		}
+	}
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	info.Delay = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	return info
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+	}
+	var js JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Wait polls a job until it reaches a terminal state (done, failed or
+// canceled), the context expires, or the server disappears.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		js, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch js.State {
+		case server.StateDone, server.StateFailed, server.StateCanceled:
+			return js, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the /metrics Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// readError extracts the error message of a non-2xx body.
+func readError(r io.Reader) string {
+	var eb server.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(r, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return "(no error body)"
+}

@@ -1,0 +1,86 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"artery/internal/server"
+)
+
+// Stream iterates a job's NDJSON per-shot updates. Events arrive in shot
+// order (the server emits them from the engine's in-order merge path);
+// after Next returns io.EOF, End holds the job's terminal state and
+// result.
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	end  *server.StreamEnd
+}
+
+// streamLine is the union of the two NDJSON line shapes: a ShotEvent, or
+// the terminal StreamEnd line ("done":true).
+type streamLine struct {
+	ShotEvent
+	Done   bool           `json:"done"`
+	State  string         `json:"state"`
+	Error  string         `json:"error"`
+	Result *server.Result `json:"result"`
+}
+
+// Stream opens the per-shot event stream of a job. The request uses a
+// dedicated no-timeout client derived from the configured transport —
+// streams live as long as the job — so bound it with ctx.
+func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next per-shot event. It returns io.EOF once the
+// terminal line arrives (see End) and a descriptive error if the stream
+// ends without one (server died mid-job).
+func (s *Stream) Next() (ShotEvent, error) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var l streamLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return ShotEvent{}, fmt.Errorf("stream: bad line: %w", err)
+		}
+		if l.Done {
+			s.end = &server.StreamEnd{Done: true, State: l.State, Error: l.Error, Result: l.Result}
+			return ShotEvent{}, io.EOF
+		}
+		return l.ShotEvent, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return ShotEvent{}, err
+	}
+	return ShotEvent{}, fmt.Errorf("stream: connection closed before the job finished")
+}
+
+// End returns the terminal line (state, error, result) once Next has
+// returned io.EOF; nil before that.
+func (s *Stream) End() *server.StreamEnd { return s.end }
+
+// Close releases the underlying connection.
+func (s *Stream) Close() error { return s.body.Close() }

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artery"
+	"artery/client"
+)
+
+// loadgenConfig parameterizes the -loadgen mode: N concurrent clients
+// submitting and streaming jobs against a running arteryd, measuring
+// service throughput and tail latency.
+type loadgenConfig struct {
+	base     string
+	clients  int
+	jobs     int
+	workload string
+	param    int
+	shots    int
+	seed     uint64
+	stateSim bool
+}
+
+// jobTiming is one job's submit→terminal wall time.
+type jobTiming struct {
+	job     int
+	dur     time.Duration
+	shots   int
+	state   string
+	err     error
+	resJSON string
+}
+
+// runLoadgen drives the burst and prints a throughput/latency table. It
+// returns an error — failing the serve-smoke CI gate — when any job is
+// dropped, any 429 arrives without Retry-After, or resubmitting a job
+// with the same seed fails to reproduce its result bytes.
+func runLoadgen(cfg loadgenConfig) error {
+	if cfg.clients < 1 || cfg.jobs < 1 {
+		return fmt.Errorf("loadgen: need >= 1 client and >= 1 job")
+	}
+	if _, err := artery.WorkloadByName(cfg.workload, cfg.param); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+
+	var rejects, naked429 atomic.Int64
+	newClient := func() *client.Client {
+		return client.New(cfg.base,
+			client.WithRetries(50),
+			client.WithBackoff(25*time.Millisecond, 2*time.Second),
+			client.WithRetryHook(func(ri client.RetryInfo) {
+				if ri.Status == 429 {
+					rejects.Add(1)
+					if !ri.RetryAfter {
+						naked429.Add(1)
+					}
+				}
+			}))
+	}
+
+	reqFor := func(job int) client.Request {
+		return client.Request{
+			Workload:   cfg.workload,
+			Param:      cfg.param,
+			Controller: "ARTERY",
+			Shots:      cfg.shots,
+			Seed:       cfg.seed + uint64(job),
+			Options:    &client.RequestOptions{StateSim: &cfg.stateSim},
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	jobCh := make(chan int)
+	timings := make([]jobTiming, cfg.jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := newClient()
+			for job := range jobCh {
+				timings[job] = runOneJob(ctx, cl, job, reqFor(job), cfg.shots)
+			}
+		}()
+	}
+	for job := 0; job < cfg.jobs; job++ {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Tally and report.
+	var durs []float64
+	completed, dropped := 0, 0
+	totalShots := 0
+	for _, t := range timings {
+		if t.err != nil || t.state != "done" {
+			dropped++
+			fmt.Printf("loadgen: job %d state=%s err=%v\n", t.job, t.state, t.err)
+			continue
+		}
+		completed++
+		totalShots += t.shots
+		durs = append(durs, t.dur.Seconds())
+	}
+	sort.Float64s(durs)
+	q := func(p float64) float64 {
+		if len(durs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(durs)-1))
+		return durs[i]
+	}
+	jobsPerSec := float64(completed) / elapsed.Seconds()
+	shotsPerSec := float64(totalShots) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d clients, %d jobs (%s-%d × %d shots) in %v\n",
+		cfg.clients, cfg.jobs, cfg.workload, cfg.param, cfg.shots, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: throughput %.1f jobs/s, %.0f shots/s; latency p50=%.0fms p95=%.0fms p99=%.0fms\n",
+		jobsPerSec, shotsPerSec, 1000*q(0.50), 1000*q(0.95), 1000*q(0.99))
+	fmt.Printf("loadgen: completed=%d dropped=%d admission-429s=%d\n", completed, dropped, rejects.Load())
+
+	if dropped > 0 {
+		return fmt.Errorf("loadgen: %d of %d jobs dropped", dropped, cfg.jobs)
+	}
+	if n := naked429.Load(); n > 0 {
+		return fmt.Errorf("loadgen: %d 429 responses arrived without Retry-After", n)
+	}
+	if shotsPerSec <= 0 {
+		return fmt.Errorf("loadgen: zero throughput")
+	}
+
+	// Determinism probe: resubmit job 0's request and require its result
+	// bytes to match the burst's, byte for byte, despite different
+	// co-tenancy.
+	cl := newClient()
+	rerun := runOneJob(ctx, cl, 0, reqFor(0), cfg.shots)
+	if rerun.err != nil || rerun.state != "done" {
+		return fmt.Errorf("loadgen: determinism probe failed to run: state=%s err=%v", rerun.state, rerun.err)
+	}
+	if rerun.resJSON != timings[0].resJSON {
+		return fmt.Errorf("loadgen: determinism probe mismatch:\n burst: %s\n rerun: %s", timings[0].resJSON, rerun.resJSON)
+	}
+	fmt.Printf("loadgen: determinism probe ok (resubmitted job reproduced %d result bytes)\n", len(rerun.resJSON))
+	return nil
+}
+
+// runOneJob submits one job, follows its stream to the end, and
+// cross-checks the stream against the final result.
+func runOneJob(ctx context.Context, cl *client.Client, job int, req client.Request, wantShots int) jobTiming {
+	t := jobTiming{job: job}
+	start := time.Now()
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.err = fmt.Errorf("submit: %w", err)
+		return t
+	}
+	stream, err := cl.Stream(ctx, st.ID)
+	if err != nil {
+		t.err = fmt.Errorf("stream: %w", err)
+		return t
+	}
+	defer stream.Close()
+	events := 0
+	for {
+		_, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.err = fmt.Errorf("stream next: %w", err)
+			return t
+		}
+		events++
+	}
+	t.dur = time.Since(start)
+	end := stream.End()
+	t.state = end.State
+	if end.Error != "" {
+		t.err = fmt.Errorf("job error: %s", end.Error)
+		return t
+	}
+	if end.Result == nil {
+		t.err = fmt.Errorf("job finished without a result")
+		return t
+	}
+	t.shots = end.Result.Shots
+	if events != end.Result.Shots {
+		t.err = fmt.Errorf("streamed %d events for %d shots", events, end.Result.Shots)
+		return t
+	}
+	if !end.Result.Canceled && end.Result.Shots != wantShots {
+		t.err = fmt.Errorf("ran %d of %d shots without cancellation", end.Result.Shots, wantShots)
+		return t
+	}
+	t.resJSON = resultJSON(end.Result)
+	return t
+}
+
+// resultJSON renders a result deterministically for byte comparison.
+func resultJSON(r *client.Result) string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Sprintf("marshal error: %v", err)
+	}
+	return string(b)
+}

@@ -7,6 +7,15 @@
 //	artery-bench -engine-bench BENCH_engine.json [-shots N] [-seed N]
 //	artery-bench -trace [-metrics] [-shots N] [-seed N]
 //	artery-bench -trace-overhead BENCH_engine.json [-tolerance F]
+//	artery-bench -loadgen http://HOST:PORT [-clients N] [-jobs N] [-lg-workload name]
+//	             [-lg-param N] [-shots N] [-seed N]
+//
+// -loadgen drives a running arteryd: N concurrent clients submit and
+// stream jobs, and the mode reports service throughput (jobs/s, shots/s)
+// and tail latency (p50/p95/p99), then resubmits one job to verify the
+// service reproduces its result bytes exactly. It exits non-zero on any
+// dropped job, any 429 without Retry-After, or a determinism mismatch —
+// the `make serve-smoke` CI gate.
 //
 // Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
 // fig12c, fig12d, table1, fig13, fig14, fig15a, fig15b, table2, fig16,
@@ -51,6 +60,7 @@ import (
 	"artery/internal/readout"
 	"artery/internal/stats"
 	"artery/internal/trace"
+	"artery/internal/version"
 	"artery/internal/workload"
 )
 
@@ -101,8 +111,38 @@ func main() {
 		overhead   = flag.String("trace-overhead", "", "regression gate: compare tracing-off throughput against this BENCH_engine.json snapshot and exit")
 		tolerance  = flag.Float64("tolerance", 0.01, "allowed fractional throughput regression for -trace-overhead")
 		profOut    = flag.String("pprof", "", "write a CPU profile of the selected mode to this path")
+
+		loadgen    = flag.String("loadgen", "", "drive a running arteryd at this base URL and report service throughput/tail latency")
+		lgClients  = flag.Int("clients", 8, "concurrent clients for -loadgen")
+		lgJobs     = flag.Int("jobs", 32, "total jobs for -loadgen")
+		lgWorkload = flag.String("lg-workload", "qrw", "workload name for -loadgen jobs")
+		lgParam    = flag.Int("lg-param", 5, "workload size parameter for -loadgen jobs")
+		lgStateSim = flag.Bool("lg-state-sim", false, "enable per-shot state simulation in -loadgen jobs")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("artery-bench %s\n", version.String())
+		return
+	}
+
+	if *loadgen != "" {
+		if err := runLoadgen(loadgenConfig{
+			base:     *loadgen,
+			clients:  *lgClients,
+			jobs:     *lgJobs,
+			workload: *lgWorkload,
+			param:    *lgParam,
+			shots:    *shots,
+			seed:     *seed,
+			stateSim: *lgStateSim,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *profOut != "" {
 		f, err := os.Create(*profOut)

@@ -1,0 +1,96 @@
+// Command arteryd serves the ARTERY engine over HTTP/JSON: a bounded-queue
+// job service with admission control, per-shot NDJSON streaming, and a
+// Prometheus /metrics endpoint (see internal/server for the API).
+//
+// Usage:
+//
+//	arteryd [-addr host:port] [-addr-file FILE] [-queue N] [-max-jobs N]
+//	        [-worker-budget N] [-max-shots N] [-drain-timeout D] [-version]
+//
+// -addr-file writes the resolved listen address (useful with -addr
+// 127.0.0.1:0 for ephemeral ports, e.g. in the serve-smoke CI gate).
+// SIGTERM/SIGINT trigger a graceful drain: admission stops, in-flight
+// jobs are canceled at their next shot-batch boundary and report their
+// deterministic canceled prefix, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"artery/internal/server"
+	"artery/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7717", "listen address (port 0 picks an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the resolved listen address to this file once serving")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429 + Retry-After)")
+		maxJobs      = flag.Int("max-jobs", 2, "concurrent job slots (dispatcher pool size)")
+		workerBudget = flag.Int("worker-budget", 0, "total shot-level worker budget shared across jobs (0 = GOMAXPROCS)")
+		maxShots     = flag.Int("max-shots", 1_000_000, "per-request shot cap")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		showVersion  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("arteryd %s\n", version.String())
+		return
+	}
+	log.SetPrefix("arteryd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	srv := server.New(server.Config{
+		QueueDepth:        *queueDepth,
+		MaxConcurrentJobs: *maxJobs,
+		WorkerBudget:      *workerBudget,
+		MaxShots:          *maxShots,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	resolved := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved+"\n"), 0o644); err != nil {
+			log.Fatalf("addr-file: %v", err)
+		}
+	}
+	log.Printf("listening on %s (queue=%d, jobs=%d)", resolved, *queueDepth, *maxJobs)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (budget %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			hs.Close()
+			os.Exit(1)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -15,36 +15,33 @@ import (
 
 	"artery/internal/pulse"
 	"artery/internal/stats"
+	"artery/internal/version"
 	"artery/internal/workload"
 )
 
 func main() {
 	var (
-		wlName = flag.String("workload", "qec", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec")
-		param  = flag.Int("param", 2, "workload size parameter")
-		seed   = flag.Uint64("seed", 1, "random seed (random workload only)")
+		wlName  = flag.String("workload", "qec", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec|eswap|msi")
+		param   = flag.Int("param", 2, "workload size parameter")
+		seed    = flag.Uint64("seed", 1, "random seed (random workload only)")
+		showVer = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("pulsecomp %s\n", version.String())
+		return
+	}
 
 	var wl *workload.Workload
-	switch *wlName {
-	case "qrw":
-		wl = workload.QRW(*param)
-	case "rcnot":
-		wl = workload.RCNOT(*param)
-	case "dqt":
-		wl = workload.DQT(*param)
-	case "rusqnn":
-		wl = workload.RUSQNN(*param)
-	case "reset":
-		wl = workload.Reset(*param)
-	case "random":
+	if *wlName == "random" {
 		wl = workload.Random(*param, stats.NewRNG(*seed))
-	case "qec":
-		wl = workload.QECCycle(*param)
-	default:
-		fmt.Fprintf(os.Stderr, "pulsecomp: unknown workload %q\n", *wlName)
-		os.Exit(2)
+	} else {
+		var err error
+		wl, err = workload.ByName(*wlName, *param)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pulsecomp: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	streams := pulse.CompileCircuit(wl.Circuit)

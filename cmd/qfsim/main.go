@@ -32,6 +32,7 @@ import (
 	"artery/internal/predict"
 	"artery/internal/readout"
 	"artery/internal/stats"
+	"artery/internal/version"
 )
 
 // openSink resolves an output flag: "-" is stdout (no close), anything
@@ -70,8 +71,13 @@ func main() {
 		dumpQASM = flag.Bool("qasm", false, "print the workload circuit in QASM form and exit")
 		timeline = flag.Bool("timeline", false, "print the workload's per-qubit schedule and exit")
 		sequence = flag.Bool("sequence", false, "print a Figure-9-style sequence diagram of one shot and exit")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("qfsim %s\n", version.String())
+		return
+	}
 
 	var wl *artery.Workload
 	if *loadPath != "" {
@@ -94,28 +100,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
 			os.Exit(2)
 		}
+	} else if *wlName == "random" {
+		// Random is the one workload outside the named registry: it is
+		// addressed by (gates, seed), not (name, param).
+		wl = artery.Random(*param, *seed)
 	} else {
-		switch *wlName {
-		case "qrw":
-			wl = artery.QRW(*param)
-		case "rcnot":
-			wl = artery.RCNOT(*param)
-		case "dqt":
-			wl = artery.DQT(*param)
-		case "rusqnn":
-			wl = artery.RUSQNN(*param)
-		case "reset":
-			wl = artery.Reset(*param)
-		case "random":
-			wl = artery.Random(*param, *seed)
-		case "qec":
-			wl = artery.QEC(*param)
-		case "eswap":
-			wl = artery.EntangleSwap(*param)
-		case "msi":
-			wl = artery.MSI(*param)
-		default:
-			fmt.Fprintf(os.Stderr, "qfsim: unknown workload %q\n", *wlName)
+		var err error
+		wl, err = artery.WorkloadByName(*wlName, *param)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qfsim: %v\n", err)
 			os.Exit(2)
 		}
 	}

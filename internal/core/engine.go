@@ -75,6 +75,13 @@ type Engine struct {
 	// (artery_shots_total, artery_shot_latency_ns, ...). All updates happen
 	// on the merge path in shot order.
 	Metrics *trace.Registry
+	// OnShot, when non-nil, is invoked for every merged shot with its
+	// 0-based shot index and result. Calls happen on the single merge
+	// goroutine, strictly in shot order, after the shot's aggregates are
+	// folded into the run — so the callback's view is bit-identical at any
+	// Workers setting. The callback must not block: the in-order merge path
+	// stalls until it returns.
+	OnShot func(shot int, sr ShotResult)
 
 	// mu guards the lazily built caches below (Run may be entered from
 	// multiple goroutines, and shot workers share the pools).
@@ -309,6 +316,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 	committed, correct, sites, merged := 0, 0, 0, 0
 	res.Latencies = make([]float64, 0, shots)
 	merge := func(sr ShotResult) {
+		idx := merged
 		merged++
 		stages.addPayload(wl.GatePayloadNs)
 		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
@@ -338,6 +346,9 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 					ms.mispredicts.Inc()
 				}
 			}
+		}
+		if e.OnShot != nil {
+			e.OnShot(idx, sr)
 		}
 	}
 	// canceled polls the context at shot-batch boundaries on the merge

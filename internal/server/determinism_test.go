@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// runJobToBytes submits req to a fresh server with the given worker
+// budget, waits for completion and returns the result document and the
+// streamed event history as canonical JSON.
+func runJobToBytes(t *testing.T, cfg Config, req string) (result, events []byte) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	resp := postJob(t, ts.URL, req)
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	js := decodeStatus(t, resp)
+	evs, end := readStream(t, ts.URL, js.ID)
+	if end.State != StateDone || end.Result == nil {
+		t.Fatalf("job ended %+v", end)
+	}
+	result, _ = json.Marshal(end.Result)
+	events, _ = json.Marshal(evs)
+	return result, events
+}
+
+// TestResultDeterministicAcrossWorkerBudgets is the service-level
+// co-tenancy determinism contract: the same request (same seed) must
+// produce byte-identical result and event-stream JSON whatever worker
+// budget the server runs — a job's numbers never depend on how much
+// parallelism it was granted.
+func TestResultDeterministicAcrossWorkerBudgets(t *testing.T) {
+	req := `{"workload":"qrw","param":4,"shots":50,"seed":7,"options":{"state_sim":false}}`
+	res1, ev1 := runJobToBytes(t, Config{MaxConcurrentJobs: 1, WorkerBudget: 1}, req)
+	res4, ev4 := runJobToBytes(t, Config{MaxConcurrentJobs: 1, WorkerBudget: 4}, req)
+	if !bytes.Equal(res1, res4) {
+		t.Errorf("result drifts with worker budget:\nbudget 1: %s\nbudget 4: %s", res1, res4)
+	}
+	if !bytes.Equal(ev1, ev4) {
+		t.Errorf("event stream drifts with worker budget")
+	}
+}
+
+// TestResubmitReproducesResult submits the same request twice to one
+// server — with another job interleaved between them — and requires
+// byte-identical result JSON: each job's system is private, so co-tenant
+// traffic cannot perturb it.
+func TestResubmitReproducesResult(t *testing.T) {
+	s := New(Config{QueueDepth: 8, MaxConcurrentJobs: 2, WorkerBudget: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	req := `{"workload":"dqt","param":2,"shots":40,"seed":21,"options":{"state_sim":false,"theta":0.93,"history_depth":6}}`
+	other := `{"workload":"qec","param":1,"shots":40,"seed":5,"options":{"state_sim":false}}`
+
+	run := func(body string) []byte {
+		resp := postJob(t, ts.URL, body)
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		js := decodeStatus(t, resp)
+		final := waitTerminal(t, ts.URL, js.ID)
+		if final.State != StateDone || final.Result == nil {
+			t.Fatalf("job %s ended %+v", js.ID, final)
+		}
+		b, _ := json.Marshal(final.Result)
+		return b
+	}
+
+	first := run(req)
+	run(other) // co-tenant noise between the twin submissions
+	second := run(req)
+	if !bytes.Equal(first, second) {
+		t.Errorf("resubmission drifted:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// TestStateSimResultHasFidelity checks the default (state-sim on) path end
+// to end: fidelity is a number on the wire, not null, and options round
+// out the buildOptions coverage (window, DD, sigma, mode).
+func TestStateSimResultHasFidelity(t *testing.T) {
+	req := fmt.Sprintf(`{"workload":"reset","param":2,"shots":20,"seed":13,` +
+		`"options":{"mode":"history","window_ns":200,"dynamical_decoupling":true,"quasi_static_sigma":6000}}`)
+	res, evs := runJobToBytes(t, Config{MaxConcurrentJobs: 1}, req)
+	var r Result
+	if err := json.Unmarshal(res, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fidelity == nil || *r.Fidelity <= 0 || *r.Fidelity > 1 {
+		t.Errorf("fidelity %v, want a number in (0, 1]", r.Fidelity)
+	}
+	var events []ShotEvent
+	if err := json.Unmarshal(evs, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 20 {
+		t.Fatalf("streamed %d events, want 20", len(events))
+	}
+	for i, ev := range events {
+		if ev.Fidelity == nil {
+			t.Fatalf("event %d: null fidelity with state sim on", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"artery"
+)
+
+// Job is one submitted run moving through the queue. All mutable state is
+// guarded by mu; every mutation broadcasts to streaming subscribers by
+// closing (and replacing) notify.
+type Job struct {
+	ID  string
+	Req Request
+	// wl is the workload built (and validated) at admission time;
+	// building it once keeps submit errors synchronous and the run path
+	// cheap.
+	wl *artery.Workload
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	result   *Result
+	events   []ShotEvent
+	notify   chan struct{}
+	accepted time.Time
+	finished time.Time
+}
+
+func newJob(id string, req Request, wl *artery.Workload, now time.Time) *Job {
+	return &Job{
+		ID:       id,
+		Req:      req,
+		wl:       wl,
+		state:    StateQueued,
+		notify:   make(chan struct{}),
+		accepted: now,
+	}
+}
+
+// broadcast wakes every subscriber. Callers must hold j.mu.
+func (j *Job) broadcast() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// terminal reports whether state is one of the three end states.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// setRunning transitions queued → running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.broadcast()
+}
+
+// complete records the final result (including deterministic canceled
+// prefixes, which are still results) and transitions to done.
+func (j *Job) complete(res *Result, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.result = res
+	j.finished = now
+	j.broadcast()
+}
+
+// fail records a job error (invalid options, engine failure).
+func (j *Job) fail(msg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateFailed
+	j.err = msg
+	j.finished = now
+	j.broadcast()
+}
+
+// cancel marks a queued job that will never run (server drain).
+func (j *Job) cancel(msg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateCanceled
+	j.err = msg
+	j.finished = now
+	j.broadcast()
+}
+
+// appendEvent commits one per-shot update to the job's event log. Events
+// arrive from the engine's merge path in shot order; the log is the
+// stream's replay buffer, so late subscribers see the full history.
+func (j *Job) appendEvent(ev ShotEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	j.broadcast()
+}
+
+// snapshot returns the job's status document.
+func (j *Job) snapshot(now time.Time) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := now
+	if !j.finished.IsZero() {
+		end = j.finished
+	}
+	return JobStatus{
+		ID:            j.ID,
+		State:         j.state,
+		Request:       j.Req,
+		ShotsStreamed: len(j.events),
+		Error:         j.err,
+		Result:        j.result,
+		ElapsedSec:    end.Sub(j.accepted).Seconds(),
+	}
+}
+
+// follow returns the events in [from, len), the current state/err/result,
+// and a channel that closes on the next mutation — everything a streaming
+// subscriber needs to copy state out without holding the lock while
+// writing to a (possibly slow) client.
+func (j *Job) follow(from int) (events []ShotEvent, state string, end StreamEnd, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		events = append(events, j.events[from:]...)
+	}
+	state = j.state
+	if terminal(j.state) {
+		end = StreamEnd{Done: true, State: j.state, Error: j.err, Result: j.result}
+	}
+	return events, state, end, j.notify
+}

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"artery"
+	"artery/internal/trace"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue: submissions beyond it are
+	// rejected with 429 + Retry-After instead of buffered (default 64).
+	QueueDepth int
+	// MaxConcurrentJobs is the dispatcher pool size — how many jobs run
+	// at once (default 2).
+	MaxConcurrentJobs int
+	// WorkerBudget is the total shot-level worker budget shared by all
+	// concurrent jobs; each job's engine gets WorkerBudget /
+	// MaxConcurrentJobs workers (min 1), so many small jobs batch onto a
+	// fixed pool instead of each spinning up its own. Results are
+	// bit-identical at any budget (default GOMAXPROCS).
+	WorkerBudget int
+	// MaxShots caps a single request's shot count (default 1_000_000).
+	MaxShots int
+	// MaxRetainedJobs bounds the finished-job cache: beyond it, the
+	// oldest terminal jobs are evicted, keeping server memory bounded
+	// under sustained traffic (default 1024).
+	MaxRetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxConcurrentJobs == 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.WorkerBudget == 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxShots == 0 {
+		c.MaxShots = 1_000_000
+	}
+	if c.MaxRetainedJobs == 0 {
+		c.MaxRetainedJobs = 1024
+	}
+	return c
+}
+
+// serverMetrics are the service-level instruments exposed on /metrics.
+type serverMetrics struct {
+	submitted, rejected           *trace.Counter
+	completed, failed, canceled   *trace.Counter
+	shotsStreamed                 *trace.Counter
+	queueDepth, running, draining *trace.Gauge
+	jobSeconds                    *trace.Histogram
+}
+
+func newServerMetrics(reg *trace.Registry) serverMetrics {
+	return serverMetrics{
+		submitted:     reg.Counter("artery_server_jobs_submitted_total", "jobs accepted into the queue"),
+		rejected:      reg.Counter("artery_server_jobs_rejected_total", "submissions rejected by admission control (429)"),
+		completed:     reg.Counter("artery_server_jobs_completed_total", "jobs finished with a result"),
+		failed:        reg.Counter("artery_server_jobs_failed_total", "jobs finished with an error"),
+		canceled:      reg.Counter("artery_server_jobs_canceled_total", "queued jobs canceled by shutdown before running"),
+		shotsStreamed: reg.Counter("artery_server_shots_streamed_total", "per-shot updates committed across all jobs"),
+		queueDepth:    reg.Gauge("artery_server_queue_depth", "jobs waiting in the admission queue"),
+		running:       reg.Gauge("artery_server_jobs_running", "jobs currently executing"),
+		draining:      reg.Gauge("artery_server_draining", "1 while the server is shutting down"),
+		jobSeconds:    reg.Histogram("artery_server_job_seconds", "job wall time from admission to completion", trace.DefaultJobSecondsBuckets()),
+	}
+}
+
+// Server is the job service. Construct with New, attach Handler to an
+// http.Server, call Start, and Shutdown on SIGTERM.
+type Server struct {
+	cfg Config
+	reg *trace.Registry
+	m   serverMetrics
+	mux *http.ServeMux
+
+	queue     chan *Job
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	retired   []string // terminal jobs in finish order, for eviction
+	nextID    int
+	accepting bool
+	draining  bool
+	runningN  int
+
+	// now and runJob are test seams: the clock, and the job executor the
+	// dispatcher invokes (defaults to (*Server).execute).
+	now    func() time.Time
+	runJob func(ctx context.Context, j *Job)
+}
+
+// New builds a server (without starting its dispatcher; see Start).
+func New(cfg Config) *Server {
+	reg := trace.NewRegistry()
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		reg:       reg,
+		m:         newServerMetrics(reg),
+		jobs:      map[string]*Job{},
+		accepting: true,
+		now:       time.Now,
+	}
+	s.queue = make(chan *Job, s.cfg.QueueDepth)
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.runJob = s.execute
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry (the /metrics source).
+func (s *Server) Registry() *trace.Registry { return s.reg }
+
+// Start launches the dispatcher pool: MaxConcurrentJobs workers pulling
+// from the bounded queue.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains the service: admission stops (POST → 503, /readyz →
+// 503), the shared run context is canceled so in-flight jobs stop at
+// their next shot-batch boundary and complete with their deterministic
+// canceled prefix, still-queued jobs are marked canceled without running,
+// and the dispatcher pool exits. It returns ctx.Err() if the drain
+// outlives ctx. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.accepting = false
+	s.draining = true
+	s.m.draining.Set(1)
+	close(s.queue) // admission sends happen under mu, so no send can race this
+	s.mu.Unlock()
+	s.cancelRun()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker is one dispatcher goroutine: it pulls queued jobs and runs them
+// on the shared budget until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.m.queueDepth.Set(float64(len(s.queue)))
+		if s.isDraining() {
+			// Drain: queued jobs are canceled, never started.
+			j.cancel("server shutting down before the job started", s.now())
+			s.m.canceled.Inc()
+			s.retire(j)
+			continue
+		}
+		j.setRunning()
+		s.m.running.Set(s.runningDelta(+1))
+		s.runJob(s.runCtx, j)
+		s.m.running.Set(s.runningDelta(-1))
+		st := j.snapshot(s.now())
+		switch st.State {
+		case StateDone:
+			s.m.completed.Inc()
+			s.m.jobSeconds.Observe(st.ElapsedSec)
+		case StateFailed:
+			s.m.failed.Inc()
+		case StateCanceled:
+			s.m.canceled.Inc()
+		}
+		s.retire(j)
+	}
+}
+
+// runningDelta adjusts the running-jobs count under mu and returns the
+// new value for the gauge.
+func (s *Server) runningDelta(d int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runningN += d
+	return float64(s.runningN)
+}
+
+// perJobWorkers is each job's share of the worker budget.
+func (s *Server) perJobWorkers() int {
+	w := s.cfg.WorkerBudget / s.cfg.MaxConcurrentJobs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// execute runs one job end to end: build its private calibrated system
+// from the request's seed (co-tenant jobs share nothing stochastic, so
+// results are bit-identical regardless of what else is running), stream
+// per-shot updates into the job's event log as the engine's merge path
+// commits them, and record the final result — including the deterministic
+// canceled prefix if ctx was canceled mid-run by a drain.
+func (s *Server) execute(ctx context.Context, j *Job) {
+	opts, ctrlName, err := buildOptions(j.Req, s.perJobWorkers())
+	if err != nil {
+		j.fail(err.Error(), s.now())
+		return
+	}
+	sys, err := artery.New(opts...)
+	if err != nil {
+		j.fail(err.Error(), s.now())
+		return
+	}
+	rep, err := sys.RunStream(ctx, ctrlName, j.wl, j.Req.Shots, func(u artery.ShotUpdate) {
+		j.appendEvent(eventFrom(u))
+		s.m.shotsStreamed.Inc()
+	})
+	if err != nil {
+		j.fail(err.Error(), s.now())
+		return
+	}
+	j.complete(resultFrom(rep), s.now())
+}
+
+// buildOptions maps a validated wire request onto artery functional
+// options plus the controller name.
+func buildOptions(req Request, workers int) ([]artery.Option, string, error) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := []artery.Option{artery.WithSeed(seed), artery.WithWorkers(workers)}
+	ctrl := req.Controller
+	if ctrl == "" {
+		ctrl = "ARTERY"
+	}
+	if o := req.Options; o != nil {
+		if o.WindowNs != 0 {
+			opts = append(opts, artery.WithWindowNs(o.WindowNs))
+		}
+		if o.HistoryDepth != 0 {
+			opts = append(opts, artery.WithHistoryDepth(o.HistoryDepth))
+		}
+		if o.Theta != 0 {
+			opts = append(opts, artery.WithTheta(o.Theta))
+		}
+		mode, ok := modeByName[o.Mode]
+		if !ok {
+			return nil, "", fmt.Errorf("unknown predictor mode %q (combined|history|trajectory)", o.Mode)
+		}
+		opts = append(opts, artery.WithMode(mode))
+		if o.StateSim != nil && !*o.StateSim {
+			opts = append(opts, artery.WithoutStateSim())
+		}
+		if o.DynamicalDecoupling {
+			opts = append(opts, artery.WithDynamicalDecoupling())
+		}
+		if o.QuasiStaticSigma != 0 {
+			opts = append(opts, artery.WithQuasiStaticSigma(o.QuasiStaticSigma))
+		}
+	}
+	return opts, ctrl, nil
+}
+
+// validate checks a request at admission time: workload, controller,
+// shot bounds and option ranges all fail fast with 400 instead of a
+// failed job.
+func (s *Server) validate(req Request) (*artery.Workload, error) {
+	wl, err := artery.WorkloadByName(req.Workload, req.Param)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := req.Controller
+	if ctrl == "" {
+		ctrl = "ARTERY"
+	}
+	known := false
+	for _, name := range artery.ControllerNames() {
+		if name == ctrl {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown controller %q (known: %v)", ctrl, artery.ControllerNames())
+	}
+	if req.Shots < 1 || req.Shots > s.cfg.MaxShots {
+		return nil, fmt.Errorf("shots must lie in [1, %d], got %d", s.cfg.MaxShots, req.Shots)
+	}
+	lib := artery.Options{Seed: req.Seed}
+	if o := req.Options; o != nil {
+		mode, ok := modeByName[o.Mode]
+		if !ok {
+			return nil, fmt.Errorf("unknown predictor mode %q (combined|history|trajectory)", o.Mode)
+		}
+		lib.WindowNs = o.WindowNs
+		lib.HistoryDepth = o.HistoryDepth
+		lib.Theta = o.Theta
+		lib.Mode = mode
+		lib.QuasiStaticSigma = o.QuasiStaticSigma
+	}
+	if err := artery.ValidateOptions(lib); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}
+
+// handleSubmit is POST /v1/jobs: decode, validate, admit.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err), 0)
+		return
+	}
+	wl, err := s.validate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down", 0)
+		return
+	}
+	if !s.roomForJobLocked() {
+		s.mu.Unlock()
+		s.reject(w, "job table full")
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), req, wl, s.now())
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // job never existed
+		s.mu.Unlock()
+		s.reject(w, "admission queue full")
+		return
+	}
+	s.jobs[j.ID] = j
+	depth := len(s.queue)
+	s.mu.Unlock()
+
+	s.m.submitted.Inc()
+	s.m.queueDepth.Set(float64(depth))
+	writeJSON(w, http.StatusAccepted, j.snapshot(s.now()))
+}
+
+// roomForJobLocked makes room in the job table by evicting the oldest
+// terminal jobs; it reports false when the table is full of live jobs.
+// Callers hold s.mu.
+func (s *Server) roomForJobLocked() bool {
+	for len(s.jobs) >= s.cfg.MaxRetainedJobs && len(s.retired) > 0 {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	return len(s.jobs) < s.cfg.MaxRetainedJobs
+}
+
+// retire records a terminal job as evictable.
+func (s *Server) retire(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, j.ID)
+}
+
+// reject answers an over-capacity submission: 429 with a Retry-After
+// estimate scaled by the backlog ahead of the caller (backpressure, not
+// buffering).
+func (s *Server) reject(w http.ResponseWriter, msg string) {
+	s.m.rejected.Inc()
+	retry := 1 + len(s.queue)/s.cfg.MaxConcurrentJobs
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, msg, retry)
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(s.now()))
+}
+
+// handleStream is GET /v1/jobs/{id}/stream: NDJSON per-shot events,
+// replaying the committed history and then following live until the job
+// reaches a terminal state (the final line carries "done":true plus the
+// result).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		events, _, end, wait := j.follow(next)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if end.Done {
+			enc.Encode(end)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// server's registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteProm(w)
+}
+
+// handleHealthz reports process liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports admission readiness: 200 while accepting, 503
+// once draining (load balancers stop routing before the drain completes).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready := s.accepting
+	s.mu.Unlock()
+	if !ready {
+		writeError(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// job looks up a job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	writeJSON(w, status, ErrorBody{Error: msg, RetryAfterSec: retryAfter})
+}

@@ -182,6 +182,16 @@ func DefaultLatencyBucketsNs() []float64 {
 	}
 }
 
+// DefaultJobSecondsBuckets is the fixed bucket layout for service-level
+// job wall times (seconds scale): sub-millisecond validation failures
+// through minute-long sweeps.
+func DefaultJobSecondsBuckets() []float64 {
+	return []float64{
+		0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+		1, 2.5, 5, 10, 30, 60,
+	}
+}
+
 // WriteProm writes every registered metric in the Prometheus text
 // exposition format, in lexicographic name order. Nil-safe (writes
 // nothing).

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildGoldenRegistry populates a registry with one of every instrument
+// kind, in deliberately non-alphabetical registration order, so the
+// golden file also locks in the exposition's name ordering.
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("artery_test_requests_total", "requests served").Add(42)
+	reg.Counter("artery_test_admission_rejects_total", "submissions turned away").Add(7)
+	reg.Gauge("artery_test_queue_depth", "jobs waiting").Set(3)
+	reg.Gauge("artery_test_load_factor", "fractional utilization").Set(0.625)
+	h := reg.Histogram("artery_test_latency_ns", "operation latency", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000, 0.5, 1000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestWritePromGolden locks the Prometheus text exposition — HELP/TYPE
+// lines, lexicographic metric order, cumulative bucket counts, +Inf
+// bucket, integral float formatting — against a golden file. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/trace -run WritePromGolden.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	golden := filepath.Join("testdata", "registry.prom")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePromStableOrdering re-renders the same registry and requires
+// byte-identical output: the exposition must not depend on map iteration
+// order.
+func TestWritePromStableOrdering(t *testing.T) {
+	reg := buildGoldenRegistry()
+	var a, b bytes.Buffer
+	if err := reg.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two renders of the same registry differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,44 @@
+// Package version reports the build identity of the repository's
+// binaries: the module version and the VCS revision stamped by the go
+// tool, via runtime/debug.ReadBuildInfo. Every cmd exposes it behind a
+// -version flag.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String renders "module-version (revision, go-version)". Binaries built
+// outside a module or VCS checkout degrade gracefully to whatever fields
+// the build stamped.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(devel)"
+	}
+	v := info.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return fmt.Sprintf("%s (%s)", v, info.GoVersion)
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s (%s, %s)", v, rev, info.GoVersion)
+}

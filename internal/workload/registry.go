@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry is the single ordered table of named workload constructors:
+// every workload a wire request, CLI flag or experiment id can name by a
+// short string lives here, so the name list and the dispatch logic cannot
+// drift apart. The Random benchmark is deliberately absent — it takes its
+// own RNG and is not addressable by (name, param) alone.
+var registry = []struct {
+	name string
+	make func(param int) *Workload
+}{
+	{"qrw", QRW},
+	{"rcnot", RCNOT},
+	{"dqt", DQT},
+	{"rusqnn", RUSQNN},
+	{"reset", Reset},
+	{"qec", QECCycle},
+	{"eswap", EntangleSwap},
+	{"msi", MSI},
+}
+
+// Names returns the registered workload names in registry (presentation)
+// order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ByName builds the named workload with the given size parameter
+// (steps/depth/distance/cycles/qubits, per constructor). It returns an
+// error — rather than the constructors' panic — for an unknown name or an
+// out-of-range parameter, so servers and CLIs can surface bad requests
+// gracefully.
+func ByName(name string, param int) (*Workload, error) {
+	for _, e := range registry {
+		if e.name != name {
+			continue
+		}
+		if param < 1 {
+			return nil, fmt.Errorf("workload %s: size parameter must be >= 1, got %d", name, param)
+		}
+		return e.make(param), nil
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("unknown workload %q (known: %v)", name, known)
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# serve-smoke: the end-to-end service gate. Builds arteryd and
+# artery-bench, boots the daemon on an ephemeral port, drives it with the
+# loadgen (concurrent clients, zero tolerance for dropped jobs or 429s
+# without Retry-After, resubmit-determinism probe), then SIGTERMs the
+# daemon and requires a clean drain (exit 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+ADDR_FILE="$BIN/addr"
+DAEMON_LOG="$BIN/arteryd.log"
+DAEMON_PID=""
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -KILL "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/arteryd" ./cmd/arteryd
+go build -o "$BIN/artery-bench" ./cmd/artery-bench
+
+"$BIN/arteryd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -queue 8 -max-jobs 2 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to publish its resolved address.
+for _ in $(seq 1 100); do
+    [[ -s "$ADDR_FILE" ]] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "serve-smoke: arteryd died during startup" >&2
+        cat "$DAEMON_LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ ! -s "$ADDR_FILE" ]]; then
+    echo "serve-smoke: arteryd never published its address" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+fi
+ADDR=$(cat "$ADDR_FILE")
+echo "serve-smoke: arteryd at $ADDR (pid $DAEMON_PID)"
+
+# Loadgen: 8 concurrent clients, small shot counts (CI machines may be
+# single-core). runLoadgen itself fails on dropped jobs, 429s without
+# Retry-After, or a result-determinism mismatch on resubmission.
+"$BIN/artery-bench" -loadgen "http://$ADDR" -clients 8 -jobs 16 -shots 20
+
+# /metrics must serve the Prometheus exposition with the service counters.
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^artery_server_jobs_submitted_total ' || {
+    echo "serve-smoke: /metrics missing artery_server_jobs_submitted_total" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '^artery_server_jobs_completed_total ' || {
+    echo "serve-smoke: /metrics missing artery_server_jobs_completed_total" >&2
+    exit 1
+}
+
+# Graceful drain: SIGTERM must exit 0 ("drained cleanly").
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    echo "serve-smoke: arteryd did not drain cleanly" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+fi
+DAEMON_PID=""
+grep -q "drained cleanly" "$DAEMON_LOG" || {
+    echo "serve-smoke: drain log line missing" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+}
+echo "serve-smoke: ok"
