@@ -10,7 +10,7 @@ SERVER_COVER_FLOOR ?= 80.0
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault cover-server serve-smoke trace-overhead bench-engine bench
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server serve-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
 
 tier1:
 	$(GO) build ./...
@@ -23,14 +23,17 @@ ci: tier1
 	$(MAKE) cover-fault
 	$(MAKE) cover-server
 	$(MAKE) trace-overhead
+	$(MAKE) bench-regress
 	$(MAKE) serve-smoke
 
-# Short fuzzing pass over the pulse codecs (one -fuzz target per
-# invocation, as the go tool requires).
+# Short fuzzing pass over the pulse codecs and the compiled-vs-interpreted
+# circuit differential (one -fuzz target per invocation, as the go tool
+# requires).
 fuzz-smoke:
 	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripHuffman$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripRLE$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripCombined$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/circuit -run '^$$' -fuzz '^FuzzCompiledVsInterpreted$$' -fuzztime $(FUZZTIME)
 
 # Statement-coverage floor for the fault-injection subsystem.
 cover-fault:
@@ -59,6 +62,22 @@ serve-smoke:
 # before relying on the comparison.
 trace-overhead:
 	$(GO) run ./cmd/artery-bench -trace-overhead BENCH_engine.json -tolerance $(TRACE_OVERHEAD_TOL)
+
+# Gate: the compiled-execution micro-benchmarks (kernels, fusion, pulse
+# synthesis, fused classification) must stay within BENCH_REGRESS_TOL of
+# the checked-in baseline, and allocation-free paths must stay that way.
+# Uses benchstat for reporting when installed; pass/fail comes from the
+# script's built-in comparator. Refresh with `make bench-baseline`.
+bench-regress:
+	bash scripts/bench_regress.sh
+
+# Re-measure the micro-benchmark baseline on this machine.
+bench-baseline:
+	bash scripts/bench_regress.sh --update
+
+# CPU + heap profile of the engine hot path (see scripts/profile.sh).
+profile:
+	bash scripts/profile.sh
 
 # Regenerate the engine-throughput snapshot (BENCH_engine.json).
 bench-engine:

@@ -35,7 +35,11 @@
 // re-measures tracing-off engine throughput and fails when it falls more
 // than -tolerance (default 1%) below the BENCH_engine.json snapshot, and
 // additionally asserts that enabling tracing does not change RunResult.
-// -pprof FILE writes a CPU profile of whichever mode runs.
+//
+// -cpuprofile FILE writes a CPU profile of whichever mode runs (-pprof is
+// an alias kept for compatibility); -memprofile FILE writes a heap profile
+// at exit, after a forced GC so only live allocations show up. The
+// scripts/profile.sh workflow wraps both.
 package main
 
 import (
@@ -110,7 +114,9 @@ func main() {
 		metricsOut = flag.String("metrics-out", "metrics.prom", "metrics output path for -metrics (\"-\" = stdout)")
 		overhead   = flag.String("trace-overhead", "", "regression gate: compare tracing-off throughput against this BENCH_engine.json snapshot and exit")
 		tolerance  = flag.Float64("tolerance", 0.01, "allowed fractional throughput regression for -trace-overhead")
-		profOut    = flag.String("pprof", "", "write a CPU profile of the selected mode to this path")
+		profOut    = flag.String("pprof", "", "alias for -cpuprofile (kept for compatibility)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this path")
+		memProf    = flag.String("memprofile", "", "write a heap profile (post-GC live allocations) to this path at exit")
 
 		loadgen    = flag.String("loadgen", "", "drive a running arteryd at this base URL and report service throughput/tail latency")
 		lgClients  = flag.Int("clients", 8, "concurrent clients for -loadgen")
@@ -144,8 +150,11 @@ func main() {
 		return
 	}
 
-	if *profOut != "" {
-		f, err := os.Create(*profOut)
+	if *cpuProf == "" {
+		cpuProf = profOut // -pprof is the historical spelling
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
 			os.Exit(2)
@@ -156,6 +165,20 @@ func main() {
 			os.Exit(2)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			}
+		}()
 	}
 
 	if *overhead != "" {

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"artery/internal/quantum"
+)
+
+// fusedCircuit builds a circuit exercising every fusion boundary: a run of
+// single-qubit gates on one wire, a wire switch, a two-qubit gate, a
+// measurement, and a feedback site with reversible bodies.
+func fusedCircuit() *Circuit {
+	c := New(2)
+	c.AddGate(NewGate1(H, 0))
+	c.AddGate(NewRot(RZ, 0, math.Pi/3))
+	c.AddGate(NewGate1(S, 0)) // fuses with the two above: one run of 3
+	c.AddGate(NewGate1(X, 1)) // wire switch: new run
+	c.AddGate(NewGate2(CZ, 0, 1))
+	c.AddGate(NewGate1(T, 0))
+	c.AddMeasure(0)
+	c.AddFeedback(&Feedback{
+		Qubit:  1,
+		OnOne:  Gates(NewRot(RX, 0, math.Pi/2), NewRot(RZ, 0, 0.7)),
+		OnZero: Gates(NewRot(RX, 0, -math.Pi/2)),
+	})
+	return c
+}
+
+func TestCompileFusesAdjacentSameWireGates(t *testing.T) {
+	tape := Compile(fusedCircuit())
+	// Expected op sequence: fused{H,RZ,S}@0, fused{X}@1, CZ, fused{T}@0,
+	// measure@0, feedback@1.
+	wantKinds := []TapeOpKind{TapeFused1Q, TapeFused1Q, TapeGate2Q, TapeFused1Q, TapeMeasure, TapeFeedback}
+	if len(tape.Ops) != len(wantKinds) {
+		t.Fatalf("compiled to %d ops, want %d: %+v", len(tape.Ops), len(wantKinds), tape.Ops)
+	}
+	for i, k := range wantKinds {
+		if tape.Ops[i].Kind != k {
+			t.Fatalf("op %d has kind %d, want %d", i, tape.Ops[i].Kind, k)
+		}
+	}
+	if got := len(tape.Ops[0].Gates); got != 3 {
+		t.Fatalf("first run fused %d gates, want 3", got)
+	}
+	if len(tape.Ops[0].Ks) != len(tape.Ops[0].Gates) {
+		t.Fatalf("kernels not index-aligned with gates")
+	}
+	fb := tape.Ops[5]
+	if fb.Site != 0 || fb.FB == nil || fb.OnOne == nil || fb.OnZero == nil {
+		t.Fatalf("feedback op incomplete: %+v", fb)
+	}
+	// Both bodies are reversible: inverses precompiled. The OnOne body's two
+	// gates share a wire, so its inverse fuses into one run too.
+	if fb.InvOnOne == nil || fb.InvOnZero == nil {
+		t.Fatalf("reversible bodies missing precompiled inverses")
+	}
+	if fb.OnOne.CountOps() != 1 || fb.InvOnOne.CountOps() != 1 {
+		t.Fatalf("body compile did not fuse: OnOne=%d InvOnOne=%d ops",
+			fb.OnOne.CountOps(), fb.InvOnOne.CountOps())
+	}
+	if tape.NumSites != 1 || len(tape.SiteQubits) != 1 || tape.SiteQubits[0] != 1 {
+		t.Fatalf("site bookkeeping wrong: sites=%d qubits=%v", tape.NumSites, tape.SiteQubits)
+	}
+}
+
+func TestCompileSkipsInverseForIrreversibleBody(t *testing.T) {
+	c := New(2)
+	c.AddFeedback(&Feedback{
+		Qubit:  0,
+		OnOne:  []Instruction{{Kind: OpReset, Qubit: 1}}, // irreversible
+		OnZero: Gates(NewRot(RX, 1, 1.0)),
+	})
+	tape := Compile(c)
+	fb := tape.Ops[0]
+	if fb.InvOnOne != nil {
+		t.Fatal("irreversible OnOne body got a precompiled inverse")
+	}
+	if fb.InvOnZero == nil {
+		t.Fatal("reversible OnZero body missing its precompiled inverse")
+	}
+	// Non-gate instructions are dropped from the body tape, matching the
+	// engine's body-execution semantics.
+	if fb.OnOne.CountOps() != 0 {
+		t.Fatalf("OpReset leaked into compiled body: %d ops", fb.OnOne.CountOps())
+	}
+}
+
+// statesBitEqual compares every amplitude through math.Float64bits — the
+// compiled path's contract is bit-identity, not approximate equality.
+func statesBitEqual(a, b *quantum.State) bool {
+	n := 1 << uint(a.NumQubits())
+	for i := 0; i < n; i++ {
+		x, y := a.Amplitude(i), b.Amplitude(i)
+		if math.Float64bits(real(x)) != math.Float64bits(real(y)) ||
+			math.Float64bits(imag(x)) != math.Float64bits(imag(y)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTapeApplyBitIdenticalToWalk(t *testing.T) {
+	c := fusedCircuit()
+	// Compile only the gate prefix (Tape.Apply panics on measure/feedback).
+	gc := New(c.NumQubits)
+	var gates []Gate
+	for _, in := range c.Ins {
+		if in.Kind == OpGate {
+			gates = append(gates, in.Gate)
+			gc.AddGate(in.Gate)
+		}
+	}
+	tape := Compile(gc)
+
+	walked := quantum.NewState(c.NumQubits)
+	compiled := quantum.NewState(c.NumQubits)
+	for _, g := range gates {
+		g.Apply(walked)
+	}
+	tape.Apply(compiled)
+	if !statesBitEqual(walked, compiled) {
+		t.Fatal("fused tape replay diverged bitwise from gate-by-gate walk")
+	}
+}
+
+// fuzz1Q is the single-qubit alphabet the fuzzer draws from; rotations
+// get an angle, the rest are fixed Cliffords/T.
+var fuzz1Q = []GateKind{RX, RY, RZ, X, Y, Z, H, S, Sdg, T, Tdg}
+
+// FuzzCompiledVsInterpreted drives random gate sequences through the
+// compiled tape replay and the gate-by-gate walk and requires bit-identical
+// amplitudes. The corpus bytes encode (gate selector, qubit) pairs over a
+// 3-qubit register, so the fuzzer explores fusion-run shapes (long runs,
+// alternating wires, 2Q breakers) rather than raw floats.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 3, 7, 0, 0})
+	f.Add([]byte{11, 0, 11, 1, 3, 2, 3, 2, 3, 2})
+	f.Add([]byte{6, 0, 6, 0, 6, 0, 6, 0, 12, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nq = 3
+		c := New(nq)
+		for i := 0; i+1 < len(data) && len(c.Ins) < 64; i += 2 {
+			sel := int(data[i]) % (len(fuzz1Q) + 2)
+			q := int(data[i+1]) % nq
+			if sel < len(fuzz1Q) {
+				kind := fuzz1Q[sel]
+				if kind == RX || kind == RY || kind == RZ {
+					// Angle derived from the byte pair: irregular but
+					// reproducible.
+					angle := float64(int(data[i])*7+int(data[i+1])) * 0.1
+					c.AddGate(NewRot(kind, q, angle))
+				} else {
+					c.AddGate(NewGate1(kind, q))
+				}
+				continue
+			}
+			q2 := (q + 1 + int(data[i])%(nq-1)) % nq
+			if sel == len(fuzz1Q) {
+				c.AddGate(NewGate2(CZ, q, q2))
+			} else {
+				c.AddGate(NewGate2(CNOT, q, q2))
+			}
+		}
+		if len(c.Ins) == 0 {
+			return
+		}
+		tape := Compile(c)
+		walked := quantum.NewState(nq)
+		compiled := quantum.NewState(nq)
+		for _, in := range c.Ins {
+			in.Gate.Apply(walked)
+		}
+		tape.Apply(compiled)
+		if !statesBitEqual(walked, compiled) {
+			t.Fatalf("compiled replay diverged bitwise from walk on %d gates", len(c.Ins))
+		}
+	})
+}

@@ -39,6 +39,12 @@ type Site struct {
 // is non-nil it holds the pulse's per-window trajectory classifications
 // (readout.Classifier.WindowBits) and Pulse may be nil; Truth is always
 // the full-pulse classification. Controllers must accept either form.
+//
+// Pulse is on loan for the duration of the Feedback call only: the engine
+// recycles the record through a pool the moment Feedback returns, so
+// controllers must not retain Pulse (or sub-slices of its samples) past
+// their return. Every in-tree controller demodulates what it needs inside
+// the call and drops the reference.
 type Shot struct {
 	Pulse *readout.Pulse
 	Bits  []int

@@ -82,16 +82,35 @@ type Engine struct {
 	// Workers setting. The callback must not block: the in-order merge path
 	// stalls until it returns.
 	OnShot func(shot int, sr ShotResult)
+	// Interpreted disables the compiled-tape replay: shots re-walk the
+	// circuit's instruction structure and apply every gate individually, the
+	// original execution path. Compiled execution is bit-identical (the
+	// differential tests prove it), so this exists as the reference for
+	// those tests and as an escape hatch, not as a user-facing mode.
+	Interpreted bool
 
 	// mu guards the lazily built caches below (Run may be entered from
 	// multiple goroutines, and shot workers share the pools).
 	mu sync.Mutex
-	// analyses caches the pure pre-execution analysis per circuit, so a
-	// multi-shot run classifies its feedback sites exactly once instead of
-	// once per shot. Circuits are treated as immutable once executed.
-	analyses map[*circuit.Circuit][]*circuit.SiteAnalysis
+	// plans caches the per-circuit compilation — the pure pre-execution
+	// analysis plus the flattened op tape — so a multi-shot run classifies
+	// and compiles its circuit exactly once instead of once per shot.
+	// Circuits are treated as immutable once executed.
+	plans map[*circuit.Circuit]*circuitPlan
 	// pools recycles state-vector buffers per register width across shots.
 	pools map[int]*quantum.StatePool
+	// pulsePools recycles readout pulse records per capture length.
+	pulsePools map[int]*readout.PulsePool
+}
+
+// circuitPlan is everything the engine precomputes per circuit: the
+// Figure-3 site analyses, the compiled op tape, and the tape's feedback ops
+// indexed by site ordinal (for the pipeline path, which iterates sites
+// without walking ops).
+type circuitPlan struct {
+	analyses []*circuit.SiteAnalysis
+	tape     *circuit.Tape
+	siteOps  []*circuit.TapeOp
 }
 
 // NewEngine builds an engine; Noise defaults to the calibrated device model.
@@ -102,20 +121,42 @@ func NewEngine(ctrl controller.Controller, ch *readout.Channel, noise *quantum.N
 	return &Engine{Ctrl: ctrl, Channel: ch, Noise: noise, SimulateState: true}
 }
 
-// analysesFor returns (computing and caching on first use) the
-// pre-execution analysis of every feedback site of c.
-func (e *Engine) analysesFor(c *circuit.Circuit) []*circuit.SiteAnalysis {
+// planFor returns (computing and caching on first use) the compiled plan —
+// pre-execution analyses plus op tape — of circuit c.
+func (e *Engine) planFor(c *circuit.Circuit) *circuitPlan {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.analyses == nil {
-		e.analyses = map[*circuit.Circuit][]*circuit.SiteAnalysis{}
+	if e.plans == nil {
+		e.plans = map[*circuit.Circuit]*circuitPlan{}
 	}
-	if a, ok := e.analyses[c]; ok {
-		return a
+	if p, ok := e.plans[c]; ok {
+		return p
 	}
-	a := circuit.AnalyzeAll(c)
-	e.analyses[c] = a
-	return a
+	p := &circuitPlan{analyses: circuit.AnalyzeAll(c), tape: circuit.Compile(c)}
+	p.siteOps = make([]*circuit.TapeOp, 0, p.tape.NumSites)
+	for i := range p.tape.Ops {
+		if p.tape.Ops[i].Kind == circuit.TapeFeedback {
+			p.siteOps = append(p.siteOps, &p.tape.Ops[i])
+		}
+	}
+	return p
+}
+
+// pulsePool returns the engine's shared pulse pool for the channel's
+// capture length.
+func (e *Engine) pulsePool() *readout.PulsePool {
+	n := e.Channel.Cal.Samples()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pulsePools == nil {
+		e.pulsePools = map[int]*readout.PulsePool{}
+	}
+	p, ok := e.pulsePools[n]
+	if !ok {
+		p = readout.NewPulsePool(n)
+		e.pulsePools[n] = p
+	}
+	return p
 }
 
 // statePool returns the engine's shared state-vector pool for n qubits.
@@ -290,7 +331,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 		panic(err)
 	}
 	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
-	analyses := e.analysesFor(wl.Circuit)
+	plan := e.planFor(wl.Circuit)
 	shotRNGs := rng.SplitN(shots)
 	// Fault streams are split AFTER the physics streams, so enabling the
 	// injector never perturbs the per-shot physics, and a disabled injector
@@ -366,7 +407,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 		// Whole shots are independent: fan them out.
 		forEachShot(shots, workers, canceled, func(i int) shotOut {
 			span := e.Trace.Shot(i)
-			return shotOut{e.runShot(wl, analyses, shotRNGs[i], sessionOf(i), span), span}
+			return shotOut{e.runShot(wl, plan, shotRNGs[i], sessionOf(i), span), span}
 		}, func(_ int, so shotOut) {
 			merge(so.sr)
 			e.Trace.Commit(so.span)
@@ -380,12 +421,11 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 		// and then by the merge path (controller faults and stage spans);
 		// the pipeline's reorder buffer guarantees the worker phase
 		// happens-before the merge phase of the same shot.
-		fbIdx := wl.Circuit.FeedbackSites()
 		forEachShot(shots, workers, canceled, func(i int) synthOut {
 			span := e.Trace.Shot(i)
-			return synthOut{e.synthShot(wl, fbIdx, shotRNGs[i], sessionOf(i), span), span}
+			return synthOut{e.synthShot(wl, plan, shotRNGs[i], sessionOf(i), span), span}
 		}, func(i int, so synthOut) {
-			merge(e.feedbackShot(wl, analyses, fbIdx, so.ss, sessionOf(i), so.span))
+			merge(e.feedbackShot(wl, plan, so.ss, sessionOf(i), so.span))
 			e.Trace.Commit(so.span)
 		})
 	default:
@@ -396,7 +436,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 				break
 			}
 			span := e.Trace.Shot(i)
-			merge(e.runShot(wl, analyses, shotRNGs[i], sessionOf(i), span))
+			merge(e.runShot(wl, plan, shotRNGs[i], sessionOf(i), span))
 			e.Trace.Commit(span)
 		}
 	}
@@ -479,18 +519,35 @@ func (a *stageAgg) table() []StageLatency {
 }
 
 // RunShot executes one shot of the workload, fault-free (fault injection
-// is a property of whole runs — use Run with Engine.Faults set). Site
-// analyses come from the engine's per-circuit cache, so calling RunShot in
-// a loop no longer re-runs the pre-execution analysis every shot.
+// is a property of whole runs — use Run with Engine.Faults set). The
+// circuit plan (site analyses plus compiled op-tape) comes from the
+// engine's per-circuit cache, so calling RunShot in a loop re-runs
+// neither the pre-execution analysis nor the compile every shot.
 func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
-	return e.runShot(wl, e.analysesFor(wl.Circuit), rng, nil, nil)
+	return e.runShot(wl, e.planFor(wl.Circuit), rng, nil, nil)
 }
 
-// runShot executes one shot against pre-computed site analyses. It is a
-// pure function of (wl, analyses, rng, sess) plus the controller's state,
-// so shot-safe controllers may run it concurrently, one RNG stream (and
-// fault session, and trace span) per call.
-func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+// runShot executes one shot against a pre-computed circuit plan,
+// dispatching between the compiled tape replay (the default) and the
+// interpreted instruction walk (the reference path, selected by
+// Engine.Interpreted). Both are pure functions of (wl, plan, rng, sess)
+// plus the controller's state, so shot-safe controllers may run either
+// concurrently, one RNG stream (and fault session, and trace span) per
+// call; and both consume identical draw sequences and identical
+// floating-point operations, so their results are bit-identical (enforced
+// by the compiled-vs-interpreted differential tests).
+func (e *Engine) runShot(wl *workload.Workload, plan *circuitPlan, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+	if e.Interpreted {
+		return e.runShotWalk(wl, plan.analyses, rng, sess, span)
+	}
+	return e.runShotCompiled(wl, plan, rng, sess, span)
+}
+
+// runShotWalk executes one shot by walking the circuit's instruction list
+// directly — the interpreted reference semantics that the compiled tape
+// replay must reproduce bit-for-bit. It stays deliberately close to the
+// paper's operational description; the hot path is runShotCompiled.
+func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	c := wl.Circuit
 	simulate := e.simulates(c)
 
@@ -632,6 +689,197 @@ func (e *Engine) runShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis
 	return sr
 }
 
+// runShotCompiled executes one shot by replaying the circuit's compiled
+// op-tape: adjacent same-wire single-qubit gates arrive pre-fused with
+// their kernels precomputed, branch bodies arrive precompiled (inverses
+// included), and readout pulses come from the engine's pulse pool instead
+// of the heap. The noisy state still advances gate by gate — per-gate
+// noise draws must interleave exactly as in the interpreted walk — but
+// the noiseless ideal reference evolves through fused kernel chains,
+// and no per-shot allocation survives into the steady state.
+func (e *Engine) runShotCompiled(wl *workload.Workload, plan *circuitPlan, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+	c := wl.Circuit
+	tape := plan.tape
+	simulate := e.simulates(c)
+
+	// The workload's fixed gate payload is a shot-scoped span (site -1),
+	// recorded before the first SetSite.
+	span.Span(trace.StagePayload, 0, wl.GatePayloadNs)
+
+	var noisy, ideal *quantum.State
+	idealAlive := true
+	if simulate {
+		pool := e.statePool(c.NumQubits)
+		noisy = pool.Get()
+		ideal = pool.Get()
+		defer pool.Put(noisy)
+		defer pool.Put(ideal)
+		// Thermal initial excitation; see runShotWalk.
+		for q, p := range wl.InitExciteP {
+			if rng.Bool(p) {
+				noisy.X(q)
+				ideal.X(q)
+			}
+		}
+	}
+
+	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
+	if tape.NumSites > 0 {
+		sr.Outcomes = make([]controller.Outcome, 0, tape.NumSites)
+	}
+	var detunings []float64
+	if simulate {
+		detunings = e.Noise.SampleDetunings(c.NumQubits, rng)
+	}
+	detuningOf := func(q int) float64 {
+		if detunings == nil {
+			return 0
+		}
+		return detunings[q]
+	}
+	pp := e.pulsePool()
+	for oi := range tape.Ops {
+		op := &tape.Ops[oi]
+		switch op.Kind {
+		case circuit.TapeFused1Q:
+			if simulate {
+				for gi := range op.Gates {
+					e.applyKernel1Q(noisy, op.Qubit, &op.Ks[gi], op.Gates[gi].Kind, rng)
+				}
+				ideal.ApplyKernelChain(op.Qubit, op.Ks)
+			}
+		case circuit.TapeGate2Q:
+			if simulate {
+				e.applyGate(noisy, op.Gate, rng)
+				op.Gate.Apply(ideal)
+			}
+		case circuit.TapeMeasure:
+			if simulate {
+				m := e.Noise.NoisyMeasure(noisy, op.Qubit, rng)
+				idealAlive = idealAlive && projectIdeal(ideal, op.Qubit, m)
+			}
+		case circuit.TapeReset:
+			if simulate {
+				noisy.Reset(op.Qubit, rng)
+				ideal.Reset(op.Qubit, rng)
+			}
+		case circuit.TapeFeedback:
+			fb := op.FB
+			a := plan.analyses[op.Site]
+			prior := wl.SiteP1[op.Site]
+
+			// Physical qubit state at readout start.
+			var m int
+			if simulate {
+				m = noisy.Measure(fb.Qubit, rng)
+			} else if rng.Bool(prior) {
+				m = 1
+			}
+
+			pulse := pp.Get()
+			e.Channel.Cal.SynthesizeInto(pulse, m, rng)
+			sess.GlitchIQ(pulse.Samples)
+			span.SetSite(op.Site, fb.Qubit)
+			truth := e.Channel.Classifier.ClassifyFullTrace(pulse, span)
+			out := e.Ctrl.Feedback(e.siteFor(a, op.Site, fb, prior), controller.Shot{Pulse: pulse, Truth: truth, Faults: sess, Span: span})
+			// Shot.Pulse's no-retention contract makes the pooled pulse safe
+			// to recycle the moment Feedback returns.
+			pp.Put(pulse)
+			sr.Outcomes = append(sr.Outcomes, out)
+			sr.FeedbackLatencyNs += out.LatencyNs
+
+			if simulate {
+				// Latency-dependent idling; see runShotWalk.
+				for q := 0; q < c.NumQubits; q++ {
+					dt := out.LatencyNs
+					if q == fb.Qubit {
+						if dt < e.Channel.Cal.DurationNs {
+							dt = e.Channel.Cal.DurationNs
+						}
+						e.Noise.ApplyIdle(noisy, q, dt, rng)
+						continue
+					}
+					e.Noise.ApplyIdleDetuned(noisy, q, dt, detuningOf(q), e.EnableDD, rng)
+				}
+				// A wrongly pre-executed branch physically runs, is undone,
+				// and only then does the correct branch run.
+				if out.Committed && !out.Correct {
+					wrongTape, invTape := op.OnOne, op.InvOnOne
+					wrong := fb.OnOne
+					if out.Predicted == 0 {
+						wrongTape, invTape = op.OnZero, op.InvOnZero
+						wrong = fb.OnZero
+					}
+					e.applyTapeNoisy(noisy, wrongTape, rng)
+					if invTape != nil {
+						e.applyTapeNoisy(noisy, invTape, rng)
+					} else {
+						// The body has non-gate instructions: preserve the
+						// interpreted path's contract, which panics here.
+						e.applyBody(noisy, circuit.InverseOf(wrong), rng)
+					}
+				}
+				// The hardware acts on its classification (truth), which may
+				// disagree with the physical state m on a readout error.
+				bt := op.OnOne
+				if truth == 0 {
+					bt = op.OnZero
+				}
+				e.applyTapeNoisy(noisy, bt, rng)
+
+				// Ideal reference: perfect hardware follows the physical
+				// outcome instantly and noiselessly — fused replay.
+				idealAlive = idealAlive && projectIdeal(ideal, fb.Qubit, m)
+				if idealAlive {
+					ib := op.OnOne
+					if m == 0 {
+						ib = op.OnZero
+					}
+					ib.Apply(ideal)
+				}
+			}
+		}
+	}
+	if simulate {
+		if idealAlive {
+			sr.Fidelity = noisy.Fidelity(ideal)
+		} else {
+			sr.Fidelity = 0
+		}
+	}
+	if sess != nil {
+		sr.Faults = sess.C
+	}
+	return sr
+}
+
+// applyKernel1Q applies one precompiled single-qubit kernel to the noisy
+// state with the gate's accompanying noise channel — the kernel twin of
+// applyGate for the tape replay, preserving the per-gate draw order.
+func (e *Engine) applyKernel1Q(s *quantum.State, q int, k *quantum.K1, kind circuit.GateKind, rng *stats.RNG) {
+	s.ApplyKernel(q, k)
+	if kind != circuit.RZ { // virtual Z is error-free
+		e.Noise.AfterGate1Q(s, q, rng)
+	}
+}
+
+// applyTapeNoisy replays a compiled branch-body tape on the noisy state,
+// gate by gate so the per-gate noise draws interleave exactly as in
+// applyBody (fusion only accelerates noiseless evolution).
+func (e *Engine) applyTapeNoisy(s *quantum.State, t *circuit.Tape, rng *stats.RNG) {
+	for oi := range t.Ops {
+		op := &t.Ops[oi]
+		switch op.Kind {
+		case circuit.TapeFused1Q:
+			for gi := range op.Gates {
+				e.applyKernel1Q(s, op.Qubit, &op.Ks[gi], op.Gates[gi].Kind, rng)
+			}
+		case circuit.TapeGate2Q:
+			e.applyGate(s, op.Gate, rng)
+		}
+	}
+}
+
 // siteShot is the controller-independent physics of one feedback site of
 // one shot, computed by a worker: the ground-truth full-pulse
 // classification and the windowed trajectory bits. The raw pulse (2000
@@ -649,38 +897,66 @@ type siteShot struct {
 // shot's physics is bit-identical whichever path executes it. Fault draws
 // (IQ glitches) come from the shot's own session, never the physics
 // stream. The span (worker-private until merge) receives the shot's
-// payload span and per-site classification events; fbIdx is
-// wl.Circuit.FeedbackSites(), hoisted by the caller.
-func (e *Engine) synthShot(wl *workload.Workload, fbIdx []int, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) []siteShot {
+// payload span and per-site classification events.
+//
+// The compiled flavor synthesizes into pooled pulse records, fuses the
+// full-pulse classification with the window demodulation into one pass
+// over the samples, and packs every site's bits into a single per-shot
+// backing array; Engine.Interpreted selects the original alloc-per-site
+// two-pass formulation, which produces bit-identical results.
+func (e *Engine) synthShot(wl *workload.Workload, plan *circuitPlan, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) []siteShot {
 	span.Span(trace.StagePayload, 0, wl.GatePayloadNs)
 	ss := make([]siteShot, len(wl.SiteP1))
+	if e.Interpreted {
+		for i, prior := range wl.SiteP1 {
+			var m int
+			if rng.Bool(prior) {
+				m = 1
+			}
+			pulse := e.Channel.Cal.Synthesize(m, rng)
+			sess.GlitchIQ(pulse.Samples)
+			span.SetSite(i, plan.siteOps[i].FB.Qubit)
+			ss[i] = siteShot{
+				truth: e.Channel.Classifier.ClassifyFullTrace(pulse, span),
+				bits:  e.Channel.Classifier.WindowBits(pulse, 0),
+			}
+		}
+		return ss
+	}
+	pp := e.pulsePool()
+	nWin := e.Channel.Cal.Samples() / e.Channel.Cal.WindowSamples(e.Channel.Classifier.WindowNs)
+	backing := make([]int, len(ss)*nWin)
 	for i, prior := range wl.SiteP1 {
 		var m int
 		if rng.Bool(prior) {
 			m = 1
 		}
-		pulse := e.Channel.Cal.Synthesize(m, rng)
+		pulse := pp.Get()
+		e.Channel.Cal.SynthesizeInto(pulse, m, rng)
 		sess.GlitchIQ(pulse.Samples)
-		span.SetSite(i, wl.Circuit.Ins[fbIdx[i]].Feedback.Qubit)
-		ss[i] = siteShot{
-			truth: e.Channel.Classifier.ClassifyFullTrace(pulse, span),
-			bits:  e.Channel.Classifier.WindowBits(pulse, 0),
-		}
+		span.SetSite(i, plan.siteOps[i].FB.Qubit)
+		// Full-capacity three-index sub-slice: each site appends exactly
+		// nWin bits; an overflow would spill into a fresh allocation rather
+		// than a neighbor's region.
+		dst := backing[i*nWin : i*nWin : (i+1)*nWin]
+		truth, bits := e.Channel.Classifier.ClassifyFullAndBitsTrace(pulse, span, dst)
+		pp.Put(pulse)
+		ss[i] = siteShot{truth: truth, bits: bits}
 	}
 	return ss
 }
 
 // feedbackShot drives the (sequential) controller over one shot's
-// pre-synthesized sites in site order and assembles the ShotResult.
-// fbIdx is wl.Circuit.FeedbackSites(), hoisted by the caller.
-func (e *Engine) feedbackShot(wl *workload.Workload, analyses []*circuit.SiteAnalysis, fbIdx []int, ss []siteShot, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+// pre-synthesized sites in site order and assembles the ShotResult. Site
+// descriptors come from the plan's cached analyses and feedback tape ops.
+func (e *Engine) feedbackShot(wl *workload.Workload, plan *circuitPlan, ss []siteShot, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	sr := ShotResult{FeedbackLatencyNs: wl.GatePayloadNs, Fidelity: math.NaN()}
 	sr.Outcomes = make([]controller.Outcome, 0, len(ss))
 	for i, s := range ss {
-		fb := wl.Circuit.Ins[fbIdx[i]].Feedback
+		fb := plan.siteOps[i].FB
 		span.SetSite(i, fb.Qubit)
 		out := e.Ctrl.Feedback(
-			e.siteFor(analyses[i], i, fb, wl.SiteP1[i]),
+			e.siteFor(plan.analyses[i], i, fb, wl.SiteP1[i]),
 			controller.Shot{Truth: s.truth, Bits: s.bits, Faults: sess, Span: span},
 		)
 		sr.Outcomes = append(sr.Outcomes, out)

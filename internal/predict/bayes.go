@@ -226,7 +226,9 @@ func (p *Predictor) PredictFromBitsFault(bits []int, final int, pHist float64, t
 func (p *Predictor) predictBits(bits []int, pHist float64, tableFault func(float64) float64, finalFn func() int) Decision {
 	windowNs := p.channel.Classifier.WindowNs
 
-	var trace []PredictionPoint
+	// One window boundary per bit: size the trace once instead of letting
+	// append re-grow it inside the per-shot hot loop.
+	trace := make([]PredictionPoint, 0, len(bits))
 	for n := 1; n <= len(bits); n++ {
 		pRead := p.channel.Table.PRead1(bits[:n])
 		if tableFault != nil {

@@ -30,28 +30,28 @@ type TwoBit struct {
 	state int // 0,1: predict 0 — 2,3: predict 1
 }
 
+// twoBitNext is the saturating transition table, indexed state<<1|outcome:
+// decrement toward 0 on outcome 0, increment toward 3 on outcome 1. A
+// table walk compiles to one load with no data-dependent branches — the
+// form a hardware predictor's update pipeline uses, and measurably faster
+// than the compare-and-mutate version on random (never-predictable)
+// quantum outcomes, where every branch mispredicts half the time.
+var twoBitNext = [8]int8{
+	0, 1, // state 0: -> 0 on outcome 0, -> 1 on outcome 1
+	0, 2, // state 1
+	1, 3, // state 2
+	2, 3, // state 3
+}
+
 // Name returns the predictor name.
 func (*TwoBit) Name() string { return "two-bit" }
 
-// Predict returns the counter's current direction.
-func (t *TwoBit) Predict() int {
-	if t.state >= 2 {
-		return 1
-	}
-	return 0
-}
+// Predict returns the counter's current direction (the high bit).
+func (t *TwoBit) Predict() int { return t.state >> 1 }
 
-// Update saturates the counter toward the observed outcome.
+// Update saturates the counter toward the observed outcome, branchlessly.
 func (t *TwoBit) Update(outcome int) {
-	if outcome == 1 {
-		if t.state < 3 {
-			t.state++
-		}
-	} else {
-		if t.state > 0 {
-			t.state--
-		}
-	}
+	t.state = int(twoBitNext[t.state<<1|(outcome&1)])
 }
 
 // GShare is a global-history predictor: the recent h outcomes XOR-index a

@@ -9,76 +9,132 @@ import (
 // RZ is "virtual" on hardware (a frame update); here it is an exact
 // diagonal unitary. The named Clifford gates below are provided as
 // conveniences for the workloads and tests.
+//
+// Every named gate routes through the specialized kernels in kernels.go, so
+// the interpreted per-gate path and the compiled (possibly fused) tape path
+// perform identical floating-point operations — see the bit-identity
+// contract there.
 
 // RX applies a rotation of the given angle (radians) about the X axis.
 func (s *State) RX(q int, theta float64) {
-	c := complex(math.Cos(theta/2), 0)
-	is := complex(0, -math.Sin(theta/2))
-	s.Apply1Q(q, c, is, is, c)
+	k := KernelRX(theta)
+	s.ApplyKernel(q, &k)
 }
 
 // RY applies a rotation about the Y axis.
 func (s *State) RY(q int, theta float64) {
-	c := complex(math.Cos(theta/2), 0)
-	sn := complex(math.Sin(theta/2), 0)
-	s.Apply1Q(q, c, -sn, sn, c)
+	k := KernelRY(theta)
+	s.ApplyKernel(q, &k)
 }
 
 // RZ applies a rotation about the Z axis.
 func (s *State) RZ(q int, theta float64) {
-	em := cmplx.Exp(complex(0, -theta/2))
-	ep := cmplx.Exp(complex(0, theta/2))
-	s.Apply1Q(q, em, 0, 0, ep)
+	k := KernelRZ(theta)
+	s.ApplyKernel(q, &k)
 }
 
+// KernelRX returns the compiled kernel of RX(theta).
+func KernelRX(theta float64) K1 {
+	c := complex(math.Cos(theta/2), 0)
+	is := complex(0, -math.Sin(theta/2))
+	return KGeneric(c, is, is, c)
+}
+
+// KernelRY returns the compiled kernel of RY(theta).
+func KernelRY(theta float64) K1 {
+	c := complex(math.Cos(theta/2), 0)
+	sn := complex(math.Sin(theta/2), 0)
+	return KGeneric(c, -sn, sn, c)
+}
+
+// KernelRZ returns the compiled kernel of RZ(theta).
+func KernelRZ(theta float64) K1 {
+	em := cmplx.Exp(complex(0, -theta/2))
+	ep := cmplx.Exp(complex(0, theta/2))
+	return KDiag(em, ep)
+}
+
+// KernelT returns the compiled kernel of the T gate.
+func KernelT() K1 { return KPhase(cmplx.Exp(complex(0, math.Pi/4))) }
+
+// KernelTdg returns the compiled kernel of the inverse T gate.
+func KernelTdg() K1 { return KPhase(cmplx.Exp(complex(0, -math.Pi/4))) }
+
 // X applies the Pauli-X (bit flip) gate.
-func (s *State) X(q int) { s.Apply1Q(q, 0, 1, 1, 0) }
+func (s *State) X(q int) {
+	k := KX()
+	s.ApplyKernel(q, &k)
+}
 
 // Y applies the Pauli-Y gate.
-func (s *State) Y(q int) { s.Apply1Q(q, 0, complex(0, -1), complex(0, 1), 0) }
+func (s *State) Y(q int) {
+	k := KY()
+	s.ApplyKernel(q, &k)
+}
 
 // Z applies the Pauli-Z (phase flip) gate.
-func (s *State) Z(q int) { s.Apply1Q(q, 1, 0, 0, -1) }
+func (s *State) Z(q int) {
+	k := KZ()
+	s.ApplyKernel(q, &k)
+}
 
 // H applies the Hadamard gate.
 func (s *State) H(q int) {
-	h := complex(1/math.Sqrt2, 0)
-	s.Apply1Q(q, h, h, h, -h)
+	k := KH()
+	s.ApplyKernel(q, &k)
 }
 
 // S applies the phase gate diag(1, i).
-func (s *State) S(q int) { s.Apply1Q(q, 1, 0, 0, complex(0, 1)) }
+func (s *State) S(q int) {
+	k := KS()
+	s.ApplyKernel(q, &k)
+}
 
 // Sdg applies the inverse phase gate diag(1, -i).
-func (s *State) Sdg(q int) { s.Apply1Q(q, 1, 0, 0, complex(0, -1)) }
+func (s *State) Sdg(q int) {
+	k := KSdg()
+	s.ApplyKernel(q, &k)
+}
 
 // T applies the T gate diag(1, e^{iπ/4}).
 func (s *State) T(q int) {
-	s.Apply1Q(q, 1, 0, 0, cmplx.Exp(complex(0, math.Pi/4)))
+	k := KernelT()
+	s.ApplyKernel(q, &k)
 }
 
 // Tdg applies the inverse T gate.
 func (s *State) Tdg(q int) {
-	s.Apply1Q(q, 1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4)))
+	k := KernelTdg()
+	s.ApplyKernel(q, &k)
 }
 
-// CZ applies a controlled-Z between qubits a and b (symmetric).
+// CZ applies a controlled-Z between qubits a and b (symmetric). The loop
+// visits only the quarter of the register with both qubits set.
 func (s *State) CZ(a, b int) {
 	s.checkQubit(a)
 	s.checkQubit(b)
 	if a == b {
 		panic("quantum: CZ with identical qubits")
 	}
-	mask := (1 << uint(a)) | (1 << uint(b))
-	for i := range s.amp {
-		if i&mask == mask {
-			s.amp[i] = -s.amp[i]
+	lo, hi := 1<<uint(a), 1<<uint(b)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	amp := s.amp
+	n := len(amp)
+	for blockA := hi; blockA < n; blockA += hi << 1 {
+		for blockB := blockA + lo; blockB < blockA+hi; blockB += lo << 1 {
+			for i := blockB; i < blockB+lo; i++ {
+				amp[i] = -amp[i]
+			}
 		}
 	}
 }
 
 // CNOT applies a controlled-X with the given control and target. On the
 // paper's hardware CNOT is compiled as H(t)·CZ·H(t); here it is exact.
+// The loop visits only the quarter of the register with control=1,
+// target=0, swapping each visited amplitude with its target=1 partner.
 func (s *State) CNOT(control, target int) {
 	s.checkQubit(control)
 	s.checkQubit(target)
@@ -86,11 +142,27 @@ func (s *State) CNOT(control, target int) {
 		panic("quantum: CNOT with identical qubits")
 	}
 	cb, tb := 1<<uint(control), 1<<uint(target)
-	for i := range s.amp {
-		// Swap amplitude pairs where control=1, visiting target=0 only.
-		if i&cb != 0 && i&tb == 0 {
-			j := i | tb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+	lo, hi := cb, tb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	amp := s.amp
+	n := len(amp)
+	// Iterate indices with control set and target clear: within blocks of
+	// hi<<1 take the half where the hi bit equals (hi==cb), and within
+	// blocks of lo<<1 the half where the lo bit equals (lo==cb).
+	offA, offB := 0, 0
+	if cb == hi {
+		offA = hi
+	} else {
+		offB = lo
+	}
+	for blockA := offA; blockA < n; blockA += hi << 1 {
+		for blockB := blockA + offB; blockB < blockA+hi; blockB += lo << 1 {
+			for i := blockB; i < blockB+lo; i++ {
+				j := i | tb
+				amp[i], amp[j] = amp[j], amp[i]
+			}
 		}
 	}
 }

@@ -1,0 +1,300 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the specialized single-qubit kernels behind the
+// compiled execution path (DESIGN.md "Compiled execution").
+//
+// A K1 is one single-qubit gate in compiled form: a kind tag selecting a
+// specialized amplitude-pair transform, plus the 2x2 matrix entries for the
+// kinds that need them. The named Clifford/phase kinds replace the generic
+// complex 2x2 matmul (4 complex multiplies + 2 adds per amplitude pair) with
+// the minimal arithmetic of the gate — a swap for X, a negation for Z, one
+// component shuffle for S, one complex multiply for T/RZ.
+//
+// Bit-identity contract: every execution path — the per-gate State methods
+// (X, H, T, ...), ApplyKernel, and the fused ApplyKernelChain — routes each
+// amplitude pair through the same per-kind pair function below. Single-qubit
+// gates on the same wire act on disjoint (a0, a1) pairs, so applying a chain
+// of kernels pair-by-pair in one traversal performs exactly the same
+// floating-point operations, in the same order, as applying the gates one
+// full traversal at a time. That is why gate fusion cannot change a single
+// output bit, which the differential and fuzz tests enforce.
+
+// K1Kind selects a specialized single-qubit amplitude-pair transform.
+type K1Kind uint8
+
+const (
+	// K1Generic applies the full 2x2 complex matmul (RX, RY, arbitrary
+	// unitaries).
+	K1Generic K1Kind = iota
+	K1X              // Pauli-X: swap the pair
+	K1Y              // Pauli-Y: swap with ±i phases
+	K1Z              // Pauli-Z: negate a1
+	K1H              // Hadamard
+	K1S              // phase gate diag(1, i)
+	K1Sdg            // inverse phase gate diag(1, -i)
+	K1Phase          // diag(1, U11): T, Tdg, arbitrary phase
+	K1Diag           // diag(U00, U11): RZ
+)
+
+// K1 is one compiled single-qubit kernel. Only the matrix entries the kind
+// reads are meaningful (see the constructors).
+type K1 struct {
+	Kind               K1Kind
+	U00, U01, U10, U11 complex128
+}
+
+// KGeneric returns a kernel applying the full 2x2 unitary.
+func KGeneric(u00, u01, u10, u11 complex128) K1 {
+	return K1{Kind: K1Generic, U00: u00, U01: u01, U10: u10, U11: u11}
+}
+
+// KX returns the Pauli-X kernel.
+func KX() K1 { return K1{Kind: K1X} }
+
+// KY returns the Pauli-Y kernel.
+func KY() K1 { return K1{Kind: K1Y} }
+
+// KZ returns the Pauli-Z kernel.
+func KZ() K1 { return K1{Kind: K1Z} }
+
+// KH returns the Hadamard kernel.
+func KH() K1 { return K1{Kind: K1H} }
+
+// KS returns the diag(1, i) kernel.
+func KS() K1 { return K1{Kind: K1S} }
+
+// KSdg returns the diag(1, -i) kernel.
+func KSdg() K1 { return K1{Kind: K1Sdg} }
+
+// KPhase returns the diag(1, u11) kernel.
+func KPhase(u11 complex128) K1 { return K1{Kind: K1Phase, U11: u11} }
+
+// KDiag returns the diag(u00, u11) kernel.
+func KDiag(u00, u11 complex128) K1 { return K1{Kind: K1Diag, U00: u00, U11: u11} }
+
+// invSqrt2 is the Hadamard coefficient 1/√2, computed from the same
+// untyped constant as the previous complex(1/math.Sqrt2, 0) matrix entries.
+const invSqrt2 = 1 / math.Sqrt2
+
+// Per-kind amplitude-pair transforms. These tiny functions are the single
+// source of truth for the kernel arithmetic: ApplyKernel's specialized loops
+// and ApplyKernelChain's per-pair dispatch both call them, so fused and
+// unfused execution are bit-identical by construction.
+
+func pairGeneric(u00, u01, u10, u11, a0, a1 complex128) (complex128, complex128) {
+	return u00*a0 + u01*a1, u10*a0 + u11*a1
+}
+
+func pairX(a0, a1 complex128) (complex128, complex128) { return a1, a0 }
+
+func pairY(a0, a1 complex128) (complex128, complex128) {
+	// (-i)·a1, i·a0
+	return complex(imag(a1), -real(a1)), complex(-imag(a0), real(a0))
+}
+
+func pairZ(a0, a1 complex128) (complex128, complex128) { return a0, -a1 }
+
+func pairH(a0, a1 complex128) (complex128, complex128) {
+	s, d := a0+a1, a0-a1
+	return complex(invSqrt2*real(s), invSqrt2*imag(s)),
+		complex(invSqrt2*real(d), invSqrt2*imag(d))
+}
+
+func pairS(a0, a1 complex128) (complex128, complex128) {
+	return a0, complex(-imag(a1), real(a1))
+}
+
+func pairSdg(a0, a1 complex128) (complex128, complex128) {
+	return a0, complex(imag(a1), -real(a1))
+}
+
+func pairPhase(u11, a0, a1 complex128) (complex128, complex128) {
+	return a0, u11 * a1
+}
+
+func pairDiag(u00, u11, a0, a1 complex128) (complex128, complex128) {
+	return u00 * a0, u11 * a1
+}
+
+// pair applies the kernel to one amplitude pair. This is the dispatch the
+// fused chain uses per pair; the per-kind functions it calls are shared with
+// ApplyKernel's specialized loops.
+func (k *K1) pair(a0, a1 complex128) (complex128, complex128) {
+	switch k.Kind {
+	case K1X:
+		return pairX(a0, a1)
+	case K1Y:
+		return pairY(a0, a1)
+	case K1Z:
+		return pairZ(a0, a1)
+	case K1H:
+		return pairH(a0, a1)
+	case K1S:
+		return pairS(a0, a1)
+	case K1Sdg:
+		return pairSdg(a0, a1)
+	case K1Phase:
+		return pairPhase(k.U11, a0, a1)
+	case K1Diag:
+		return pairDiag(k.U00, k.U11, a0, a1)
+	default:
+		return pairGeneric(k.U00, k.U01, k.U10, k.U11, a0, a1)
+	}
+}
+
+// ApplyKernel applies one compiled kernel to qubit q. The kind switch is
+// hoisted out of the amplitude loop, so each kind runs a dedicated loop
+// over the register. It allocates nothing.
+func (s *State) ApplyKernel(q int, k *K1) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	amp := s.amp
+	n := len(amp)
+	step := bit << 1
+	switch k.Kind {
+	case K1X:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairX(amp[i], amp[j])
+			}
+		}
+	case K1Y:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairY(amp[i], amp[j])
+			}
+		}
+	case K1Z:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairZ(amp[i], amp[j])
+			}
+		}
+	case K1H:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairH(amp[i], amp[j])
+			}
+		}
+	case K1S:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairS(amp[i], amp[j])
+			}
+		}
+	case K1Sdg:
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairSdg(amp[i], amp[j])
+			}
+		}
+	case K1Phase:
+		u11 := k.U11
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairPhase(u11, amp[i], amp[j])
+			}
+		}
+	case K1Diag:
+		u00, u11 := k.U00, k.U11
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairDiag(u00, u11, amp[i], amp[j])
+			}
+		}
+	default:
+		u00, u01, u10, u11 := k.U00, k.U01, k.U10, k.U11
+		for base := 0; base < n; base += step {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				amp[i], amp[j] = pairGeneric(u00, u01, u10, u11, amp[i], amp[j])
+			}
+		}
+	}
+}
+
+// chainFuseMaxAmps bounds the register size for the single-traversal chain
+// replay. On larger registers the per-pair kind dispatch costs more than
+// the per-gate traversals it saves (the whole state sits in L1 anyway), so
+// the chain falls back to sequential specialized loops — measured crossover
+// at 3 qubits on amd64 (BenchmarkFusedVsUnfused). Both strategies perform
+// identical floating-point operations in identical order, so the choice is
+// invisible to every output bit.
+const chainFuseMaxAmps = 4
+
+// ApplyKernelChain applies a run of kernels targeting the same qubit.
+// On small registers (the engine's feedback workloads run 2-qubit ideal
+// states) it uses one traversal: each amplitude pair is loaded once, pushed
+// through every kernel in order, and stored once, eliminating the per-gate
+// call and loop-setup overhead. Because same-qubit gates act on disjoint
+// pairs, the arithmetic is identical — operation for operation — to
+// applying the kernels one at a time, so fused and sequential replay are
+// bit-identical (see the contract at the top of this file). It allocates
+// nothing.
+func (s *State) ApplyKernelChain(q int, ks []K1) {
+	if len(ks) == 1 {
+		s.ApplyKernel(q, &ks[0])
+		return
+	}
+	s.checkQubit(q)
+	if len(ks) == 0 {
+		return
+	}
+	amp := s.amp
+	n := len(amp)
+	if n > chainFuseMaxAmps {
+		for t := range ks {
+			s.ApplyKernel(q, &ks[t])
+		}
+		return
+	}
+	bit := 1 << uint(q)
+	step := bit << 1
+	for base := 0; base < n; base += step {
+		for i := base; i < base+bit; i++ {
+			j := i | bit
+			a0, a1 := amp[i], amp[j]
+			for t := range ks {
+				a0, a1 = ks[t].pair(a0, a1)
+			}
+			amp[i], amp[j] = a0, a1
+		}
+	}
+}
+
+// String returns a short human-readable kernel name for diagnostics.
+func (k K1) String() string {
+	switch k.Kind {
+	case K1X:
+		return "X"
+	case K1Y:
+		return "Y"
+	case K1Z:
+		return "Z"
+	case K1H:
+		return "H"
+	case K1S:
+		return "S"
+	case K1Sdg:
+		return "Sdg"
+	case K1Phase:
+		return fmt.Sprintf("Phase(%v)", k.U11)
+	case K1Diag:
+		return fmt.Sprintf("Diag(%v,%v)", k.U00, k.U11)
+	default:
+		return "Generic"
+	}
+}

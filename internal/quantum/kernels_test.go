@@ -1,0 +1,327 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// kernelAlphabet covers every specialized kind plus generic rotations.
+func kernelAlphabet() []K1 {
+	return []K1{
+		KX(), KY(), KZ(), KH(), KS(), KSdg(),
+		KernelT(), KernelTdg(),
+		KernelRX(0.3), KernelRY(-1.2), KernelRZ(2.4),
+		KGeneric(complex(0.6, 0), complex(0, 0.8), complex(0, 0.8), complex(0.6, 0)),
+	}
+}
+
+// randomishState builds a deterministic non-trivial state by running a
+// fixed gate sequence from |0...0⟩.
+func randomishState(n int) *State {
+	s := NewState(n)
+	for q := 0; q < n; q++ {
+		s.H(q)
+		s.RZ(q, 0.37*float64(q+1))
+		s.RX(q, -0.91*float64(q+1))
+	}
+	for q := 0; q+1 < n; q++ {
+		s.CZ(q, q+1)
+	}
+	return s
+}
+
+func cloneState(s *State) *State {
+	c := NewState(s.NumQubits())
+	for i := range c.amp {
+		c.amp[i] = s.amp[i]
+	}
+	return c
+}
+
+func bitsEqualState(t *testing.T, a, b *State, ctx string) {
+	t.Helper()
+	for i := range a.amp {
+		if math.Float64bits(real(a.amp[i])) != math.Float64bits(real(b.amp[i])) ||
+			math.Float64bits(imag(a.amp[i])) != math.Float64bits(imag(b.amp[i])) {
+			t.Fatalf("%s: amplitude %d diverged bitwise: %v vs %v", ctx, i, a.amp[i], b.amp[i])
+		}
+	}
+}
+
+// matrixOf expands a kernel to its full 2x2 unitary (the specialized
+// kinds carry only a tag, not matrix entries).
+func matrixOf(k K1) K1 {
+	h := complex(1/math.Sqrt2, 0)
+	switch k.Kind {
+	case K1X:
+		return KGeneric(0, 1, 1, 0)
+	case K1Y:
+		return KGeneric(0, complex(0, -1), complex(0, 1), 0)
+	case K1Z:
+		return KGeneric(1, 0, 0, -1)
+	case K1H:
+		return KGeneric(h, h, h, -h)
+	case K1S:
+		return KGeneric(1, 0, 0, complex(0, 1))
+	case K1Sdg:
+		return KGeneric(1, 0, 0, complex(0, -1))
+	case K1Phase:
+		return KGeneric(1, 0, 0, k.U11)
+	case K1Diag:
+		return KGeneric(k.U00, 0, 0, k.U11)
+	default:
+		return KGeneric(k.U00, k.U01, k.U10, k.U11)
+	}
+}
+
+// TestSpecializedKernelsMatchGeneric pins every specialized kernel fast
+// path to the generic 2x2 apply within floating-point tolerance (the fast
+// paths use algebraically simplified arithmetic, so exact bit equality
+// with the generic matmul is not expected — only the compiled and
+// interpreted *engine* paths must be bit-identical, and both route
+// through the same specialized kernels).
+func TestSpecializedKernelsMatchGeneric(t *testing.T) {
+	const n = 4
+	for _, k := range kernelAlphabet() {
+		for q := 0; q < n; q++ {
+			fast := randomishState(n)
+			slow := cloneState(fast)
+			fast.ApplyKernel(q, &k)
+			g := matrixOf(k)
+			slow.ApplyKernel(q, &g)
+			for i := range fast.amp {
+				if d := fast.amp[i] - slow.amp[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-24 {
+					t.Fatalf("kernel %v qubit %d: amplitude %d differs: %v vs %v",
+						k.Kind, q, i, fast.amp[i], slow.amp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyKernelChainBitIdenticalToSequential is the fusion contract:
+// pushing each amplitude pair through a chain of kernels performs exactly
+// the floating-point operations of applying the kernels one full-state
+// pass at a time, in the same order — so fused replay is bit-identical.
+func TestApplyKernelChainBitIdenticalToSequential(t *testing.T) {
+	// n=2 exercises the single-traversal fused replay; n=4 exercises the
+	// large-register sequential fallback. Both must match gate-by-gate
+	// application bit for bit.
+	for _, n := range []int{2, 4} {
+		ks := kernelAlphabet()
+		for q := 0; q < n; q++ {
+			fused := randomishState(n)
+			seq := cloneState(fused)
+			fused.ApplyKernelChain(q, ks)
+			for i := range ks {
+				seq.ApplyKernel(q, &ks[i])
+			}
+			bitsEqualState(t, fused, seq, "chain vs sequential")
+		}
+	}
+}
+
+// TestNamedGatesRouteThroughKernels pins the named gate methods to their
+// kernel constructors: S.RX(q, θ) must equal ApplyKernel(q, KernelRX(θ))
+// bit for bit, which is what lets the compiler precompute kernels.
+func TestNamedGatesRouteThroughKernels(t *testing.T) {
+	cases := []struct {
+		name  string
+		gate  func(s *State)
+		k     K1
+		qubit int
+	}{
+		{"X", func(s *State) { s.X(1) }, KX(), 1},
+		{"Y", func(s *State) { s.Y(0) }, KY(), 0},
+		{"Z", func(s *State) { s.Z(2) }, KZ(), 2},
+		{"H", func(s *State) { s.H(1) }, KH(), 1},
+		{"S", func(s *State) { s.S(0) }, KS(), 0},
+		{"Sdg", func(s *State) { s.Sdg(2) }, KSdg(), 2},
+		{"T", func(s *State) { s.T(1) }, KernelT(), 1},
+		{"Tdg", func(s *State) { s.Tdg(0) }, KernelTdg(), 0},
+		{"RX", func(s *State) { s.RX(1, 0.77) }, KernelRX(0.77), 1},
+		{"RY", func(s *State) { s.RY(2, -0.4) }, KernelRY(-0.4), 2},
+		{"RZ", func(s *State) { s.RZ(0, 1.9) }, KernelRZ(1.9), 0},
+	}
+	for _, c := range cases {
+		named := randomishState(3)
+		kerneled := cloneState(named)
+		c.gate(named)
+		kerneled.ApplyKernel(c.qubit, &c.k)
+		bitsEqualState(t, named, kerneled, c.name)
+	}
+}
+
+// TestProbabilitiesIntoReusesScratch verifies both the reuse semantics and
+// the equivalence with the allocating form.
+func TestProbabilitiesIntoReusesScratch(t *testing.T) {
+	s := randomishState(3)
+	fresh := s.Probabilities()
+	scratch := make([]float64, 0, 8)
+	got := s.ProbabilitiesInto(scratch)
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("ProbabilitiesInto did not reuse the provided scratch")
+	}
+	for i := range fresh {
+		if math.Float64bits(fresh[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("probability %d differs: %v vs %v", i, fresh[i], got[i])
+		}
+	}
+	// Undersized scratch grows instead of panicking.
+	small := s.ProbabilitiesInto(make([]float64, 0, 2))
+	for i := range fresh {
+		if small[i] != fresh[i] {
+			t.Fatalf("grown scratch probability %d differs", i)
+		}
+	}
+}
+
+// --- allocation assertions: the per-shot hot path must not allocate ---
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	s := randomishState(4)
+	k := KernelRX(0.3)
+	chain := kernelAlphabet()
+	scratch := make([]float64, 16)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"ApplyKernel", func() { s.ApplyKernel(2, &k) }},
+		{"ApplyKernelChain", func() { s.ApplyKernelChain(1, chain) }},
+		{"CZ", func() { s.CZ(0, 3) }},
+		{"CNOT", func() { s.CNOT(1, 2) }},
+		{"Prob1", func() { _ = s.Prob1(2) }},
+		{"ProbabilitiesInto", func() { s.ProbabilitiesInto(scratch) }},
+		{"Fidelity", func() { _ = s.Fidelity(s) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(20, c.fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", c.name, n)
+		}
+	}
+}
+
+// --- micro-benchmarks (compiled-execution satellites) ---
+
+func BenchmarkApply1Q(b *testing.B) {
+	kinds := []struct {
+		name string
+		k    K1
+	}{
+		{"generic", func() K1 { k := KernelRX(0.3); k.Kind = K1Generic; return k }()},
+		{"rx", KernelRX(0.3)},
+		{"h", KH()},
+		{"x", KX()},
+		{"z", KZ()},
+		{"s", KS()},
+	}
+	for _, kc := range kinds {
+		b.Run(kc.name, func(b *testing.B) {
+			s := NewState(10)
+			s.H(0)
+			k := kc.k
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ApplyKernel(5, &k)
+			}
+		})
+	}
+}
+
+func BenchmarkApply2Q(b *testing.B) {
+	b.Run("cz", func(b *testing.B) {
+		s := NewState(10)
+		s.H(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.CZ(2, 7)
+		}
+	})
+	b.Run("cnot", func(b *testing.B) {
+		s := NewState(10)
+		s.H(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.CNOT(2, 7)
+		}
+	})
+	b.Run("generic4x4", func(b *testing.B) {
+		s := NewState(10)
+		s.H(0)
+		var u [4][4]complex128
+		for i := range u {
+			u[i][i] = 1
+		}
+		u[2][2], u[2][3], u[3][2], u[3][3] = 0, 1, 1, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Apply2Q(2, 7, &u)
+		}
+	})
+}
+
+// BenchmarkStateReadbacks measures the scratch-reusing readback paths the
+// engine calls once per shot (ProbabilitiesInto for measurement, Fidelity
+// for the ideal-state comparison) — both must stay allocation-free.
+func BenchmarkStateReadbacks(b *testing.B) {
+	s := randomishState(10)
+	ideal := cloneState(s)
+	scratch := make([]float64, 1<<10)
+	b.Run("probabilities-into", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ProbabilitiesInto(scratch)
+		}
+	})
+	b.Run("fidelity", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Fidelity(ideal)
+		}
+	})
+	b.Run("prob1", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Prob1(4)
+		}
+	})
+}
+
+// BenchmarkFusedVsUnfused measures the fusion win on a QRW-style run of
+// single-qubit gates sharing a wire, at the engine-realistic 2-qubit size
+// (where the single-traversal replay engages — the measured crossover
+// behind chainFuseMaxAmps) and at 10 qubits (where ApplyKernelChain falls
+// back to sequential specialized loops).
+func BenchmarkFusedVsUnfused(b *testing.B) {
+	chain := []K1{KH(), KernelRZ(0.3), KernelRX(1.1), KH(), KernelRZ(-0.4), KernelRX(0.9)}
+	for _, nq := range []int{2, 10} {
+		q := nq / 2
+		b.Run(fmt.Sprintf("unfused-%dq", nq), func(b *testing.B) {
+			s := NewState(nq)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range chain {
+					s.ApplyKernel(q, &chain[j])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fused-%dq", nq), func(b *testing.B) {
+			s := NewState(nq)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ApplyKernelChain(q, chain)
+			}
+		})
+	}
+}

@@ -14,7 +14,6 @@ package quantum
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"artery/internal/stats"
 )
@@ -67,22 +66,17 @@ func (s *State) checkQubit(q int) {
 }
 
 // Apply1Q applies the 2x2 unitary {{u00,u01},{u10,u11}} to qubit q.
+// It routes through the generic kernel, so arbitrary-matrix application is
+// bit-identical between the interpreted and compiled execution paths.
 func (s *State) Apply1Q(q int, u00, u01, u10, u11 complex128) {
-	s.checkQubit(q)
-	bit := 1 << uint(q)
-	for i := 0; i < len(s.amp); i++ {
-		if i&bit != 0 {
-			continue
-		}
-		j := i | bit
-		a0, a1 := s.amp[i], s.amp[j]
-		s.amp[i] = u00*a0 + u01*a1
-		s.amp[j] = u10*a0 + u11*a1
-	}
+	k := KGeneric(u00, u01, u10, u11)
+	s.ApplyKernel(q, &k)
 }
 
 // Apply2Q applies a 4x4 unitary u (row-major, basis order |q2 q1⟩ =
 // |00⟩,|01⟩,|10⟩,|11⟩ with q1 the low bit) to qubits q1 and q2.
+// The nested loops enumerate exactly the quarter of the register with both
+// qubit bits clear, in ascending order, instead of testing every index.
 func (s *State) Apply2Q(q1, q2 int, u *[4][4]complex128) {
 	s.checkQubit(q1)
 	s.checkQubit(q2)
@@ -90,28 +84,40 @@ func (s *State) Apply2Q(q1, q2 int, u *[4][4]complex128) {
 		panic("quantum: Apply2Q with identical qubits")
 	}
 	b1, b2 := 1<<uint(q1), 1<<uint(q2)
-	for i := 0; i < len(s.amp); i++ {
-		if i&b1 != 0 || i&b2 != 0 {
-			continue
-		}
-		idx := [4]int{i, i | b1, i | b2, i | b1 | b2}
-		var in [4]complex128
-		for k, x := range idx {
-			in[k] = s.amp[x]
-		}
-		for r, x := range idx {
-			s.amp[x] = u[r][0]*in[0] + u[r][1]*in[1] + u[r][2]*in[2] + u[r][3]*in[3]
+	lo, hi := b1, b2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	amp := s.amp
+	n := len(amp)
+	for blockA := 0; blockA < n; blockA += hi << 1 {
+		for blockB := blockA; blockB < blockA+hi; blockB += lo << 1 {
+			for i := blockB; i < blockB+lo; i++ {
+				idx := [4]int{i, i | b1, i | b2, i | b1 | b2}
+				var in [4]complex128
+				for k, x := range idx {
+					in[k] = amp[x]
+				}
+				for r, x := range idx {
+					amp[x] = u[r][0]*in[0] + u[r][1]*in[1] + u[r][2]*in[2] + u[r][3]*in[3]
+				}
+			}
 		}
 	}
 }
 
 // Prob1 returns the probability that measuring qubit q yields 1.
+// The nested loops visit only the half of the register with the qubit bit
+// set, in ascending index order — the same summation order as a full scan,
+// so the result is bit-identical to one.
 func (s *State) Prob1(q int) float64 {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
+	amp := s.amp
 	p := 0.0
-	for i, a := range s.amp {
-		if i&bit != 0 {
+	for base := bit; base < len(amp); base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			a := amp[i]
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
@@ -143,14 +149,25 @@ func (s *State) Project(q, outcome int) {
 }
 
 // project collapses qubit q onto the given outcome and renormalizes.
+// Each bit<<1 block splits into a surviving half (summed into the norm in
+// ascending order, exactly as a full scan would) and a cleared half; the
+// rescale then touches only surviving amplitudes, since the cleared ones
+// stay +0 either way.
 func (s *State) project(q, outcome int) {
 	bit := 1 << uint(q)
+	keep := 0
+	if outcome == 1 {
+		keep = bit
+	}
+	amp := s.amp
+	n := len(amp)
 	norm := 0.0
-	for i, a := range s.amp {
-		has1 := i&bit != 0
-		if (outcome == 1) != has1 {
-			s.amp[i] = 0
-		} else {
+	for base := 0; base < n; base += bit << 1 {
+		zero := base + bit - keep
+		clear(amp[zero : zero+bit])
+		k := base + keep
+		for i := k; i < k+bit; i++ {
+			a := amp[i]
 			norm += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
@@ -158,8 +175,10 @@ func (s *State) project(q, outcome int) {
 		panic("quantum: projection onto zero-probability outcome")
 	}
 	scale := complex(1/math.Sqrt(norm), 0)
-	for i := range s.amp {
-		s.amp[i] *= scale
+	for base := keep; base < n; base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			amp[i] *= scale
+		}
 	}
 }
 
@@ -175,22 +194,43 @@ func (s *State) Reset(q int, rng *stats.RNG) int {
 
 // Fidelity returns |⟨s|o⟩|², the state fidelity between two pure states.
 // It panics if the registers have different widths.
+//
+// The inner product accumulates in two scalar registers instead of a
+// complex128, avoiding the per-element cmplx.Conj temporary. The scalar
+// expressions are IEEE-identical to the complex form (x−(−y) ≡ x+y and
+// x+(−y) ≡ x−y for every operand, including signed zeros), so the result
+// is bit-equal to the previous implementation.
 func (s *State) Fidelity(o *State) float64 {
 	if s.n != o.n {
 		panic("quantum: Fidelity between different register sizes")
 	}
-	var ip complex128
-	for i := range s.amp {
-		ip += cmplx.Conj(s.amp[i]) * o.amp[i]
+	var re, im float64
+	oa := o.amp
+	for i, a := range s.amp {
+		b := oa[i]
+		re += real(a)*real(b) + imag(a)*imag(b)
+		im += real(a)*imag(b) - imag(a)*real(b)
 	}
-	return real(ip)*real(ip) + imag(ip)*imag(ip)
+	return re*re + im*im
 }
 
 // Probabilities returns the full basis-state probability distribution.
 func (s *State) Probabilities() []float64 {
-	p := make([]float64, len(s.amp))
-	for i, a := range s.amp {
-		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	return s.ProbabilitiesInto(nil)
+}
+
+// ProbabilitiesInto writes the basis-state probability distribution into
+// dst, growing it only when its capacity is insufficient, and returns the
+// slice. Passing the previous return value back in makes repeated calls
+// allocation-free. The scratch is owned by the caller — each shot worker
+// keeps its own, which is what makes reuse race-clean.
+func (s *State) ProbabilitiesInto(dst []float64) []float64 {
+	if cap(dst) < len(s.amp) {
+		dst = make([]float64, len(s.amp))
 	}
-	return p
+	dst = dst[:len(s.amp)]
+	for i, a := range s.amp {
+		dst[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return dst
 }

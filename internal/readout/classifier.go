@@ -3,6 +3,7 @@ package readout
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"artery/internal/stats"
 	"artery/internal/trace"
@@ -91,12 +92,74 @@ func (c *Classifier) ClassifyFullTrace(p *Pulse, span *trace.ShotSpan) int {
 // (earliest first). Later bits integrate more of the pulse and are
 // therefore more reliable — the √t SNR growth the predictor exploits.
 func (c *Classifier) WindowBits(p *Pulse, uptoNs float64) []int {
-	traj := c.cal.CumulativeTrajectory(p, c.WindowNs, uptoNs)
-	bits := make([]int, len(traj))
-	for i, pt := range traj {
-		bits[i] = c.ClassifyWindow(pt)
-	}
+	return c.AppendWindowBits(nil, p, uptoNs)
+}
+
+// AppendWindowBits is WindowBits appending into dst (which may be nil),
+// reusing its capacity — the allocation-free form for per-shot scratch.
+// The bits are computed in a single pass over the samples, classifying the
+// running cumulative integral at each window boundary; the running sums are
+// exactly CumulativeTrajectory's, so the bits are bit-identical to the
+// two-pass trajectory-then-classify formulation.
+func (c *Classifier) AppendWindowBits(dst []int, p *Pulse, uptoNs float64) []int {
+	bits, _, _, _ := c.windowBits(dst, p, uptoNs)
 	return bits
+}
+
+// windowBits is the shared single pass: it appends the per-boundary bits to
+// dst and also returns the final running sums and sample limit, letting
+// ClassifyFullAndBits finish the full-pulse classification from the same
+// traversal.
+func (c *Classifier) windowBits(dst []int, p *Pulse, uptoNs float64) (bits []int, sumI, sumQ float64, limit int) {
+	if uptoNs <= 0 || uptoNs > c.cal.DurationNs {
+		uptoNs = c.cal.DurationNs
+	}
+	w := c.cal.WindowSamples(c.WindowNs)
+	limit = int(uptoNs * c.cal.SampleRateGSPS)
+	if limit > len(p.Samples) {
+		limit = len(p.Samples)
+	}
+	omega := c.cal.Omega()
+	ref := complex(1, 0)
+	rot := cmplx.Rect(1, omega)
+	bits = dst[:0]
+	for k := 0; k < limit; k++ {
+		cr, sr := real(ref), imag(ref)
+		re, im := real(p.Samples[k]), imag(p.Samples[k])
+		sumI += re*cr + im*sr
+		sumQ += im*cr - re*sr
+		ref *= rot
+		if (k+1)%w == 0 {
+			n := float64(k+1) + 1
+			bits = append(bits, c.ClassifyWindow(IQ{I: sumI / n, Q: sumQ / n}))
+		}
+	}
+	return bits, sumI, sumQ, limit
+}
+
+// ClassifyFullAndBits computes the full-pulse classification and the
+// window bits in one pass over the samples (appending bits into dst, which
+// may be nil). The cumulative sums at the final sample are exactly the
+// integrated-IQ sums — same operations, same order — so both results are
+// bit-identical to calling ClassifyFull and WindowBits separately, for
+// half the demodulation work.
+func (c *Classifier) ClassifyFullAndBits(p *Pulse, dst []int) (truth int, bits []int) {
+	bits, sumI, sumQ, limit := c.windowBits(dst, p, 0)
+	norm := float64(limit) + 1
+	pt := IQ{I: sumI / norm, Q: sumQ / norm}
+	if pt.Dist2(c.F1) < pt.Dist2(c.F0) {
+		truth = 1
+	}
+	return truth, bits
+}
+
+// ClassifyFullAndBitsTrace is ClassifyFullAndBits with ClassifyFullTrace's
+// span annotation, emitted after the classification exactly as the
+// separate calls would.
+func (c *Classifier) ClassifyFullAndBitsTrace(p *Pulse, span *trace.ShotSpan, dst []int) (truth int, bits []int) {
+	truth, bits = c.ClassifyFullAndBits(p, dst)
+	span.Annotate(trace.StageClassifyFull, 0, c.cal.DurationNs, truth, 0)
+	return truth, bits
 }
 
 // StateTable is the pre-generated <trajectory, P_read_1> table of §4: it

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"artery/internal/stats"
 )
@@ -68,22 +69,107 @@ type Pulse struct {
 	DecayedAtNs float64
 }
 
+// carrierKey identifies one cached clean-carrier waveform: everything the
+// deterministic (noise- and relaxation-free) part of a pulse depends on.
+type carrierKey struct {
+	cyc, amp, phase float64
+	state, n        int
+}
+
+// carrierCache holds clean-carrier templates across all calibrations.
+// Calibration structs are copied by value throughout the repo (mux groups,
+// experiment sweeps), so the cache is a package-level map keyed by the
+// carrier parameters rather than a field that a copy could go stale on or
+// a lock a `c := *base` copy would trip vet over. Reads take an RLock — a
+// map lookup against a 2000-sample synthesis loop — and the size cap makes
+// pathological sweeps over thousands of distinct calibrations degrade to
+// uncached builds instead of leaking.
+var (
+	carrierMu    sync.RWMutex
+	carrierCache = map[carrierKey][]complex128{}
+)
+
+const carrierCacheMax = 256
+
+// buildCarrier materializes the clean carrier with the exact incremental-
+// phasor recurrence of the synthesis loop (cur *= rot), so template samples
+// are bit-identical to the ones the loop would produce.
+func buildCarrier(c *Calibration, state, n int) []complex128 {
+	omega := c.Omega()
+	rot := cmplx.Rect(1, omega)
+	cur := cmplx.Rect(c.Amp, -c.PhaseShift)
+	if state == 1 {
+		cur = cmplx.Rect(c.Amp, +c.PhaseShift)
+	}
+	t := make([]complex128, n)
+	for i := range t {
+		t[i] = cur
+		cur *= rot
+	}
+	return t
+}
+
+// carrierTemplate returns the cached clean carrier for one prepared state.
+// The returned slice is shared and must be treated as read-only.
+func carrierTemplate(c *Calibration, state, n int) []complex128 {
+	key := carrierKey{cyc: c.CarrierCycles, amp: c.Amp, phase: c.PhaseShift, state: state, n: n}
+	carrierMu.RLock()
+	t, ok := carrierCache[key]
+	carrierMu.RUnlock()
+	if ok {
+		return t
+	}
+	t = buildCarrier(c, state, n)
+	carrierMu.Lock()
+	if cached, ok := carrierCache[key]; ok {
+		t = cached // lost the build race: share the winner
+	} else if len(carrierCache) < carrierCacheMax {
+		carrierCache[key] = t
+	}
+	carrierMu.Unlock()
+	return t
+}
+
 // Synthesize produces one readout pulse record for a qubit prepared in
 // state (0 or 1), sampling mid-readout relaxation and per-sample noise.
 func (c *Calibration) Synthesize(state int, rng *stats.RNG) *Pulse {
+	p := &Pulse{}
+	c.SynthesizeInto(p, state, rng)
+	return p
+}
+
+// SynthesizeInto is Synthesize writing into a caller-owned record (pool
+// reuse): p.Samples is resized in place, so a pulse recycled through a
+// PulsePool synthesizes without allocating. The RNG draw sequence — one
+// optional relaxation draw, then two normal deviates per sample — and every
+// output bit match Synthesize exactly.
+//
+// The deterministic carrier of a clean (non-decayed) pulse is shot-
+// invariant, so it comes from a cached template and only the noise is
+// generated per shot (via stats.RNG.AddComplexNorm, which replicates the
+// scalar loop's draw stream). Decayed pulses — the rare T1-relaxation tail,
+// ~1.6% of prepared-|1⟩ shots at the paper's 2 µs / 125 µs operating point
+// — re-anchor the carrier mid-pulse at a random sample, so they keep the
+// original scalar loop.
+func (c *Calibration) SynthesizeInto(p *Pulse, state int, rng *stats.RNG) {
 	if state != 0 && state != 1 {
 		panic(fmt.Sprintf("readout: invalid state %d", state))
 	}
 	n := c.Samples()
-	p := &Pulse{
-		Samples:     make([]complex128, n),
-		Prepared:    state,
-		DecayedAtNs: math.Inf(1),
+	if cap(p.Samples) < n {
+		p.Samples = make([]complex128, n)
 	}
+	p.Samples = p.Samples[:n]
+	p.Prepared = state
+	p.DecayedAtNs = math.Inf(1)
 	if state == 1 && !math.IsInf(c.T1Ns, 1) {
 		if t := rng.Exp(c.T1Ns); t < c.DurationNs {
 			p.DecayedAtNs = t
 		}
+	}
+	if math.IsInf(p.DecayedAtNs, 1) {
+		rng.AddComplexNorm(p.Samples, carrierTemplate(c, state, n), c.NoiseSigma)
+		return
 	}
 	omega := c.Omega()
 	// Incremental phasor: rot = e^{iω}, carrier advances by one multiply per
@@ -91,11 +177,8 @@ func (c *Calibration) Synthesize(state int, rng *stats.RNG) *Pulse {
 	rot := cmplx.Rect(1, omega)
 	phase0 := cmplx.Rect(c.Amp, -c.PhaseShift)
 	phase1 := cmplx.Rect(c.Amp, +c.PhaseShift)
-	cur := phase0
-	if state == 1 {
-		cur = phase1
-	}
-	excited := state == 1
+	cur := phase1
+	excited := true
 	for i := 0; i < n; i++ {
 		if excited && float64(i)/c.SampleRateGSPS >= p.DecayedAtNs {
 			// Relaxation: re-anchor the carrier with the |0⟩ phase offset.
@@ -106,7 +189,6 @@ func (c *Calibration) Synthesize(state int, rng *stats.RNG) *Pulse {
 		p.Samples[i] = cur + noise
 		cur *= rot
 	}
-	return p
 }
 
 // IQ is one demodulated point in the IQ plane.

@@ -58,10 +58,9 @@ func (g *MuxGroup) Synthesize(states []int, rng *stats.RNG) *MuxPulse {
 		Prepared:    append([]int(nil), states...),
 		DecayedAtNs: make([]float64, len(states)),
 	}
-	// Line noise is shared (one amplifier chain), applied once.
-	for i := 0; i < n; i++ {
-		p.Samples[i] = complex(rng.Norm()*base.NoiseSigma, rng.Norm()*base.NoiseSigma)
-	}
+	// Line noise is shared (one amplifier chain), applied once. The bulk
+	// fill consumes the same draw stream as the per-sample Norm loop.
+	rng.AddComplexNorm(p.Samples, nil, base.NoiseSigma)
 	for k, cal := range g.Cals {
 		state := states[k]
 		if state != 0 && state != 1 {
@@ -73,15 +72,21 @@ func (g *MuxGroup) Synthesize(states []int, rng *stats.RNG) *MuxPulse {
 				p.DecayedAtNs[k] = t
 			}
 		}
+		if math.IsInf(p.DecayedAtNs[k], 1) {
+			// Clean tone: accumulate the cached carrier template (bit-
+			// identical to the incremental-phasor loop below).
+			tone := carrierTemplate(cal, state, n)
+			for i := 0; i < n; i++ {
+				p.Samples[i] += tone[i]
+			}
+			continue
+		}
 		omega := cal.Omega()
 		rot := cmplx.Rect(1, omega)
 		phase0 := cmplx.Rect(cal.Amp, -cal.PhaseShift)
 		phase1 := cmplx.Rect(cal.Amp, +cal.PhaseShift)
-		cur := phase0
-		if state == 1 {
-			cur = phase1
-		}
-		excited := state == 1
+		cur := phase1
+		excited := true
 		for i := 0; i < n; i++ {
 			if excited && float64(i)/cal.SampleRateGSPS >= p.DecayedAtNs[k] {
 				cur = phase0 * cmplx.Rect(1, omega*float64(i))

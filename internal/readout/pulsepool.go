@@ -1,0 +1,53 @@
+package readout
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PulsePool recycles readout pulse records of one capture length across
+// Monte-Carlo shots. A 2 µs record at 1 GSPS is 32 KiB of samples; the
+// engine's hot loop previously allocated one per feedback site per shot
+// (hundreds of MB/s of garbage at full throughput). SynthesizeInto
+// overwrites every sample and all metadata, so a pooled pulse is
+// indistinguishable from a freshly allocated one.
+//
+// Concurrency contract: PulsePool is safe for concurrent Get/Put from
+// multiple shot workers. The *Pulse values themselves are not — each
+// belongs to exactly one worker between Get and Put, and the engine's
+// no-retention rule for controller.Shot.Pulse (see that field's docs) is
+// what makes Put after Feedback safe.
+type PulsePool struct {
+	n    int
+	pool sync.Pool
+}
+
+// NewPulsePool returns a pool of pulse records with n-sample capacity.
+func NewPulsePool(n int) *PulsePool {
+	if n < 1 {
+		panic(fmt.Sprintf("readout: invalid pulse pool sample count %d", n))
+	}
+	p := &PulsePool{n: n}
+	p.pool.New = func() interface{} {
+		return &Pulse{Samples: make([]complex128, n)}
+	}
+	return p
+}
+
+// Samples returns the capture length the pool serves.
+func (p *PulsePool) Samples() int { return p.n }
+
+// Get returns a pulse record with capacity for the pool's capture length.
+// Its contents are unspecified — the caller must synthesize into it before
+// reading.
+func (p *PulsePool) Get() *Pulse {
+	return p.pool.Get().(*Pulse)
+}
+
+// Put returns a pulse to the pool. The caller must not touch it afterwards.
+func (p *PulsePool) Put(pulse *Pulse) {
+	if pulse == nil || cap(pulse.Samples) < p.n {
+		return
+	}
+	p.pool.Put(pulse)
+}

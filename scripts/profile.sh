@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# profile.sh — one-command CPU + heap profiling of the engine hot path.
+#
+# Builds artery-bench, runs the engine-throughput benchmark with
+# -cpuprofile and -memprofile attached, then prints the top CPU and heap
+# consumers. This is the workflow that located the pre-compilation
+# hotspots (pulse synthesis ~80% of shot CPU, per-shot Probabilities and
+# waveform allocations), and the one to re-run after touching anything on
+# the per-shot path.
+#
+# Usage:
+#   scripts/profile.sh                     # profile -engine-bench (default)
+#   scripts/profile.sh -exp fig13 -shots 200   # profile any artery-bench mode
+#
+# Profiles land in $PROFILE_DIR (default ./profiles):
+#   profiles/cpu.pprof   CPU samples of the profiled run
+#   profiles/mem.pprof   live heap at exit, after a forced GC
+#
+# Dig deeper interactively:
+#   go tool pprof -http=:8080 profiles/cpu.pprof   # flame graph in a browser
+#   go tool pprof profiles/mem.pprof               # then: top, list <func>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+DIR="${PROFILE_DIR:-profiles}"
+mkdir -p "$DIR"
+
+BIN="$DIR/artery-bench"
+"$GO" build -o "$BIN" ./cmd/artery-bench
+
+if [[ $# -eq 0 ]]; then
+    set -- -engine-bench "$DIR/bench_engine.json" -shots 300
+fi
+
+echo "profile: running artery-bench $* (cpu -> $DIR/cpu.pprof, mem -> $DIR/mem.pprof)"
+"$BIN" -cpuprofile "$DIR/cpu.pprof" -memprofile "$DIR/mem.pprof" "$@"
+
+echo
+echo "=== top CPU (cumulative) ==="
+"$GO" tool pprof -top -nodecount 15 "$BIN" "$DIR/cpu.pprof"
+echo
+echo "=== top live heap ==="
+"$GO" tool pprof -top -nodecount 10 -sample_index=inuse_space "$BIN" "$DIR/mem.pprof"
+echo
+echo "profile: interactive view: go tool pprof -http=:8080 $DIR/cpu.pprof"
