@@ -6,11 +6,12 @@ GO ?= go
 FUZZTIME ?= 10s
 FAULT_COVER_FLOOR ?= 80.0
 SERVER_COVER_FLOOR ?= 80.0
+STABILIZER_COVER_FLOOR ?= 85.0
 # Allowed fractional throughput loss of the (disabled) tracing hooks vs
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault cover-server serve-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer backend-diff serve-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
 
 tier1:
 	$(GO) build ./...
@@ -19,9 +20,11 @@ tier1:
 ci: tier1
 	$(GO) vet ./...
 	$(GO) test -race -timeout 30m ./...
+	$(MAKE) backend-diff
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover-fault
 	$(MAKE) cover-server
+	$(MAKE) cover-stabilizer
 	$(MAKE) trace-overhead
 	$(MAKE) bench-regress
 	$(MAKE) serve-smoke
@@ -34,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripRLE$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pulse -run '^$$' -fuzz '^FuzzCodecRoundTripCombined$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/circuit -run '^$$' -fuzz '^FuzzCompiledVsInterpreted$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzBackendVsStateVector$$' -fuzztime $(FUZZTIME)
 
 # Statement-coverage floor for the fault-injection subsystem.
 cover-fault:
@@ -48,6 +52,19 @@ cover-server:
 	@$(GO) tool cover -func=/tmp/server.cover | awk -v floor=$(SERVER_COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); printf "internal/server coverage: %s%% (floor %s%%)\n", $$3, floor; \
 		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
+# Statement-coverage floor for the stabilizer-tableau backend.
+cover-stabilizer:
+	$(GO) test -coverprofile=/tmp/stabilizer.cover ./internal/stabilizer
+	@$(GO) tool cover -func=/tmp/stabilizer.cover | awk -v floor=$(STABILIZER_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/stabilizer coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
+# Explicit run of the engine-level backend differential suite: both
+# backends must produce bit-identical measurement records and counters
+# for every Clifford workload at workers 1/4/8.
+backend-diff:
+	$(GO) test ./internal/core -run '^TestBackendDifferential' -v -count=1
 
 # End-to-end service gate: boot arteryd on an ephemeral port, drive it
 # with the loadgen (concurrent clients, zero dropped jobs, every 429 must

@@ -37,7 +37,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 
+	"artery/internal/circuit"
 	"artery/internal/controller"
 	"artery/internal/core"
 	"artery/internal/interconnect"
@@ -86,6 +88,17 @@ type Options struct {
 	// forces serial execution. Results are bit-identical at every setting
 	// (one RNG stream per shot index, results merged in shot order).
 	Workers int
+	// Backend selects the quantum simulation backend: "auto" (default,
+	// also ""), "state"/"statevector", or "stabilizer"/"tableau". Auto
+	// keeps the state vector for small circuits and promotes wide Clifford
+	// circuits to the stabilizer tableau; an explicit backend that cannot
+	// execute the workload fails the run with a typed error
+	// (ErrNonClifford, ErrIrreversibleBody, ErrNoiseNotCliffordSafe).
+	// An explicit "stabilizer" runs under the Clifford-safe projection of
+	// the device noise model: depolarizing gate error and readout flips
+	// apply unchanged, T1/T2 decay (which a tableau cannot represent) is
+	// lifted to infinity. Ignored when DisableStateSim is set.
+	Backend string
 }
 
 // PredictorMode mirrors the Figure-14 ablation arms.
@@ -195,6 +208,10 @@ func WithMode(m PredictorMode) Option { return func(c *config) { c.Mode = m } }
 // WithoutStateSim skips the per-shot quantum-state fidelity simulation
 // (latency and accuracy remain available; much faster for sweeps).
 func WithoutStateSim() Option { return func(c *config) { c.DisableStateSim = true } }
+
+// WithBackend selects the quantum simulation backend by name; see
+// Options.Backend for the accepted names and failure semantics.
+func WithBackend(name string) Option { return func(c *config) { c.Backend = name } }
 
 // WithDynamicalDecoupling executes feedback idle windows as X-echo
 // sequences; see Options.DynamicalDecoupling.
@@ -323,8 +340,25 @@ func validateConfig(cfg config) error {
 	if m := predict.Mode(cfg.Mode); m != predict.ModeCombined && m != predict.ModeHistory && m != predict.ModeTrajectory {
 		return fmt.Errorf("artery: unknown predictor mode %d", cfg.Mode)
 	}
+	if _, err := quantum.ParseBackendKind(cfg.Backend); err != nil {
+		return fmt.Errorf("artery: %w", err)
+	}
 	return nil
 }
+
+// Typed backend-selection errors, re-exported so callers can errors.Is
+// against runStream failures without importing internal packages.
+var (
+	// ErrNonClifford: the stabilizer backend was requested for a circuit
+	// containing a non-Clifford gate.
+	ErrNonClifford = circuit.ErrNonClifford
+	// ErrIrreversibleBody: the stabilizer backend was requested for a
+	// circuit whose feedback bodies cannot be inverted on misprediction.
+	ErrIrreversibleBody = circuit.ErrIrreversibleBody
+	// ErrNoiseNotCliffordSafe: the stabilizer backend was requested under
+	// a noise model with non-Clifford channels.
+	ErrNoiseNotCliffordSafe = core.ErrNoiseNotCliffordSafe
+)
 
 // controllerRegistry is the single ordered table of feedback controllers:
 // ControllerNames and newController both read it, so a controller cannot
@@ -446,12 +480,33 @@ func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots
 	if err != nil {
 		return Report{}, err
 	}
+	backend, err := quantum.ParseBackendKind(s.opts.Backend)
+	if err != nil {
+		return Report{}, fmt.Errorf("artery: %w", err)
+	}
 	noise := quantum.DeviceNoise()
 	noise.QuasiStaticSigma = s.opts.QuasiStaticSigma
+	if backend == quantum.BackendStabilizer {
+		// A tableau cannot represent amplitude damping: an explicit
+		// stabilizer request opts into the Clifford-safe projection of the
+		// device noise (depolarizing gate error and readout flips stay;
+		// T1/T2 decay is lifted). Quasi-static detuning has no Clifford
+		// projection, so that combination stays a typed error.
+		if s.opts.QuasiStaticSigma != 0 {
+			return Report{}, fmt.Errorf("artery: %w", core.ErrNoiseNotCliffordSafe)
+		}
+		noise.T1, noise.T2 = math.Inf(1), math.Inf(1)
+	}
 	eng := core.NewEngine(ctrl, s.channel, noise)
 	eng.SimulateState = !s.opts.DisableStateSim
 	eng.EnableDD = s.opts.DynamicalDecoupling
 	eng.Workers = s.opts.Workers
+	eng.Backend = backend
+	// An explicit backend the workload cannot run on is a request error,
+	// not a panic: resolve it here, before any shot executes.
+	if err := eng.CheckBackend(wl); err != nil {
+		return Report{}, err
+	}
 	eng.Trace = s.rec
 	eng.Metrics = s.metrics
 	if fn != nil {
@@ -555,8 +610,8 @@ type ShotTrace struct {
 }
 
 // WorkloadNames lists the named workloads WorkloadByName can build, in
-// presentation order: qrw, rcnot, dqt, rusqnn, reset, qec, eswap, msi.
-// (Random is not name-addressable — it takes its own seed.)
+// presentation order: qrw, rcnot, dqt, rusqnn, reset, qec, eswap, msi,
+// surface. (Random is not name-addressable — it takes its own seed.)
 func WorkloadNames() []string { return workload.Names() }
 
 // WorkloadByName builds a benchmark workload from its short name and size
@@ -598,6 +653,13 @@ func EntangleSwap(depth int) *Workload { return workload.EntangleSwap(depth) }
 
 // MSI builds the magic-state-injection benchmark (case-1 S corrections).
 func MSI(injections int) *Workload { return workload.MSI(injections) }
+
+// Surface builds a distance-d surface-code memory benchmark: 2d²−1
+// qubits, two syndrome-extraction rounds with active ancilla-reset
+// feedback, and a final data readout. It is pure Clifford, so — unlike
+// every other workload — it scales to distances (d ≥ 15, hundreds of
+// qubits) only the stabilizer backend can simulate.
+func Surface(distance int) *Workload { return workload.SurfaceMemory(distance) }
 
 // LogicalErrorRate simulates a distance-3 surface-code memory for the
 // given number of correction cycles and Monte-Carlo trials: pData is the

@@ -1,0 +1,74 @@
+package artery
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// Facade coverage of the simulation-backend option: name validation at
+// New, the Clifford-safe noise projection on explicit stabilizer
+// requests, the typed rejections re-exported at the root, and a
+// successful stabilizer run end to end.
+
+func TestWithBackendUnknownNameRejected(t *testing.T) {
+	if _, err := New(WithBackend("tensor-network")); err == nil {
+		t.Fatal("New accepted an unknown backend name")
+	}
+}
+
+func TestWithBackendStabilizerRuns(t *testing.T) {
+	s := MustNew(WithSeed(7), WithBackend("stabilizer"))
+	r, err := s.RunWithContext(context.Background(), "ARTERY", QRW(3), 20)
+	if err != nil {
+		t.Fatalf("stabilizer run: %v", err)
+	}
+	if r.Shots != 20 || r.MeanLatencyUs <= 0 {
+		t.Fatalf("report looks broken: %+v", r)
+	}
+	// A tableau has no amplitudes: fidelity must be NaN, not a number
+	// silently computed on the wrong backend.
+	if !math.IsNaN(r.Fidelity) {
+		t.Fatalf("stabilizer fidelity = %v, want NaN", r.Fidelity)
+	}
+}
+
+func TestWithBackendStabilizerRejectsNonClifford(t *testing.T) {
+	s := MustNew(WithSeed(7), WithBackend("stabilizer"))
+	_, err := s.RunWithContext(context.Background(), "ARTERY", MSI(2), 5)
+	if !errors.Is(err, ErrNonClifford) {
+		t.Fatalf("MSI (T gates) on stabilizer: err = %v, want ErrNonClifford", err)
+	}
+}
+
+func TestWithBackendStabilizerRejectsQuasiStaticNoise(t *testing.T) {
+	// The facade's Clifford-safe projection lifts T1/T2, but a requested
+	// quasi-static detuning cannot be projected away silently.
+	s := MustNew(WithSeed(7), WithBackend("stabilizer"), WithQuasiStaticSigma(1e-4))
+	_, err := s.RunWithContext(context.Background(), "ARTERY", QRW(3), 5)
+	if !errors.Is(err, ErrNoiseNotCliffordSafe) {
+		t.Fatalf("quasi-static + stabilizer: err = %v, want ErrNoiseNotCliffordSafe", err)
+	}
+}
+
+func TestWithBackendStateRejectsWideSurface(t *testing.T) {
+	s := MustNew(WithSeed(7), WithBackend("state"))
+	if _, err := s.RunWithContext(context.Background(), "ARTERY", Surface(5), 5); err == nil {
+		t.Fatal("state backend accepted a 49-qubit register")
+	}
+}
+
+func TestSurfaceWorkloadRunsUnderAuto(t *testing.T) {
+	// Under the default auto backend a d=5 surface memory exceeds every
+	// state-vector budget but is Clifford, so it must still run (on the
+	// tableau once the noise is Clifford-safe, latency-only otherwise).
+	s := MustNew(WithSeed(7))
+	r, err := s.RunWithContext(context.Background(), "QubiC", Surface(5), 5)
+	if err != nil {
+		t.Fatalf("auto-backend surface run: %v", err)
+	}
+	if r.Shots != 5 {
+		t.Fatalf("report: %+v", r)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -61,6 +62,7 @@ import (
 	"artery/internal/experiment"
 	"artery/internal/interconnect"
 	"artery/internal/predict"
+	"artery/internal/quantum"
 	"artery/internal/readout"
 	"artery/internal/stats"
 	"artery/internal/trace"
@@ -285,32 +287,56 @@ type engineBenchReport struct {
 	Cases      []engineBenchCase `json:"cases"`
 }
 
+// engineBenchCase1 describes one engine-bench scenario: the workload, the
+// engine constructor, and a shot divisor for heavyweight cases (the
+// 449-qubit surface tableau runs fewer shots per timed window than the
+// 2-qubit QRW so the sweep stays fast; rates are per-shot either way).
+type engineBenchCase1 struct {
+	name, mode string
+	wl         *workload.Workload
+	shotsDiv   int
+	make       func() *core.Engine
+}
+
+// engineBenchCases is the single case table behind -engine-bench and
+// -trace-overhead, so the snapshot writer and the regression gate cannot
+// drift apart: a shot-safe baseline with state simulation, the ARTERY
+// controller's synth/feedback pipeline, and the stabilizer backend on a
+// d=15 surface-code memory (449 qubits — far beyond any state vector).
+func engineBenchCases(ch *readout.Channel, topo *interconnect.Topology) []engineBenchCase1 {
+	return []engineBenchCase1{
+		{"QubiC/QRW-5/state-sim", "shot-parallel", workload.QRW(5), 1, func() *core.Engine {
+			return core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, nil)
+		}},
+		{"ARTERY/QRW-5/latency-only", "synth-pipeline", workload.QRW(5), 1, func() *core.Engine {
+			p := predict.New(predict.DefaultConfig(), ch)
+			e := core.NewEngine(controller.NewArtery(controller.DefaultUnits(), topo, p), ch, nil)
+			e.SimulateState = false
+			return e
+		}},
+		{"QubiC/Surface-15/stabilizer", "shot-parallel", workload.SurfaceMemory(15), 10, func() *core.Engine {
+			noise := quantum.DeviceNoise()
+			noise.T1, noise.T2 = math.Inf(1), math.Inf(1) // Clifford-safe
+			e := core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, noise)
+			e.Backend = quantum.BackendStabilizer
+			return e
+		}},
+	}
+}
+
 // runEngineBench measures Engine.Run throughput across worker counts for
-// the two parallel execution modes (a shot-safe baseline with state
-// simulation, and the ARTERY controller's synth/feedback pipeline) and
-// writes the JSON snapshot.
+// the parallel execution modes (a shot-safe baseline with state
+// simulation, the ARTERY controller's synth/feedback pipeline, and the
+// stabilizer tableau on a wide surface-code memory) and writes the JSON
+// snapshot.
 func runEngineBench(path string, seed uint64, shots int) error {
 	if shots < 200 {
 		shots = 200 // throughput needs enough shots to amortize setup
 	}
 	ch := readout.NewChannel(readout.DefaultCalibration(), readout.DefaultWinNs, readout.DefaultK, stats.NewRNG(seed))
 	topo := interconnect.PaperTopology()
-	wl := workload.QRW(5)
 
-	cases := []struct {
-		name, mode string
-		make       func() *core.Engine
-	}{
-		{"QubiC/QRW-5/state-sim", "shot-parallel", func() *core.Engine {
-			return core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, nil)
-		}},
-		{"ARTERY/QRW-5/latency-only", "synth-pipeline", func() *core.Engine {
-			p := predict.New(predict.DefaultConfig(), ch)
-			e := core.NewEngine(controller.NewArtery(controller.DefaultUnits(), topo, p), ch, nil)
-			e.SimulateState = false
-			return e
-		}},
-	}
+	cases := engineBenchCases(ch, topo)
 
 	counts := []int{1, 2, 4, 8}
 	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 && n != 8 {
@@ -327,17 +353,18 @@ func runEngineBench(path string, seed uint64, shots int) error {
 	}
 	for _, c := range cases {
 		bc := engineBenchCase{Name: c.name, Mode: c.mode}
+		caseShots := shots / c.shotsDiv
 		var ref core.RunResult
 		var serialRate float64
 		for _, w := range counts {
 			e := c.make()
 			e.Workers = w
 			// Warm the per-engine caches outside the timed window.
-			e.Run(wl, 2, stats.NewRNG(seed+1))
+			e.Run(c.wl, 2, stats.NewRNG(seed+1))
 			start := time.Now()
-			res := e.Run(wl, shots, stats.NewRNG(seed))
+			res := e.Run(c.wl, caseShots, stats.NewRNG(seed))
 			dt := time.Since(start).Seconds()
-			rate := float64(shots) / dt
+			rate := float64(caseShots) / dt
 			pt := engineBenchPoint{Workers: w, ShotsPerSec: rate}
 			if w == counts[0] {
 				ref, serialRate = res, rate
@@ -453,25 +480,19 @@ func runTraceOverhead(path string, tol float64) error {
 
 	ch := readout.NewChannel(readout.DefaultCalibration(), readout.DefaultWinNs, readout.DefaultK, stats.NewRNG(rep.Seed))
 	topo := interconnect.PaperTopology()
-	wl := workload.QRW(5)
-	makeCase := map[string]func() *core.Engine{
-		"QubiC/QRW-5/state-sim": func() *core.Engine {
-			return core.NewEngine(controller.NewBaseline("QubiC", controller.QubiCOverheadNs, topo), ch, nil)
-		},
-		"ARTERY/QRW-5/latency-only": func() *core.Engine {
-			p := predict.New(predict.DefaultConfig(), ch)
-			e := core.NewEngine(controller.NewArtery(controller.DefaultUnits(), topo, p), ch, nil)
-			e.SimulateState = false
-			return e
-		},
+	byName := map[string]engineBenchCase1{}
+	for _, c := range engineBenchCases(ch, topo) {
+		byName[c.name] = c
 	}
 
 	fail := false
 	for _, c := range rep.Cases {
-		mk, ok := makeCase[c.Name]
+		bc, ok := byName[c.Name]
 		if !ok {
 			return fmt.Errorf("trace-overhead: unknown case %q in %s", c.Name, path)
 		}
+		mk, wl := bc.make, bc.wl
+		caseShots := rep.Shots / bc.shotsDiv
 		var baseline float64
 		for _, pt := range c.Points {
 			if pt.Workers == 1 {
@@ -490,8 +511,8 @@ func runTraceOverhead(path string, tol float64) error {
 			e.Workers = 1
 			e.Run(wl, 2, stats.NewRNG(rep.Seed+1))
 			start := time.Now()
-			e.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
-			rate := float64(rep.Shots) / time.Since(start).Seconds()
+			e.Run(wl, caseShots, stats.NewRNG(rep.Seed))
+			rate := float64(caseShots) / time.Since(start).Seconds()
 			if rate > best {
 				best = rate
 			}
@@ -508,12 +529,12 @@ func runTraceOverhead(path string, tol float64) error {
 		// the result.
 		off := mk()
 		off.Workers = 1
-		resOff := off.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
+		resOff := off.Run(wl, caseShots, stats.NewRNG(rep.Seed))
 		on := mk()
 		on.Workers = 1
 		on.Trace = trace.NewRecorder(0)
 		on.Metrics = trace.NewRegistry()
-		resOn := on.Run(wl, rep.Shots, stats.NewRNG(rep.Seed))
+		resOn := on.Run(wl, caseShots, stats.NewRNG(rep.Seed))
 		same := resOn.MeanLatencyNs == resOff.MeanLatencyNs &&
 			(resOn.MeanFidelity == resOff.MeanFidelity ||
 				(resOn.MeanFidelity != resOn.MeanFidelity && resOff.MeanFidelity != resOff.MeanFidelity))

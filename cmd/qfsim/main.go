@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -55,7 +56,8 @@ func fatal(err error) {
 
 func main() {
 	var (
-		wlName   = flag.String("workload", "qrw", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec|eswap|msi")
+		wlName   = flag.String("workload", "qrw", "workload: qrw|rcnot|dqt|rusqnn|reset|random|qec|eswap|msi|surface")
+		backend  = flag.String("backend", "auto", "simulation backend: auto|state|stabilizer")
 		loadPath = flag.String("load", "", "load a circuit from a QASM file instead of a named workload")
 		prior    = flag.Float64("prior", 0.5, "branch-1 prior for every feedback site of a loaded circuit")
 		param    = flag.Int("param", 5, "workload size parameter (steps/depth/distance/cycles/qubits/gates)")
@@ -126,7 +128,7 @@ func main() {
 		return
 	}
 
-	opts := []artery.Option{artery.WithSeed(*seed), artery.WithWorkers(*workers)}
+	opts := []artery.Option{artery.WithSeed(*seed), artery.WithWorkers(*workers), artery.WithBackend(*backend)}
 	if *traceOut != "" {
 		w, closeTrace, err := openSink(*traceOut)
 		if err != nil {
@@ -189,7 +191,11 @@ func main() {
 		}
 		return
 	}
-	fmt.Println(sys.RunWith(*ctrlName, wl, *shots))
+	rep, err := sys.RunWithContext(context.Background(), *ctrlName, wl, *shots)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
 }
 
 // printSequence executes one shot on a fresh ARTERY engine and prints the

@@ -78,6 +78,12 @@ type Tape struct {
 	// measured qubit of site i.
 	NumSites   int
 	SiteQubits []int
+	// Clifford reports whether every gate on the tape — including all
+	// feedback branch bodies and their inverses — is in the Clifford
+	// group, the precondition for the stabilizer backend. NonClifford
+	// is the first offending gate when it is not (for error messages).
+	Clifford    bool
+	NonClifford Gate
 }
 
 // Kernel returns the compiled single-qubit kernel of g. It panics for
@@ -219,6 +225,7 @@ func Compile(c *Circuit) *Tape {
 		}
 	}
 	b.flush()
+	analyzeClifford(&b.tape)
 	return &b.tape
 }
 

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"artery/internal/circuit"
+	"artery/internal/quantum"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// This file is the engine-level backend differential suite: every
+// registered Clifford workload must produce bit-identical physics on the
+// state-vector and stabilizer backends — same measurement records, same
+// controller outcomes, same RunResult counters — under both engine run
+// modes (shot-parallel fan-out and the serial predictor pipeline), at
+// every worker count, for multiple seeds. Fidelity is the single allowed
+// divergence (a tableau has no amplitudes; stabilizer shots report NaN).
+
+// cliffordSafeNoise is the device noise model with its non-Clifford
+// channels removed: depolarizing gate error and readout flips stay,
+// T1/T2 decay is lifted to infinity, no quasi-static detuning.
+func cliffordSafeNoise() *quantum.NoiseModel {
+	n := quantum.DeviceNoise()
+	n.T1, n.T2 = math.Inf(1), math.Inf(1)
+	n.QuasiStaticSigma = 0
+	return n
+}
+
+// cliffordWorkloads returns every registered workload whose compiled
+// tape is stabilizer-compatible, at a size that fits the state vector
+// (so both backends can run it head to head).
+func cliffordWorkloads(t *testing.T) []*workload.Workload {
+	t.Helper()
+	params := map[string]int{
+		"qrw": 5, "rcnot": 3, "dqt": 2, "rusqnn": 3, "reset": 4,
+		"qec": 2, "eswap": 3, "msi": 2, "surface": 3,
+	}
+	var out []*workload.Workload
+	for _, name := range workload.Names() {
+		wl, err := workload.ByName(name, params[name])
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if circuit.Compile(wl.Circuit).StabilizerCompat() != nil {
+			continue // dqt, rusqnn, msi: non-Clifford by construction
+		}
+		out = append(out, wl)
+	}
+	if len(out) < 6 {
+		t.Fatalf("only %d Clifford workloads registered, want >= 6 (qrw, rcnot, reset, qec, eswap, surface)", len(out))
+	}
+	return out
+}
+
+// shotRecord is the per-shot evidence compared across backends.
+type shotRecord struct {
+	Measurements []int
+	Outcomes     string // formatted controller outcomes
+	LatencyNs    float64
+}
+
+// runRecorded runs wl on an engine with the given backend and returns
+// the RunResult plus per-shot records captured on the merge path.
+func runRecorded(e *Engine, kind quantum.BackendKind, wl *workload.Workload, shots int, seed uint64) (RunResult, []shotRecord) {
+	e.Backend = kind
+	e.RecordMeasurements = true
+	recs := make([]shotRecord, shots)
+	e.OnShot = func(shot int, sr ShotResult) {
+		recs[shot] = shotRecord{
+			Measurements: append([]int(nil), sr.Measurements...),
+			Outcomes:     fmt.Sprintf("%+v", sr.Outcomes),
+			LatencyNs:    sr.FeedbackLatencyNs,
+		}
+	}
+	res := e.Run(wl, shots, stats.NewRNG(seed))
+	return res, recs
+}
+
+// compareRuns asserts two runs agree on everything but fidelity.
+func compareRuns(t *testing.T, label string, rs RunResult, rt RunResult, ss, st []shotRecord) {
+	t.Helper()
+	if rs.MeanLatencyNs != rt.MeanLatencyNs {
+		t.Errorf("%s: MeanLatencyNs %v (state) != %v (stabilizer)", label, rs.MeanLatencyNs, rt.MeanLatencyNs)
+	}
+	if rs.Accuracy != rt.Accuracy {
+		t.Errorf("%s: Accuracy %v != %v", label, rs.Accuracy, rt.Accuracy)
+	}
+	if rs.CommitRate != rt.CommitRate {
+		t.Errorf("%s: CommitRate %v != %v", label, rs.CommitRate, rt.CommitRate)
+	}
+	if rs.FallbackRate != rt.FallbackRate {
+		t.Errorf("%s: FallbackRate %v != %v", label, rs.FallbackRate, rt.FallbackRate)
+	}
+	if rs.Faults != rt.Faults {
+		t.Errorf("%s: Faults %+v != %+v", label, rs.Faults, rt.Faults)
+	}
+	if !reflect.DeepEqual(rs.Latencies, rt.Latencies) {
+		t.Errorf("%s: per-shot latency vectors differ", label)
+	}
+	if !reflect.DeepEqual(rs.Stages, rt.Stages) {
+		t.Errorf("%s: stage breakdowns differ", label)
+	}
+	if len(ss) != len(st) {
+		t.Fatalf("%s: %d vs %d shot records", label, len(ss), len(st))
+	}
+	for i := range ss {
+		if !reflect.DeepEqual(ss[i].Measurements, st[i].Measurements) {
+			t.Fatalf("%s shot %d: measurement records differ\n  state:      %v\n  stabilizer: %v",
+				label, i, ss[i].Measurements, st[i].Measurements)
+		}
+		if ss[i].Outcomes != st[i].Outcomes {
+			t.Fatalf("%s shot %d: controller outcomes differ\n  state:      %s\n  stabilizer: %s",
+				label, i, ss[i].Outcomes, st[i].Outcomes)
+		}
+		if ss[i].LatencyNs != st[i].LatencyNs {
+			t.Errorf("%s shot %d: latency %v != %v", label, i, ss[i].LatencyNs, st[i].LatencyNs)
+		}
+	}
+}
+
+// TestBackendDifferential is the tentpole determinism contract: for every
+// Clifford workload, both engine modes, workers ∈ {1, 4, 8} and two
+// seeds, the stabilizer backend reproduces the state-vector physics bit
+// for bit.
+func TestBackendDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	noise := cliffordSafeNoise()
+	modes := []struct {
+		name string
+		mk   func() *Engine
+	}{
+		{"QubiC", qubicEngine},   // shot-safe: parallel fan-out mode
+		{"ARTERY", arteryEngine}, // stateful predictor: serial mode
+	}
+	for _, wl := range cliffordWorkloads(t) {
+		shots := 24
+		if wl.Circuit.NumQubits > 10 {
+			shots = 8 // 17-qubit state vectors are the slow part
+		}
+		for _, mode := range modes {
+			for _, seed := range []uint64{1, 7} {
+				// The state reference is computed serially once; worker
+				// counts vary on the stabilizer side (the state side's own
+				// worker invariance is covered by the engine's tests).
+				ref := mode.mk()
+				ref.Noise = noise
+				ref.Workers = 1
+				rs, ss := runRecorded(ref, quantum.BackendState, wl, shots, seed)
+				if !math.IsNaN(rs.MeanFidelity) && rs.MeanFidelity <= 0 {
+					t.Fatalf("%s/%s: state run looks broken (fidelity %v)", wl.Name, mode.name, rs.MeanFidelity)
+				}
+				for _, workers := range []int{1, 4, 8} {
+					label := fmt.Sprintf("%s/%s/w%d/seed%d", wl.Name, mode.name, workers, seed)
+					tab := mode.mk()
+					tab.Noise = noise
+					tab.Workers = workers
+					rt, st := runRecorded(tab, quantum.BackendStabilizer, wl, shots, seed)
+					if !math.IsNaN(rt.MeanFidelity) {
+						t.Errorf("%s: stabilizer fidelity = %v, want NaN", label, rt.MeanFidelity)
+					}
+					compareRuns(t, label, rs, rt, ss, st)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendDifferentialRecordsNonEmpty guards the suite itself: a
+// regression that silently stops recording measurements would make the
+// differential vacuous.
+func TestBackendDifferentialRecordsNonEmpty(t *testing.T) {
+	e := qubicEngine()
+	e.Noise = cliffordSafeNoise()
+	_, recs := runRecorded(e, quantum.BackendStabilizer, workload.QRW(3), 4, 1)
+	for i, r := range recs {
+		if len(r.Measurements) == 0 {
+			t.Fatalf("shot %d recorded no measurements", i)
+		}
+	}
+}
+
+// TestStabilizerBackendTypedErrors covers the request-rejection paths:
+// non-Clifford circuits and non-Clifford-safe noise fail CheckBackend
+// with typed errors, without panicking and without running a shot.
+func TestStabilizerBackendTypedErrors(t *testing.T) {
+	e := qubicEngine()
+	e.Noise = cliffordSafeNoise()
+	e.Backend = quantum.BackendStabilizer
+
+	if err := e.CheckBackend(workload.MSI(2)); !errors.Is(err, circuit.ErrNonClifford) {
+		t.Errorf("MSI (T gates): err = %v, want ErrNonClifford", err)
+	}
+	if err := e.CheckBackend(workload.RUSQNN(2)); !errors.Is(err, circuit.ErrNonClifford) {
+		t.Errorf("RUS-QNN (RY π/4): err = %v, want ErrNonClifford", err)
+	}
+
+	noisy := qubicEngine()
+	noisy.Backend = quantum.BackendStabilizer // default DeviceNoise: finite T1/T2
+	if err := noisy.CheckBackend(workload.QRW(3)); !errors.Is(err, ErrNoiseNotCliffordSafe) {
+		t.Errorf("finite T1/T2: err = %v, want ErrNoiseNotCliffordSafe", err)
+	}
+
+	if err := e.CheckBackend(workload.QRW(3)); err != nil {
+		t.Errorf("valid Clifford workload rejected: %v", err)
+	}
+
+	// A feedback body containing a mid-body measurement has no inverse
+	// tape, so misprediction recovery would be impossible on a backend
+	// without amplitude snapshots: the request must fail with the typed
+	// error instead of panicking mid-shot.
+	irrev := circuit.New(2)
+	body := circuit.Gates(circuit.NewGate1(circuit.X, 1))
+	body = append(body, circuit.Instruction{Kind: circuit.OpMeasure, Qubit: 1})
+	irrev.AddFeedback(&circuit.Feedback{Qubit: 0, OnOne: body})
+	wl := &workload.Workload{Name: "irrev", Circuit: irrev, SiteP1: []float64{0.5}}
+	if err := e.CheckBackend(wl); !errors.Is(err, circuit.ErrIrreversibleBody) {
+		t.Errorf("measuring body: err = %v, want ErrIrreversibleBody", err)
+	}
+}
+
+// TestStateBackendWidthError covers the explicit-state width check.
+func TestStateBackendWidthError(t *testing.T) {
+	e := qubicEngine()
+	e.Backend = quantum.BackendState
+	if err := e.CheckBackend(workload.SurfaceMemory(5)); err == nil {
+		t.Fatal("state backend accepted a 49-qubit register")
+	}
+}

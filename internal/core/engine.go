@@ -20,6 +20,7 @@ import (
 	"artery/internal/fault"
 	"artery/internal/quantum"
 	"artery/internal/readout"
+	"artery/internal/stabilizer"
 	"artery/internal/stats"
 	"artery/internal/trace"
 	"artery/internal/workload"
@@ -87,7 +88,19 @@ type Engine struct {
 	// original execution path. Compiled execution is bit-identical (the
 	// differential tests prove it), so this exists as the reference for
 	// those tests and as an escape hatch, not as a user-facing mode.
+	// (The stabilizer backend has no interpreted twin: tableau shots
+	// always replay the compiled tape.)
 	Interpreted bool
+	// Backend selects the simulation backend (state vector vs stabilizer
+	// tableau) for circuits the engine simulates; the zero value
+	// (quantum.BackendAuto) preserves historical behavior and promotes
+	// only circuits too wide for any state vector. See backend.go.
+	Backend quantum.BackendKind
+	// RecordMeasurements captures every physical measurement outcome
+	// (measure, reset and feedback-site readouts, in execution order)
+	// into ShotResult.Measurements on simulated paths. Off by default:
+	// the capture allocates per shot, and the hot path is allocation-free.
+	RecordMeasurements bool
 
 	// mu guards the lazily built caches below (Run may be entered from
 	// multiple goroutines, and shot workers share the pools).
@@ -99,6 +112,8 @@ type Engine struct {
 	plans map[*circuit.Circuit]*circuitPlan
 	// pools recycles state-vector buffers per register width across shots.
 	pools map[int]*quantum.StatePool
+	// tabPools recycles stabilizer tableaus per register width.
+	tabPools map[int]*stabilizer.Pool
 	// pulsePools recycles readout pulse records per capture length.
 	pulsePools map[int]*readout.PulsePool
 }
@@ -189,10 +204,6 @@ func (e *Engine) ctrlShotSafe() bool {
 	return ok && s.ShotSafe()
 }
 
-// simulates reports whether Run will state-simulate this circuit.
-func (e *Engine) simulates(c *circuit.Circuit) bool {
-	return e.SimulateState && c.NumQubits <= maxSimQubits
-}
 
 // ShotResult summarizes one executed shot.
 type ShotResult struct {
@@ -207,6 +218,12 @@ type ShotResult struct {
 	// Faults snapshots the shot's fault/retry/fallback counters (zero when
 	// the engine runs fault-free).
 	Faults fault.Counters
+	// Measurements holds the shot's physical measurement outcomes in
+	// execution order (measure, reset, feedback-site readouts), captured
+	// only when Engine.RecordMeasurements is set on a simulated path.
+	// The record is backend-independent: a Clifford workload yields the
+	// identical sequence on the state-vector and stabilizer backends.
+	Measurements []int
 }
 
 // StageLatency is one row of the per-stage latency breakdown table: how
@@ -332,6 +349,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 	}
 	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
 	plan := e.planFor(wl.Circuit)
+	sk := e.simKindFor(plan, wl.Circuit)
 	shotRNGs := rng.SplitN(shots)
 	// Fault streams are split AFTER the physics streams, so enabling the
 	// injector never perturbs the per-shot physics, and a disabled injector
@@ -407,12 +425,12 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 		// Whole shots are independent: fan them out.
 		forEachShot(shots, workers, canceled, func(i int) shotOut {
 			span := e.Trace.Shot(i)
-			return shotOut{e.runShot(wl, plan, shotRNGs[i], sessionOf(i), span), span}
+			return shotOut{e.runShot(wl, plan, sk, shotRNGs[i], sessionOf(i), span), span}
 		}, func(_ int, so shotOut) {
 			merge(so.sr)
 			e.Trace.Commit(so.span)
 		})
-	case !e.simulates(wl.Circuit):
+	case sk == simNone:
 		// Two-phase pipeline: the per-shot physics is independent of the
 		// controller when no state is simulated, so workers synthesize and
 		// classify the readout pulses while the sequential controller runs
@@ -436,7 +454,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 				break
 			}
 			span := e.Trace.Shot(i)
-			merge(e.runShot(wl, plan, shotRNGs[i], sessionOf(i), span))
+			merge(e.runShot(wl, plan, sk, shotRNGs[i], sessionOf(i), span))
 			e.Trace.Commit(span)
 		}
 	}
@@ -524,7 +542,8 @@ func (a *stageAgg) table() []StageLatency {
 // engine's per-circuit cache, so calling RunShot in a loop re-runs
 // neither the pre-execution analysis nor the compile every shot.
 func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
-	return e.runShot(wl, e.planFor(wl.Circuit), rng, nil, nil)
+	plan := e.planFor(wl.Circuit)
+	return e.runShot(wl, plan, e.simKindFor(plan, wl.Circuit), rng, nil, nil)
 }
 
 // runShot executes one shot against a pre-computed circuit plan,
@@ -536,20 +555,23 @@ func (e *Engine) RunShot(wl *workload.Workload, rng *stats.RNG) ShotResult {
 // call; and both consume identical draw sequences and identical
 // floating-point operations, so their results are bit-identical (enforced
 // by the compiled-vs-interpreted differential tests).
-func (e *Engine) runShot(wl *workload.Workload, plan *circuitPlan, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
-	if e.Interpreted {
-		return e.runShotWalk(wl, plan.analyses, rng, sess, span)
+func (e *Engine) runShot(wl *workload.Workload, plan *circuitPlan, sk simKind, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+	if sk == simTableau {
+		return e.runShotTableau(wl, plan, rng, sess, span)
 	}
-	return e.runShotCompiled(wl, plan, rng, sess, span)
+	simulate := sk == simState
+	if e.Interpreted {
+		return e.runShotWalk(wl, plan.analyses, simulate, rng, sess, span)
+	}
+	return e.runShotCompiled(wl, plan, simulate, rng, sess, span)
 }
 
 // runShotWalk executes one shot by walking the circuit's instruction list
 // directly — the interpreted reference semantics that the compiled tape
 // replay must reproduce bit-for-bit. It stays deliberately close to the
 // paper's operational description; the hot path is runShotCompiled.
-func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnalysis, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnalysis, simulate bool, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	c := wl.Circuit
-	simulate := e.simulates(c)
 
 	// The workload's fixed gate payload is a shot-scoped span (site -1),
 	// recorded before the first SetSite.
@@ -597,11 +619,17 @@ func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnal
 			if simulate {
 				m := e.Noise.NoisyMeasure(noisy, in.Qubit, rng)
 				idealAlive = idealAlive && projectIdeal(ideal, in.Qubit, m)
+				if e.RecordMeasurements {
+					sr.Measurements = append(sr.Measurements, m)
+				}
 			}
 		case circuit.OpReset:
 			if simulate {
-				noisy.Reset(in.Qubit, rng)
+				m := noisy.Reset(in.Qubit, rng)
 				ideal.Reset(in.Qubit, rng)
+				if e.RecordMeasurements {
+					sr.Measurements = append(sr.Measurements, m)
+				}
 			}
 		case circuit.OpFeedback:
 			fb := in.Feedback
@@ -616,6 +644,9 @@ func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnal
 				if rng.Bool(prior) {
 					m = 1
 				}
+			}
+			if simulate && e.RecordMeasurements {
+				sr.Measurements = append(sr.Measurements, m)
 			}
 
 			pulse := e.Channel.Cal.Synthesize(m, rng)
@@ -697,10 +728,9 @@ func (e *Engine) runShotWalk(wl *workload.Workload, analyses []*circuit.SiteAnal
 // noise draws must interleave exactly as in the interpreted walk — but
 // the noiseless ideal reference evolves through fused kernel chains,
 // and no per-shot allocation survives into the steady state.
-func (e *Engine) runShotCompiled(wl *workload.Workload, plan *circuitPlan, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
+func (e *Engine) runShotCompiled(wl *workload.Workload, plan *circuitPlan, simulate bool, rng *stats.RNG, sess *fault.Session, span *trace.ShotSpan) ShotResult {
 	c := wl.Circuit
 	tape := plan.tape
-	simulate := e.simulates(c)
 
 	// The workload's fixed gate payload is a shot-scoped span (site -1),
 	// recorded before the first SetSite.
@@ -757,11 +787,17 @@ func (e *Engine) runShotCompiled(wl *workload.Workload, plan *circuitPlan, rng *
 			if simulate {
 				m := e.Noise.NoisyMeasure(noisy, op.Qubit, rng)
 				idealAlive = idealAlive && projectIdeal(ideal, op.Qubit, m)
+				if e.RecordMeasurements {
+					sr.Measurements = append(sr.Measurements, m)
+				}
 			}
 		case circuit.TapeReset:
 			if simulate {
-				noisy.Reset(op.Qubit, rng)
+				m := noisy.Reset(op.Qubit, rng)
 				ideal.Reset(op.Qubit, rng)
+				if e.RecordMeasurements {
+					sr.Measurements = append(sr.Measurements, m)
+				}
 			}
 		case circuit.TapeFeedback:
 			fb := op.FB
@@ -774,6 +810,9 @@ func (e *Engine) runShotCompiled(wl *workload.Workload, plan *circuitPlan, rng *
 				m = noisy.Measure(fb.Qubit, rng)
 			} else if rng.Bool(prior) {
 				m = 1
+			}
+			if simulate && e.RecordMeasurements {
+				sr.Measurements = append(sr.Measurements, m)
 			}
 
 			pulse := pp.Get()

@@ -4,6 +4,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"artery/internal/predict"
+	"artery/internal/quantum"
+	"artery/internal/stats"
+	"artery/internal/workload"
 )
 
 // TestHeadlineShapesSeed1 is the statistical regression net over the
@@ -53,5 +58,49 @@ func TestHeadlineShapesSeed1(t *testing.T) {
 	}
 	if last[1] != "13" {
 		t.Errorf("Figure 12d crossover at d = %s, paper (and headline) say 13", last[1])
+	}
+}
+
+// TestStabilizerBackendShapesSeed1 extends the seed-1 shape net to the
+// stabilizer backend: the qualitative claims that only the tableau can
+// support (surface-code memory beyond the state-vector wall) plus the
+// repository's headline feedback speedup re-measured with the physics on
+// the tableau. Guarded by -short like the headline shapes.
+func TestStabilizerBackendShapesSeed1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stabilizer shape regeneration skipped in -short mode")
+	}
+	s := NewSuite(1, 40)
+
+	// Shape 4 — surface-code memory on the tableau: the logical error
+	// rate falls with code distance. The noise point sits well below the
+	// union-find decoder's effective threshold (readout-flip dominated;
+	// depolarizing gate error an order below the device default) so the
+	// d=5 → d=7 suppression is visible at 1200 shots.
+	noise := cliffordSafeDeviceNoise()
+	noise.Gate1QError, noise.Gate2QError = 0.0002, 0.001
+	noise.ReadoutError = 0.03
+	l5 := s.surfaceLogicalErrorRate(5, 1200, noise, s.Seed+3200)
+	l7 := s.surfaceLogicalErrorRate(7, 1200, noise, s.Seed+3201)
+	if l5 == 0 || l7 == 0 {
+		t.Fatalf("degenerate logical error rates (LER(5)=%v LER(7)=%v): noise is not biting", l5, l7)
+	}
+	if l7 >= l5 {
+		t.Errorf("surface memory LER(7)=%.4f not below LER(5)=%.4f on the stabilizer backend", l7, l5)
+	}
+
+	// Shape 5 — the ARTERY feedback-path speedup over QubiC survives the
+	// backend swap: > 2x with both engines simulating on the tableau.
+	wl := workload.QRW(5)
+	shots := 15 * s.Shots
+	ae := s.arteryEngineOn(s.channel(30), predict.ModeCombined, 0.91)
+	ae.SimulateState = true
+	ae.Noise = cliffordSafeDeviceNoise()
+	ae.Backend = quantum.BackendStabilizer
+	ra := ae.Run(wl, shots, stats.NewRNG(s.Seed+3301))
+	qe := s.surfaceEngine(quantum.BackendStabilizer)
+	rq := qe.Run(wl, shots, stats.NewRNG(s.Seed+3300))
+	if sp := rq.MeanLatencyNs / ra.MeanLatencyNs; sp <= 2 {
+		t.Errorf("ARTERY speedup vs QubiC on the stabilizer backend = %.2fx, headline requires > 2x", sp)
 	}
 }

@@ -81,3 +81,20 @@ func TestHuffmanDecodeRejectsOversizedHeader(t *testing.T) {
 		t.Fatalf("valid stream rejected: %v (%d bytes)", err, len(dec))
 	}
 }
+
+// TestHuffmanDecodeMaxLengthTable pins the fuzz finding b3d10e3a50b6c1f9:
+// a corrupt lengths table carrying values near 255 must not wrap the
+// canonical-table allocation (byte arithmetic on maxLen+2) or hang the
+// table-building loop. Such streams decode or error — never panic.
+func TestHuffmanDecodeMaxLengthTable(t *testing.T) {
+	for _, l := range []byte{254, 255} {
+		src := make([]byte, 4+256+4)
+		src[0] = 2    // claim two bytes
+		src[4+0] = 1  // symbol 0: length 1
+		src[4+17] = l // symbol 17: absurd length
+		out, err := (HuffmanCodec{}).Decode(src)
+		if err == nil && len(out) != 2 {
+			t.Fatalf("length-%d table: %d bytes decoded from a 2-byte header", l, len(out))
+		}
+	}
+}

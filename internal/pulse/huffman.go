@@ -187,13 +187,17 @@ func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
 		s int
 		l byte
 	}
+	// maxLen and the loop indices below are ints: a corrupt lengths table
+	// can carry values up to 255, and byte arithmetic on maxLen+2 would
+	// wrap the table allocation (and a byte loop counter would never pass
+	// a 255 bound).
 	var syms []sym
-	maxLen := byte(0)
+	maxLen := 0
 	for s, l := range lengths {
 		if l > 0 {
 			syms = append(syms, sym{s, l})
-			if l > maxLen {
-				maxLen = l
+			if int(l) > maxLen {
+				maxLen = int(l)
 			}
 		}
 	}
@@ -215,11 +219,11 @@ func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
 	{
 		code := uint32(0)
 		idx := 0
-		for l := byte(1); l <= maxLen; l++ {
+		for l := 1; l <= maxLen; l++ {
 			code <<= 1
 			firstCode[l] = code
 			firstSym[l] = idx
-			for idx < len(syms) && syms[idx].l == l {
+			for idx < len(syms) && int(syms[idx].l) == l {
 				code++
 				idx++
 			}
@@ -229,7 +233,7 @@ func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
 
 	out := make([]byte, 0, origLen)
 	var code uint32
-	var length byte
+	length := 0
 	bitIdx := 0
 	totalBits := len(payload) * 8
 	for len(out) < origLen {
@@ -245,7 +249,7 @@ func (HuffmanCodec) Decode(src []byte) ([]byte, error) {
 		}
 		// Count of codes with this length:
 		n := 0
-		if int(length)+1 < len(firstSym) {
+		if length+1 < len(firstSym) {
 			n = firstSym[length+1] - firstSym[length]
 		} else {
 			n = len(syms) - firstSym[length]

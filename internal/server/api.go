@@ -54,6 +54,10 @@ type RequestOptions struct {
 	StateSim            *bool   `json:"state_sim,omitempty"`
 	DynamicalDecoupling bool    `json:"dynamical_decoupling,omitempty"`
 	QuasiStaticSigma    float64 `json:"quasi_static_sigma,omitempty"`
+	// Backend selects the simulation backend: "auto" (default), "state"
+	// or "stabilizer". An unknown name, or an explicit backend the
+	// workload cannot run on, is rejected at admission time.
+	Backend string `json:"backend,omitempty"`
 }
 
 // modeByName maps the wire predictor-mode names onto artery's constants.

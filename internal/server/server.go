@@ -297,6 +297,9 @@ func buildOptions(req Request, workers int) ([]artery.Option, string, error) {
 		if o.QuasiStaticSigma != 0 {
 			opts = append(opts, artery.WithQuasiStaticSigma(o.QuasiStaticSigma))
 		}
+		if o.Backend != "" {
+			opts = append(opts, artery.WithBackend(o.Backend))
+		}
 	}
 	return opts, ctrl, nil
 }
@@ -337,6 +340,7 @@ func (s *Server) validate(req Request) (*artery.Workload, error) {
 		lib.Theta = o.Theta
 		lib.Mode = mode
 		lib.QuasiStaticSigma = o.QuasiStaticSigma
+		lib.Backend = o.Backend
 	}
 	if err := artery.ValidateOptions(lib); err != nil {
 		return nil, err

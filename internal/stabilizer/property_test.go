@@ -1,0 +1,271 @@
+package stabilizer
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"artery/internal/quantum"
+	"artery/internal/stats"
+)
+
+// Property tests for the tableau representation itself (the backend
+// adapter is covered by the engine-level differential suite in
+// internal/core): the 2n rows must remain a valid symplectic basis
+// under any Clifford evolution, the deterministic-vs-random measurement
+// classification must match the analytic Born probability, and the
+// backend pool must be race-clean under concurrent shot workers.
+
+// symplecticProduct reports whether rows a and b of t anticommute
+// (1) or commute (0): the parity of Σ_q x_a z_b ⊕ z_a x_b.
+func symplecticProduct(t *Tableau, a, b int) int {
+	p := uint64(0)
+	for w := 0; w < t.words; w++ {
+		p ^= t.x[a][w]&t.z[b][w] ^ t.z[a][w]&t.x[b][w]
+	}
+	return popcount(p) & 1
+}
+
+// scrambleClifford applies steps random Clifford operations — the full
+// gate alphabet plus mid-circuit measurement, reset and projection — to
+// the tableau.
+func scrambleClifford(t *Tableau, steps int, rng *stats.RNG, dynamic bool) {
+	n := t.NumQubits()
+	for s := 0; s < steps; s++ {
+		q := rng.Intn(n)
+		q2 := (q + 1 + rng.Intn(n-1)) % n
+		kinds := 9
+		if dynamic {
+			kinds = 12
+		}
+		switch rng.Intn(kinds) {
+		case 0:
+			t.H(q)
+		case 1:
+			t.S(q)
+		case 2:
+			t.Sdg(q)
+		case 3:
+			t.X(q)
+		case 4:
+			t.Y(q)
+		case 5:
+			t.Z(q)
+		case 6:
+			t.CNOT(q, q2)
+		case 7:
+			t.CZ(q, q2)
+		case 8:
+			t.SWAP(q, q2)
+		case 9:
+			t.Measure(q, rng)
+		case 10:
+			t.Reset(q, rng)
+		default:
+			if _, det := t.MeasureDeterministic(q); !det {
+				t.Project(q, rng.Intn(2))
+			}
+		}
+	}
+}
+
+// checkSymplectic asserts the tableau's group-theoretic invariant: the
+// destabilizer/stabilizer rows form a symplectic basis of the Pauli
+// group — stabilizers pairwise commute, destabilizers pairwise commute,
+// and destabilizer i anticommutes with stabilizer j exactly when i = j.
+func checkSymplectic(t *testing.T, tb *Tableau, label string) {
+	t.Helper()
+	n := tb.NumQubits()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if symplecticProduct(tb, n+i, n+j) != 0 {
+				t.Fatalf("%s: stabilizers %d and %d anticommute", label, i, j)
+			}
+			if symplecticProduct(tb, i, j) != 0 {
+				t.Fatalf("%s: destabilizers %d and %d anticommute", label, i, j)
+			}
+			want := 0
+			if i == j {
+				want = 1
+			}
+			if got := symplecticProduct(tb, i, n+j); got != want {
+				t.Fatalf("%s: destabilizer %d vs stabilizer %d: symplectic product %d, want %d", label, i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestSymplecticInvariantUnderRandomCliffords scrambles tableaus with
+// random unitary gate sequences and checks the symplectic basis
+// invariant survives — on single-word (n ≤ 64) and multi-word rows.
+func TestSymplecticInvariantUnderRandomCliffords(t *testing.T) {
+	for _, n := range []int{3, 9, 70} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			rng := stats.NewRNG(seed * 1000003)
+			tb := New(n)
+			scrambleClifford(tb, 25*n, rng, false)
+			checkSymplectic(t, tb, "unitary scramble")
+		}
+	}
+}
+
+// TestSymplecticInvariantUnderMeasurement extends the scramble alphabet
+// with measurement, reset and projection — the collapse path rewrites
+// whole rows and is where an incorrect rowsum would break the basis.
+func TestSymplecticInvariantUnderMeasurement(t *testing.T) {
+	for _, n := range []int{4, 33} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			rng := stats.NewRNG(seed * 7919)
+			tb := New(n)
+			scrambleClifford(tb, 40*n, rng, true)
+			checkSymplectic(t, tb, "dynamic scramble")
+		}
+	}
+}
+
+// TestClassificationMatchesBornRule cross-checks the tableau's
+// deterministic-vs-random measurement classification against the state
+// vector's analytic Born probability over random Clifford circuits
+// drawn from the full alphabet (including Sdg/Y/SWAP, which the older
+// agreement test does not exercise).
+func TestClassificationMatchesBornRule(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		const n = 5
+		tb := New(n)
+		sv := quantum.NewState(n)
+		for step := 0; step < 40; step++ {
+			q := rng.Intn(n)
+			q2 := (q + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(9) {
+			case 0:
+				tb.H(q)
+				sv.H(q)
+			case 1:
+				tb.S(q)
+				sv.S(q)
+			case 2:
+				tb.Sdg(q)
+				sv.Sdg(q)
+			case 3:
+				tb.X(q)
+				sv.X(q)
+			case 4:
+				tb.Y(q)
+				sv.Y(q)
+			case 5:
+				tb.Z(q)
+				sv.Z(q)
+			case 6:
+				tb.CNOT(q, q2)
+				sv.CNOT(q, q2)
+			case 7:
+				tb.CZ(q, q2)
+				sv.CZ(q, q2)
+			default:
+				tb.SWAP(q, q2)
+				sv.SWAP(q, q2)
+			}
+		}
+		for q := 0; q < n; q++ {
+			m, det := tb.MeasureDeterministic(q)
+			p1 := sv.Prob1(q)
+			if det && math.Abs(p1-float64(m)) > 1e-9 {
+				return false
+			}
+			if !det && math.Abs(p1-0.5) > 1e-9 {
+				return false
+			}
+			// Prob1 must agree with the classification it is derived from.
+			if tp := tb.Prob1(q); math.Abs(tp-p1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectMatchesPostMeasurementState checks Project(q, m) leaves the
+// tableau in the same state Measure would after sampling m: the qubit
+// reads back deterministically as m, and the symplectic basis holds.
+func TestProjectMatchesPostMeasurementState(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 40; trial++ {
+		const n = 4
+		tb := New(n)
+		scrambleClifford(tb, 30, rng, false)
+		q := rng.Intn(n)
+		if _, det := tb.MeasureDeterministic(q); det {
+			continue
+		}
+		want := rng.Intn(2)
+		tb.Project(q, want)
+		if m, det := tb.MeasureDeterministic(q); !det || m != want {
+			t.Fatalf("after Project(%d, %d): det=%v m=%d", q, want, det, m)
+		}
+		checkSymplectic(t, tb, "post-Project")
+	}
+}
+
+// TestProjectZeroProbabilityPanics locks the contract that projecting a
+// pinned qubit onto the impossible outcome is a programming error.
+func TestProjectZeroProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Project onto zero-probability outcome did not panic")
+		}
+	}()
+	tb := New(2)
+	tb.Project(0, 1) // |00⟩ cannot read 1
+}
+
+// TestPoolConcurrentShots runs many goroutines through one Pool, each
+// executing a small dynamic circuit — the shot-worker access pattern.
+// Run under -race (make ci), this locks the pool's concurrency contract.
+func TestPoolConcurrentShots(t *testing.T) {
+	const n = 20
+	pool := NewPool(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(w + 1))
+			for shot := 0; shot < 50; shot++ {
+				s := pool.Get()
+				s.H(0)
+				for q := 1; q < n; q++ {
+					s.CNOT(q-1, q)
+				}
+				m0 := s.Measure(0, rng)
+				mn := s.Measure(n-1, rng)
+				if m0 != mn {
+					t.Errorf("GHZ correlation broken on pooled tableau: %d vs %d", m0, mn)
+				}
+				pool.Put(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPoolGetIsFresh guards the ResetAll path: a dirty returned tableau
+// must come back indistinguishable from a new one.
+func TestPoolGetIsFresh(t *testing.T) {
+	pool := NewPool(6)
+	rng := stats.NewRNG(5)
+	s := pool.Get()
+	scrambleClifford(s.Tableau, 60, rng, true)
+	pool.Put(s)
+	s2 := pool.Get()
+	for q := 0; q < 6; q++ {
+		if m, det := s2.MeasureDeterministic(q); !det || m != 0 {
+			t.Fatalf("recycled tableau qubit %d not |0⟩ (det=%v m=%d)", q, det, m)
+		}
+	}
+	checkSymplectic(t, s2.Tableau, "recycled")
+}

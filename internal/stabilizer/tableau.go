@@ -206,11 +206,22 @@ func (t *Tableau) rowsum(h, i int) {
 	if tot < 0 {
 		tot += 4
 	}
-	if tot == 0 {
+	switch {
+	case tot == 0:
 		t.r[h] = 0
-	} else if tot == 2 {
+	case tot == 2:
 		t.r[h] = 1
-	} else {
+	case h < t.n:
+		// Destabilizer row h anticommutes with row i, so the product is
+		// ±i·P — a genuinely imaginary phase. Destabilizer signs are
+		// "don't care" bits in the Aaronson–Gottesman scheme (nothing
+		// ever reads them: outcomes come from stabilizer and scratch
+		// rows, whose products stay real), so record an arbitrary bit
+		// rather than rejecting the state. Measurement collapse hits
+		// this case whenever S/Sdg gates have rotated a destabilizer
+		// into the Y plane; H/CNOT-only (CSS) circuits never do.
+		t.r[h] = uint8(tot & 1)
+	default:
 		panic("stabilizer: rowsum produced imaginary phase (corrupt tableau)")
 	}
 	for w := 0; w < t.words; w++ {
@@ -309,4 +320,80 @@ func (t *Tableau) Reset(q int, rng *stats.RNG) int {
 		t.X(q)
 	}
 	return m
+}
+
+// SWAP exchanges qubits a and b via three CNOTs, matching the
+// state-vector decomposition (exact for tableaus — no phase subtlety).
+func (t *Tableau) SWAP(a, b int) {
+	t.CNOT(a, b)
+	t.CNOT(b, a)
+	t.CNOT(a, b)
+}
+
+// Prob1 returns the Born probability of measuring 1 on qubit q: exactly
+// 0.5 when the outcome is random (some stabilizer anticommutes with Z_q),
+// else exactly 0 or 1.
+func (t *Tableau) Prob1(q int) float64 {
+	out, det := t.MeasureDeterministic(q)
+	if !det {
+		return 0.5
+	}
+	return float64(out)
+}
+
+// Project collapses qubit q onto the given outcome without sampling,
+// mirroring (*quantum.State).Project. It panics if the outcome has zero
+// probability (a deterministic measurement that disagrees).
+func (t *Tableau) Project(q, outcome int) {
+	t.checkQubit(q)
+	if outcome != 0 && outcome != 1 {
+		panic("stabilizer: Project outcome must be 0 or 1")
+	}
+	n := t.n
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.xbit(i, q) == 1 {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		// Deterministic: nothing to collapse, but the demanded outcome
+		// must be the one the state already pins.
+		got, _ := t.MeasureDeterministic(q)
+		if got != outcome {
+			panic("stabilizer: projection onto zero-probability outcome")
+		}
+		return
+	}
+	for i := 0; i < 2*n; i++ {
+		if i != p && t.xbit(i, q) == 1 {
+			t.rowsum(i, p)
+		}
+	}
+	copy(t.x[p-n], t.x[p])
+	copy(t.z[p-n], t.z[p])
+	t.r[p-n] = t.r[p]
+	for w := 0; w < t.words; w++ {
+		t.x[p][w] = 0
+		t.z[p][w] = 0
+	}
+	t.z[p][q/64] |= 1 << uint(q%64)
+	t.r[p] = uint8(outcome)
+}
+
+// ResetAll re-initializes the tableau to |0...0⟩ in place, reusing its
+// row storage — the pooling analogue of (*quantum.State).resetZero.
+func (t *Tableau) ResetAll() {
+	for i := range t.x {
+		for w := 0; w < t.words; w++ {
+			t.x[i][w] = 0
+			t.z[i][w] = 0
+		}
+		t.r[i] = 0
+	}
+	for q := 0; q < t.n; q++ {
+		t.x[q][q/64] |= 1 << uint(q%64)
+		t.z[t.n+q][q/64] |= 1 << uint(q%64)
+	}
 }

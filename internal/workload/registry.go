@@ -13,15 +13,32 @@ import (
 var registry = []struct {
 	name string
 	make func(param int) *Workload
+	// check validates the size parameter beyond the default >= 1 rule,
+	// so ByName returns an error instead of the constructor's panic.
+	check func(param int) error
 }{
-	{"qrw", QRW},
-	{"rcnot", RCNOT},
-	{"dqt", DQT},
-	{"rusqnn", RUSQNN},
-	{"reset", Reset},
-	{"qec", QECCycle},
-	{"eswap", EntangleSwap},
-	{"msi", MSI},
+	{name: "qrw", make: QRW},
+	{name: "rcnot", make: RCNOT},
+	{name: "dqt", make: DQT},
+	{name: "rusqnn", make: RUSQNN},
+	{name: "reset", make: Reset},
+	{name: "qec", make: QECCycle},
+	{name: "eswap", make: EntangleSwap},
+	{name: "msi", make: MSI},
+	{name: "surface", make: SurfaceMemory, check: checkSurfaceDistance},
+}
+
+// checkSurfaceDistance mirrors SurfaceMemory's parameter contract: an
+// odd code distance, capped so a mistyped request cannot ask a server
+// for a million-qubit register.
+func checkSurfaceDistance(d int) error {
+	if d < 3 || d%2 == 0 {
+		return fmt.Errorf("workload surface: distance must be odd and >= 3, got %d", d)
+	}
+	if d > maxSurfaceDistance {
+		return fmt.Errorf("workload surface: distance %d exceeds the supported maximum %d", d, maxSurfaceDistance)
+	}
+	return nil
 }
 
 // Names returns the registered workload names in registry (presentation)
@@ -46,6 +63,11 @@ func ByName(name string, param int) (*Workload, error) {
 		}
 		if param < 1 {
 			return nil, fmt.Errorf("workload %s: size parameter must be >= 1, got %d", name, param)
+		}
+		if e.check != nil {
+			if err := e.check(param); err != nil {
+				return nil, err
+			}
 		}
 		return e.make(param), nil
 	}

@@ -21,6 +21,7 @@ func TestByNameMatchesConstructors(t *testing.T) {
 		{"qec", 1, QECCycle(1)},
 		{"eswap", 3, EntangleSwap(3)},
 		{"msi", 2, MSI(2)},
+		{"surface", 3, SurfaceMemory(3)},
 	}
 	for _, c := range cases {
 		got, err := ByName(c.name, c.param)
@@ -43,11 +44,15 @@ func TestByNameMatchesConstructors(t *testing.T) {
 // dispatcher agree.
 func TestNamesCoverRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("Names() = %v, want 8 entries", names)
+	if len(names) != 9 {
+		t.Fatalf("Names() = %v, want 9 entries", names)
 	}
 	for _, name := range names {
-		if _, err := ByName(name, 2); err != nil {
+		param := 2
+		if name == "surface" {
+			param = 3 // the surface code needs an odd distance >= 3
+		}
+		if _, err := ByName(name, param); err != nil {
 			t.Errorf("listed name %q does not dispatch: %v", name, err)
 		}
 	}
@@ -61,5 +66,11 @@ func TestByNameErrors(t *testing.T) {
 	}
 	if _, err := ByName("qrw", 0); err == nil || !strings.Contains(err.Error(), ">= 1") {
 		t.Errorf("bad param: err = %v, want range error", err)
+	}
+	if _, err := ByName("surface", 4); err == nil || !strings.Contains(err.Error(), "odd") {
+		t.Errorf("even distance: err = %v, want odd-distance error", err)
+	}
+	if _, err := ByName("surface", 27); err == nil || !strings.Contains(err.Error(), "maximum") {
+		t.Errorf("huge distance: err = %v, want maximum error", err)
 	}
 }

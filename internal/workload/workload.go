@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"artery/internal/circuit"
+	"artery/internal/qec"
 	"artery/internal/stats"
 )
 
@@ -353,4 +354,73 @@ func QECCycle(cycles int) *Workload {
 		}
 	}
 	return &Workload{Name: fmt.Sprintf("QEC-%d", cycles), Circuit: c, SiteP1: priors}
+}
+
+// maxSurfaceDistance caps SurfaceMemory registers (d=25 is already a
+// 1249-qubit tableau); the registry enforces it before construction.
+const maxSurfaceDistance = 25
+
+// surfaceMemoryCycles is the number of syndrome-extraction rounds a
+// SurfaceMemory workload runs before the final data readout. Two rounds
+// are the minimum that exercises the syndrome-difference structure a
+// memory decoder consumes.
+const surfaceMemoryCycles = 2
+
+// SurfaceMemory builds a distance-d rotated-surface-code memory
+// experiment as a feedback program over 2d²−1 qubits: d² data qubits in
+// the internal/qec layout plus one ancilla per stabilizer check. Each of
+// the surfaceMemoryCycles rounds extracts every check (X-type:
+// H·CNOTs·H onto the ancilla; Z-type: CNOTs into the ancilla) and reads
+// the ancilla out as a feedback site whose OnOne branch is the active
+// ancilla reset (case 3) — so the controller's classified outcome, not
+// the physical one, conditions the reset, and an assignment error
+// leaves a flipped ancilla for the next round exactly as on hardware.
+// After the last round every data qubit is measured out.
+//
+// The circuit is pure Clifford and — at d ≥ 7 — far beyond any state
+// vector, which is exactly the regime the stabilizer backend exists
+// for (d=15 is 449 qubits). Priors: an X-check ancilla reads the
+// X-stabilizer eigenvalue, which the first round projects at random —
+// so across shots every X check is a fair coin at every round (prior
+// 0.5; within a shot later rounds repeat the first, but the site prior
+// is a marginal). Z checks read syndromes of the |0…0⟩ start state and
+// stay quiet up to sparse errors (prior 0.02).
+func SurfaceMemory(d int) *Workload {
+	if err := checkSurfaceDistance(d); err != nil {
+		panic(err.Error())
+	}
+	code := qec.NewCode(d)
+	nData := code.NumData
+	c := circuit.New(nData + code.NumStabilizers())
+	var priors []float64
+	for cyc := 0; cyc < surfaceMemoryCycles; cyc++ {
+		for si, st := range code.Stabilizers {
+			anc := nData + si
+			if st.Kind == qec.StabX {
+				c.AddGate(circuit.NewGate1(circuit.H, anc))
+				for _, q := range st.Support {
+					c.AddGate(circuit.NewGate2(circuit.CNOT, anc, q))
+				}
+				c.AddGate(circuit.NewGate1(circuit.H, anc))
+			} else {
+				for _, q := range st.Support {
+					c.AddGate(circuit.NewGate2(circuit.CNOT, q, anc))
+				}
+			}
+			c.AddFeedback(&circuit.Feedback{
+				Qubit:  anc,
+				OnOne:  circuit.Gates(circuit.NewGate1(circuit.X, anc)),
+				OnZero: nil,
+			})
+			if st.Kind == qec.StabX {
+				priors = append(priors, 0.5)
+			} else {
+				priors = append(priors, 0.02)
+			}
+		}
+	}
+	for q := 0; q < nData; q++ {
+		c.AddMeasure(q)
+	}
+	return &Workload{Name: fmt.Sprintf("Surface-%d", d), Circuit: c, SiteP1: priors}
 }

@@ -89,7 +89,7 @@ func TestWorkloadByNameRegistry(t *testing.T) {
 	if err != nil || wl.Name != "QRW-4" {
 		t.Fatalf("WorkloadByName(qrw, 4) = %v, %v", wl, err)
 	}
-	if got := artery.WorkloadNames(); len(got) != 8 || got[0] != "qrw" {
+	if got := artery.WorkloadNames(); len(got) != 9 || got[0] != "qrw" {
 		t.Errorf("WorkloadNames() = %v", got)
 	}
 	if _, err := artery.WorkloadByName("bogus", 1); err == nil {
