@@ -11,7 +11,7 @@ STABILIZER_COVER_FLOOR ?= 85.0
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer backend-diff serve-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer backend-diff serve-smoke cluster-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
 
 tier1:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ ci: tier1
 	$(MAKE) trace-overhead
 	$(MAKE) bench-regress
 	$(MAKE) serve-smoke
+	$(MAKE) cluster-smoke
 
 # Short fuzzing pass over the pulse codecs and the compiled-vs-interpreted
 # circuit differential (one -fuzz target per invocation, as the go tool
@@ -72,6 +73,14 @@ backend-diff:
 # /metrics, then SIGTERM and require a clean drain.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Multi-node gate: three backend arteryd nodes behind a scatter-gather
+# coordinator, driven by the loadgen; the coordinator's result bytes
+# must equal a single node's (bit-identical sharded merge), the shard
+# counters must appear on /metrics, and a SIGTERM fleet shutdown must
+# drain every process cleanly.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Gate: the tracing layer's disabled hooks must cost < 1% throughput vs
 # the BENCH_engine.json snapshot, and enabling tracing must not change

@@ -1,0 +1,294 @@
+// Package api is the single source of truth for arteryd's job-service
+// wire schema: the request/response/stream documents exchanged by the
+// server (internal/server), the coordinator (internal/cluster) and the Go
+// client (client). All three import these types, so the coordinator, a
+// backend and a client cannot drift — a field added here is visible, with
+// identical JSON tags, to every party at once.
+//
+// # Schema
+//
+// Version 3 (this package):
+//
+//   - Request gains the optional shot-range fields "shot_offset" and
+//     "stream_stages". A job with shot_offset=O and shots=S executes the
+//     global shot range [O, O+S) of a conceptually larger run: per-shot
+//     RNG streams are drawn for global indices, so contiguous ranges
+//     recombine bit-identically to a single unsharded run (the
+//     scatter-gather coordinator's contract). Servers predating this
+//     schema reject the new fields with a clear 400 (their decoders
+//     disallow unknown fields).
+//   - ShotEvent gains the optional "stages" array: the shot's ordered
+//     per-stage latency deltas, emitted only when the request set
+//     "stream_stages". Replaying every shot's deltas in shot order
+//     reproduces the run's stage table bit-for-bit; the coordinator uses
+//     this to merge sharded streams into a byte-identical result.
+//
+// Version 2 and earlier lived in internal/server; the old names remain
+// importable there (and from client) as deprecated aliases of these types.
+package api
+
+import (
+	"fmt"
+
+	"artery"
+)
+
+// Request is the POST /v1/jobs body: which workload to run, under which
+// controller, for how many shots, from which seed.
+type Request struct {
+	// Workload names a registered benchmark (see artery.WorkloadNames:
+	// qrw, rcnot, dqt, rusqnn, reset, qec, eswap, msi, surface).
+	Workload string `json:"workload"`
+	// Param is the workload size parameter
+	// (steps/depth/distance/cycles/qubits).
+	Param int `json:"param"`
+	// Controller selects the feedback controller (default "ARTERY"; see
+	// artery.ControllerNames).
+	Controller string `json:"controller,omitempty"`
+	// Shots is the number of shots to execute (1 ..= the server's MaxShots).
+	Shots int `json:"shots"`
+	// ShotOffset, when non-zero, selects range execution: the job runs the
+	// global shot range [ShotOffset, ShotOffset+Shots) of a conceptually
+	// larger run, drawing per-shot RNG streams for global indices so that
+	// contiguous ranges of the same request recombine bit-identically to
+	// one unsharded run. Streamed ShotEvent.Shot values are global indices.
+	// Servers predating schema v3 reject this field with a 400.
+	ShotOffset int `json:"shot_offset,omitempty"`
+	// StreamStages asks the server to include each streamed shot's ordered
+	// per-stage latency deltas (ShotEvent.Stages) — the extra record a
+	// scatter-gather coordinator needs to rebuild the merged stage table
+	// bit-for-bit. Off by default: the deltas roughly double event size.
+	StreamStages bool `json:"stream_stages,omitempty"`
+	// Seed drives every stochastic component of the job's private system;
+	// identical requests with identical seeds produce byte-identical
+	// results at any worker budget. Zero selects seed 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Options carries the optional calibration settings.
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions mirrors the artery.Options knobs a wire request may set.
+// Zero values select the paper's evaluation configuration.
+type RequestOptions struct {
+	WindowNs     float64 `json:"window_ns,omitempty"`
+	HistoryDepth int     `json:"history_depth,omitempty"`
+	Theta        float64 `json:"theta,omitempty"`
+	// Mode selects the predictor features: "combined" (default),
+	// "history" or "trajectory".
+	Mode string `json:"mode,omitempty"`
+	// StateSim enables the per-shot fidelity simulation (default true, as
+	// in the library). Disable for latency-only sweeps.
+	StateSim            *bool   `json:"state_sim,omitempty"`
+	DynamicalDecoupling bool    `json:"dynamical_decoupling,omitempty"`
+	QuasiStaticSigma    float64 `json:"quasi_static_sigma,omitempty"`
+	// Backend selects the simulation backend: "auto" (default), "state"
+	// or "stabilizer". An unknown name, or an explicit backend the
+	// workload cannot run on, is rejected at admission time.
+	Backend string `json:"backend,omitempty"`
+}
+
+// ModeByName maps the wire predictor-mode names onto artery's constants.
+var ModeByName = map[string]artery.PredictorMode{
+	"":           artery.ModeCombined,
+	"combined":   artery.ModeCombined,
+	"history":    artery.ModeHistory,
+	"trajectory": artery.ModeTrajectory,
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Terminal reports whether state is one of the three end states.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobStatus is the GET /v1/jobs/{id} body (and the POST response).
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Request echoes the submitted request, so a client can resubmit a
+	// job (same seed → byte-identical result) without keeping it around.
+	Request Request `json:"request"`
+	// ShotsStreamed is the number of per-shot updates committed so far.
+	ShotsStreamed int `json:"shots_streamed"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set once the job reaches a terminal state with a result
+	// (done — including canceled-prefix results after a drain).
+	Result *Result `json:"result,omitempty"`
+	// ElapsedSec is the job's wall time so far (queue wait + run).
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// Result is the wire form of an artery.Report. Fidelity is a pointer so
+// the NaN of latency-only runs serializes as null (encoding/json rejects
+// NaN), keeping result bytes deterministic and parseable.
+type Result struct {
+	Workload      string   `json:"workload"`
+	Controller    string   `json:"controller"`
+	Shots         int      `json:"shots"`
+	MeanLatencyUs float64  `json:"mean_latency_us"`
+	Accuracy      float64  `json:"accuracy"`
+	CommitRate    float64  `json:"commit_rate"`
+	Fidelity      *float64 `json:"fidelity"`
+	Stages        []Stage  `json:"stages,omitempty"`
+	// Canceled marks a deterministic canceled prefix: the run stopped
+	// early (graceful drain), and the aggregates cover the Shots merged
+	// shots.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// Stage is one row of the per-stage latency breakdown.
+type Stage struct {
+	Stage   string  `json:"stage"`
+	Count   int     `json:"count"`
+	TotalNs float64 `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+}
+
+// ShotEvent is one NDJSON line of GET /v1/jobs/{id}/stream: one committed
+// shot, in shot order. Fidelity is null when state simulation is off.
+// Shot is the global shot index (offset-relative for range jobs).
+type ShotEvent struct {
+	Shot      int      `json:"shot"`
+	LatencyNs float64  `json:"latency_ns"`
+	Fidelity  *float64 `json:"fidelity,omitempty"`
+	Sites     int      `json:"sites"`
+	Commits   int      `json:"commits"`
+	Correct   int      `json:"correct"`
+	Fallbacks int      `json:"fallbacks,omitempty"`
+	// Stages holds the shot's ordered per-stage latency deltas, present
+	// only when the request set StreamStages (schema v3).
+	Stages []StageDelta `json:"stages,omitempty"`
+}
+
+// StageDelta is one ordered per-stage latency delta of a streamed shot:
+// replaying count[stage]++ / total[stage] += ns over a run's shots in
+// shot order reproduces the run's Result.Stages table bit-for-bit.
+type StageDelta struct {
+	Stage string  `json:"stage"`
+	Ns    float64 `json:"ns"`
+}
+
+// StreamEnd is the terminal NDJSON line of a stream: the job's final
+// state and result.
+type StreamEnd struct {
+	Done   bool    `json:"done"`
+	State  string  `json:"state"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSec echoes the Retry-After header of 429 responses, for
+	// clients that prefer the body.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// ResultFrom converts a finished run's Report to its wire form.
+func ResultFrom(rep artery.Report) *Result {
+	r := &Result{
+		Workload:      rep.Workload,
+		Controller:    rep.Controller,
+		Shots:         rep.Shots,
+		MeanLatencyUs: rep.MeanLatencyUs,
+		Accuracy:      rep.Accuracy,
+		CommitRate:    rep.CommitRate,
+		Fidelity:      FloatPtr(rep.Fidelity),
+		Canceled:      rep.Canceled,
+	}
+	for _, st := range rep.Stages {
+		r.Stages = append(r.Stages, Stage{Stage: st.Stage, Count: st.Count, TotalNs: st.TotalNs, MeanNs: st.MeanNs})
+	}
+	return r
+}
+
+// EventFrom converts a streaming ShotUpdate to its wire form. withStages
+// controls whether the per-stage latency deltas ride along (StreamStages).
+func EventFrom(u artery.ShotUpdate, withStages bool) ShotEvent {
+	ev := ShotEvent{
+		Shot:      u.Shot,
+		LatencyNs: u.LatencyNs,
+		Fidelity:  FloatPtr(u.Fidelity),
+		Sites:     u.Sites,
+		Commits:   u.Commits,
+		Correct:   u.Correct,
+		Fallbacks: u.Fallbacks,
+	}
+	if withStages {
+		ev.Stages = make([]StageDelta, len(u.Stages))
+		for i, p := range u.Stages {
+			ev.Stages[i] = StageDelta{Stage: p.Stage, Ns: p.Ns}
+		}
+	}
+	return ev
+}
+
+// FloatPtr maps NaN to nil (JSON null) and everything else to &v.
+func FloatPtr(v float64) *float64 {
+	if v != v {
+		return nil
+	}
+	return &v
+}
+
+// ValidateRequest checks a request at admission time — workload,
+// controller, shot-range bounds and option ranges all fail fast (a 400)
+// instead of a failed job. maxShots bounds the job's global shot extent
+// (ShotOffset+Shots). It returns the workload built during validation so
+// the admission path constructs it exactly once.
+func ValidateRequest(req Request, maxShots int) (*artery.Workload, error) {
+	wl, err := artery.WorkloadByName(req.Workload, req.Param)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := req.Controller
+	if ctrl == "" {
+		ctrl = "ARTERY"
+	}
+	known := false
+	for _, name := range artery.ControllerNames() {
+		if name == ctrl {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown controller %q (known: %v)", ctrl, artery.ControllerNames())
+	}
+	if req.Shots < 1 || req.Shots > maxShots {
+		return nil, fmt.Errorf("shots must lie in [1, %d], got %d", maxShots, req.Shots)
+	}
+	if req.ShotOffset < 0 {
+		return nil, fmt.Errorf("shot_offset must be non-negative, got %d", req.ShotOffset)
+	}
+	if req.ShotOffset+req.Shots > maxShots {
+		return nil, fmt.Errorf("shot range [%d, %d) exceeds the %d-shot cap", req.ShotOffset, req.ShotOffset+req.Shots, maxShots)
+	}
+	lib := artery.Options{Seed: req.Seed}
+	if o := req.Options; o != nil {
+		mode, ok := ModeByName[o.Mode]
+		if !ok {
+			return nil, fmt.Errorf("unknown predictor mode %q (combined|history|trajectory)", o.Mode)
+		}
+		lib.WindowNs = o.WindowNs
+		lib.HistoryDepth = o.HistoryDepth
+		lib.Theta = o.Theta
+		lib.Mode = mode
+		lib.QuasiStaticSigma = o.QuasiStaticSigma
+		lib.Backend = o.Backend
+	}
+	if err := artery.ValidateOptions(lib); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}

@@ -436,7 +436,7 @@ func (s *System) RunContext(ctx context.Context, wl *Workload, shots int) (Repor
 // RunWithContext is RunContext under a named controller (see
 // ControllerNames).
 func (s *System) RunWithContext(ctx context.Context, name string, wl *Workload, shots int) (Report, error) {
-	return s.runStream(ctx, name, wl, shots, nil)
+	return s.runStream(ctx, name, wl, 0, shots, nil)
 }
 
 // ShotUpdate is one committed shot of a streaming run: the per-shot
@@ -457,6 +457,22 @@ type ShotUpdate struct {
 	Commits, Correct int
 	// Fallbacks counts sites served on the degraded blocking path.
 	Fallbacks int
+	// Stages is the shot's ordered per-stage latency deltas: the fixed gate
+	// payload first, then every feedback outcome's additive stage partition
+	// in pipeline order. Replaying the deltas of a run's shots in shot
+	// order — count[stage]++ and total[stage] += ns per entry — reproduces
+	// the run's Report.Stages table bit-for-bit, which is what lets a
+	// scatter-gather coordinator recombine sharded shot streams into a
+	// result byte-identical to a single-node run.
+	Stages []StagePoint
+}
+
+// StagePoint is one ordered per-stage latency delta of a streamed shot.
+type StagePoint struct {
+	// Stage is the trace.Stage name (see Report.Stages rows).
+	Stage string
+	// Ns is the latency contribution in nanoseconds.
+	Ns float64
 }
 
 // RunStream is RunWithContext with a per-shot observer: fn is invoked for
@@ -467,14 +483,33 @@ type ShotUpdate struct {
 // determinism guarantee. fn must not block — the merge path stalls until
 // it returns. A nil fn degenerates to RunWithContext.
 func (s *System) RunStream(ctx context.Context, name string, wl *Workload, shots int, fn func(ShotUpdate)) (Report, error) {
-	return s.runStream(ctx, name, wl, shots, fn)
+	return s.runStream(ctx, name, wl, 0, shots, fn)
 }
 
-// runStream is the shared run implementation behind RunWithContext and
-// RunStream.
-func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots int, fn func(ShotUpdate)) (Report, error) {
+// RunRangeStream is RunStream over the global shot range
+// [offset, offset+shots) of a conceptually larger run: per-shot RNG
+// streams are drawn for global indices, ShotUpdate.Shot carries global
+// indices, and the Report covers exactly the requested range — each
+// shot's values bit-identical to the same shots of a full single-node
+// run. Sequential controllers (ARTERY) replay the warmup prefix
+// [0, offset) through the controller to reproduce its learned state
+// exactly; shot-safe baselines skip the prefix outright. This is the
+// execution primitive behind sharded multi-node jobs (see
+// internal/cluster): a coordinator splits a job into contiguous ranges,
+// runs each on a different arteryd, and merges the streams in index
+// order into a byte-identical result.
+func (s *System) RunRangeStream(ctx context.Context, name string, wl *Workload, offset, shots int, fn func(ShotUpdate)) (Report, error) {
+	return s.runStream(ctx, name, wl, offset, shots, fn)
+}
+
+// runStream is the shared run implementation behind RunWithContext,
+// RunStream and RunRangeStream.
+func (s *System) runStream(ctx context.Context, name string, wl *Workload, offset, shots int, fn func(ShotUpdate)) (Report, error) {
 	if err := core.ValidateWorkload(wl); err != nil {
 		return Report{}, err
+	}
+	if offset < 0 {
+		return Report{}, fmt.Errorf("artery: shot offset must be non-negative, got %d", offset)
 	}
 	ctrl, err := s.newController(name)
 	if err != nil {
@@ -516,6 +551,7 @@ func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots
 				LatencyNs: sr.FeedbackLatencyNs,
 				Fidelity:  sr.Fidelity,
 				Sites:     len(sr.Outcomes),
+				Stages:    stagePoints(wl.GatePayloadNs, sr.Outcomes),
 			}
 			for _, o := range sr.Outcomes {
 				if o.Committed {
@@ -531,7 +567,7 @@ func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots
 			fn(u)
 		}
 	}
-	res := eng.RunContext(ctx, wl, shots, s.rng.Split())
+	res := eng.RunRange(ctx, wl, offset, shots, s.rng.Split())
 	if err := s.flushTrace(); err != nil {
 		return Report{}, err
 	}
@@ -546,6 +582,20 @@ func (s *System) runStream(ctx context.Context, name string, wl *Workload, shots
 		Stages:        res.Stages,
 		Canceled:      res.Canceled,
 	}, nil
+}
+
+// stagePoints flattens one shot's stage-latency deltas in the exact order
+// the engine's merge path folds them into RunResult.Stages: the fixed gate
+// payload first, then each outcome's additive partition in pipeline order.
+func stagePoints(payloadNs float64, outcomes []controller.Outcome) []StagePoint {
+	pts := make([]StagePoint, 1, 1+4*len(outcomes))
+	pts[0] = StagePoint{Stage: trace.StagePayload.String(), Ns: payloadNs}
+	for _, o := range outcomes {
+		o.Breakdown.Stages(func(st trace.Stage, d float64) {
+			pts = append(pts, StagePoint{Stage: st.String(), Ns: d})
+		})
+	}
+	return pts
 }
 
 // flushTrace streams the recorder's committed events to the tracing

@@ -1,8 +1,9 @@
 // Package client is the Go client for arteryd's job API: submission with
-// retry-and-jittered-backoff on 429/5xx (honoring Retry-After), status
-// polling, and a streaming iterator over per-shot NDJSON updates. Wire
-// types are shared with the server (artery/internal/server), so the two
-// cannot drift.
+// retry-and-jittered-backoff on 429/5xx (honoring Retry-After), rotation
+// across multiple endpoints, status polling, and a streaming iterator
+// over per-shot NDJSON updates that transparently reconnects and resumes
+// from the last event it delivered. Wire types are shared with the server
+// and the coordinator (artery/api), so the three cannot drift.
 package client
 
 import (
@@ -13,25 +14,30 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
-	"artery/internal/server"
+	"artery/api"
 )
 
 // Wire types re-exported for callers.
+//
+// The canonical definitions live in artery/api; these aliases keep
+// client-side code importable without a second import.
 type (
-	// Request is a job submission (see server.Request).
-	Request = server.Request
+	// Request is a job submission (see api.Request).
+	Request = api.Request
 	// RequestOptions carries the optional calibration settings.
-	RequestOptions = server.RequestOptions
+	RequestOptions = api.RequestOptions
 	// JobStatus is a job's status document.
-	JobStatus = server.JobStatus
+	JobStatus = api.JobStatus
 	// Result is a finished job's result.
-	Result = server.Result
+	Result = api.Result
 	// ShotEvent is one per-shot streaming update.
-	ShotEvent = server.ShotEvent
+	ShotEvent = api.ShotEvent
 )
 
 // RetryInfo describes one retried attempt, for observability hooks.
@@ -43,18 +49,27 @@ type RetryInfo struct {
 	RetryAfter bool
 	// Delay is the backoff the client will sleep before the next attempt.
 	Delay time.Duration
+	// Endpoint is the base URL the failed attempt targeted.
+	Endpoint string
 }
 
-// Client talks to one arteryd base URL.
+// Client talks to one or more arteryd base URLs. With several endpoints
+// (NewMulti), submissions rotate to the next endpoint on retryable
+// failures, and requests about a job are routed to the endpoint that
+// accepted it. A Client is safe for concurrent use.
 type Client struct {
-	base    string
+	bases   []string
 	hc      *http.Client
 	retries int
 	backoff time.Duration
 	maxWait time.Duration
 	onRetry func(RetryInfo)
-	rng     *rand.Rand
 	sleep   func(time.Duration) // test seam
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cur    int               // preferred endpoint index
+	routes map[string]string // job ID -> accepting endpoint
 }
 
 // Option configures New.
@@ -69,7 +84,8 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // as the job.
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
 
-// WithRetries bounds the retry attempts for Submit (default 5).
+// WithRetries bounds the retry attempts for Submit and the reconnect
+// attempts of a Stream (default 5).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // WithBackoff sets the base and cap of the jittered exponential backoff
@@ -81,27 +97,118 @@ func WithBackoff(base, max time.Duration) Option {
 // WithRetryHook installs an observer invoked before every retry sleep.
 func WithRetryHook(fn func(RetryInfo)) Option { return func(c *Client) { c.onRetry = fn } }
 
-// New builds a client for the given base URL (e.g. "http://127.0.0.1:7717").
-func New(base string, opts ...Option) *Client {
+// New builds a client for the given base URL (e.g.
+// "http://127.0.0.1:7717"). The URL is validated here — an unparseable
+// or schemeless base fails at construction, not on the first request.
+func New(base string, opts ...Option) (*Client, error) {
+	return NewMulti([]string{base}, opts...)
+}
+
+// NewMulti builds a client over several equivalent endpoints (replicas
+// or coordinators). Submissions prefer the current endpoint and rotate
+// to the next on retryable failures (transport errors, 429, 5xx);
+// status, stream and wait calls for a job are routed to the endpoint
+// that accepted it (job IDs are server-local).
+func NewMulti(bases []string, opts ...Option) (*Client, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("client: at least one endpoint is required")
+	}
 	c := &Client{
-		base:    strings.TrimRight(base, "/"),
+		bases:   make([]string, len(bases)),
 		hc:      &http.Client{Timeout: 30 * time.Second},
 		retries: 5,
 		backoff: 100 * time.Millisecond,
 		maxWait: 5 * time.Second,
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 		sleep:   time.Sleep,
+		routes:  map[string]string{},
+	}
+	for i, b := range bases {
+		nb, err := normalizeBase(b)
+		if err != nil {
+			return nil, err
+		}
+		c.bases[i] = nb
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	return c, nil
+}
+
+// MustNew is New for call sites that prefer a panic over an error (tests,
+// package-level variables, CLIs that validated the flag already).
+func MustNew(base string, opts ...Option) *Client {
+	c, err := New(base, opts...)
+	if err != nil {
+		panic(err)
+	}
 	return c
+}
+
+// normalizeBase validates a base URL and strips its trailing slash.
+func normalizeBase(base string) (string, error) {
+	b := strings.TrimRight(base, "/")
+	u, err := url.Parse(b)
+	if err != nil {
+		return "", fmt.Errorf("client: invalid base URL %q: %v", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("client: base URL %q must use http or https, got scheme %q", base, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("client: base URL %q has no host", base)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("client: base URL %q must not carry a query or fragment", base)
+	}
+	return b, nil
+}
+
+// Endpoints returns the configured base URLs.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.bases...) }
+
+// endpoint returns the currently preferred base URL.
+func (c *Client) endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur]
+}
+
+// rotate advances the preferred endpoint past a failing base (no-op for
+// single-endpoint clients, or when another caller already rotated).
+func (c *Client) rotate(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bases) > 1 && c.bases[c.cur] == failed {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
+}
+
+// remember records which endpoint accepted a job.
+func (c *Client) remember(id, base string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.routes[id] = base
+}
+
+// route returns the endpoint serving a job's ID: the accepting endpoint
+// when known, else the preferred one.
+func (c *Client) route(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.routes[id]; ok {
+		return b
+	}
+	return c.bases[c.cur]
 }
 
 // Submit posts a job. Over-capacity (429) and transient server errors
 // (5xx) are retried with jittered exponential backoff — a 429's
 // Retry-After header, when present, replaces the exponential delay — up
-// to the configured retry budget. 4xx errors other than 429 fail fast.
+// to the configured retry budget, rotating to the next endpoint between
+// attempts when several are configured. 4xx errors other than 429 fail
+// fast.
 func (c *Client) Submit(ctx context.Context, req Request) (*JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -109,15 +216,19 @@ func (c *Client) Submit(ctx context.Context, req Request) (*JobStatus, error) {
 	}
 	var last error
 	for attempt := 0; ; attempt++ {
-		st, retryable, err := c.trySubmit(ctx, body)
+		base := c.endpoint()
+		st, retryable, err := c.trySubmit(ctx, base, body)
 		if err == nil {
+			c.remember(st.ID, base)
 			return st, nil
 		}
 		last = err
 		if !retryable || attempt >= c.retries {
 			return nil, last
 		}
+		c.rotate(base)
 		info := c.delay(attempt, err)
+		info.Endpoint = base
 		if c.onRetry != nil {
 			c.onRetry(info)
 		}
@@ -142,10 +253,10 @@ func (e *httpError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.status, e.msg)
 }
 
-// trySubmit performs one POST attempt; retryable marks 429/5xx/transport
-// failures.
-func (c *Client) trySubmit(ctx context.Context, body []byte) (st *JobStatus, retryable bool, err error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+// trySubmit performs one POST attempt against base; retryable marks
+// 429/5xx/transport failures.
+func (c *Client) trySubmit(ctx context.Context, base string, body []byte) (st *JobStatus, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, false, err
 	}
@@ -193,13 +304,16 @@ func (c *Client) delay(attempt int, err error) RetryInfo {
 	if d > c.maxWait {
 		d = c.maxWait
 	}
-	info.Delay = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.mu.Unlock()
+	info.Delay = d/2 + jitter
 	return info
 }
 
 // Job fetches a job's status.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.route(id)+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,8 +345,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 		if err != nil {
 			return nil, err
 		}
-		switch js.State {
-		case server.StateDone, server.StateFailed, server.StateCanceled:
+		if api.Terminal(js.State) {
 			return js, nil
 		}
 		select {
@@ -243,9 +356,10 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 	}
 }
 
-// Metrics fetches the /metrics Prometheus exposition.
+// Metrics fetches the /metrics Prometheus exposition of the preferred
+// endpoint.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint()+"/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -263,7 +377,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 
 // readError extracts the error message of a non-2xx body.
 func readError(r io.Reader) string {
-	var eb server.ErrorBody
+	var eb api.ErrorBody
 	if err := json.NewDecoder(io.LimitReader(r, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
 		return eb.Error
 	}

@@ -34,7 +34,7 @@ func TestSubmitRetriesOn429HonoringRetryAfter(t *testing.T) {
 
 	var slept []time.Duration
 	var hooks []RetryInfo
-	c := New(ts.URL, WithRetries(5), WithRetryHook(func(ri RetryInfo) { hooks = append(hooks, ri) }))
+	c := MustNew(ts.URL, WithRetries(5), WithRetryHook(func(ri RetryInfo) { hooks = append(hooks, ri) }))
 	c.sleep = func(d time.Duration) { slept = append(slept, d) }
 
 	js, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
@@ -77,7 +77,7 @@ func TestSubmitRetriesOn5xxWithBackoff(t *testing.T) {
 	defer ts.Close()
 
 	var slept []time.Duration
-	c := New(ts.URL, WithBackoff(100*time.Millisecond, 5*time.Second))
+	c := MustNew(ts.URL, WithBackoff(100*time.Millisecond, 5*time.Second))
 	c.sleep = func(d time.Duration) { slept = append(slept, d) }
 	if _, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5}); err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -102,7 +102,7 @@ func TestSubmitFailsFastOn400(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := New(ts.URL)
+	c := MustNew(ts.URL)
 	c.sleep = func(time.Duration) { t.Error("client slept on a non-retryable error") }
 	_, err := c.Submit(context.Background(), Request{Workload: "nope", Shots: 5})
 	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
@@ -125,7 +125,7 @@ func TestSubmitExhaustsRetries(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := New(ts.URL, WithRetries(2))
+	c := MustNew(ts.URL, WithRetries(2))
 	c.sleep = func(time.Duration) {}
 	_, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
 	if err == nil || !strings.Contains(err.Error(), "429") {
@@ -151,7 +151,7 @@ func TestEndToEnd(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	c := New(ts.URL, WithTimeout(30*time.Second))
+	c := MustNew(ts.URL, WithTimeout(30*time.Second))
 
 	off := false
 	const shots = 25

@@ -1,0 +1,218 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"artery/internal/server"
+)
+
+// TestNewValidatesBaseURL: the redesigned constructor fails fast on
+// malformed bases instead of erroring on the first request.
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "127.0.0.1:7717", "ftp://host", "http://", "http://host/?x=1", "://nope"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted an invalid base", bad)
+		}
+	}
+	c, err := New("http://127.0.0.1:7717/")
+	if err != nil {
+		t.Fatalf("New rejected a valid base: %v", err)
+	}
+	if got := c.Endpoints()[0]; got != "http://127.0.0.1:7717" {
+		t.Errorf("trailing slash survived normalization: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on an invalid base")
+		}
+	}()
+	MustNew(":not a url:")
+}
+
+// TestNewMultiRotatesOnFailure: with two endpoints, a dead first node
+// costs one retry and the submission lands on the second; follow-up
+// requests about the job route to the endpoint that accepted it.
+func TestNewMultiRotatesOnFailure(t *testing.T) {
+	var deadCalls atomic.Int32
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadCalls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	var aliveJobs atomic.Int32
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(JobStatus{ID: "job-1", State: "queued"})
+		default:
+			aliveJobs.Add(1)
+			json.NewEncoder(w).Encode(JobStatus{ID: "job-1", State: "done"})
+		}
+	}))
+	defer alive.Close()
+
+	c, err := NewMulti([]string{dead.URL, alive.URL}, WithRetries(3))
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	c.sleep = func(time.Duration) {}
+	js, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := deadCalls.Load(); got != 1 {
+		t.Errorf("dead endpoint saw %d attempts, want 1 (rotate after first failure)", got)
+	}
+	// Job status must hit the accepting endpoint, not the dead one.
+	if _, err := c.Job(context.Background(), js.ID); err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if aliveJobs.Load() != 1 {
+		t.Errorf("status call did not route to the accepting endpoint")
+	}
+}
+
+// chokeStream wraps a real server handler and truncates every stream
+// response after limit NDJSON lines, closing the connection — the client
+// must reconnect with ?from= and keep going.
+func chokeStream(h http.Handler, limit int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/stream") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		h.ServeHTTP(&truncWriter{ResponseWriter: w, left: limit}, r)
+	})
+}
+
+// truncWriter counts newline-terminated writes and fails after the
+// limit, making the server handler abandon the response mid-stream.
+type truncWriter struct {
+	http.ResponseWriter
+	left int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	t.left--
+	return t.ResponseWriter.Write(p)
+}
+
+// TestStreamReconnectResumes: every stream connection dies after two
+// events, yet the client's transparent ?from= reconnects deliver the
+// complete in-order event sequence exactly once.
+func TestStreamReconnectResumes(t *testing.T) {
+	s := server.New(server.Config{QueueDepth: 4, MaxConcurrentJobs: 1, WorkerBudget: 2})
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(chokeStream(s.Handler(), 2))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := MustNew(ts.URL, WithRetries(4), WithBackoff(time.Millisecond, 10*time.Millisecond))
+
+	off := false
+	const shots = 11
+	js, err := c.Submit(ctx, Request{
+		Workload: "qrw", Param: 3, Shots: shots, Seed: 3,
+		Options: &RequestOptions{StateSim: &off},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := c.Stream(ctx, js.ID)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	defer st.Close()
+	reconnects := 0
+	c.onRetry = func(RetryInfo) { reconnects++ }
+	got := 0
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after %d events: %v", got, err)
+		}
+		if ev.Shot != got {
+			t.Fatalf("event %d carries shot %d: resume skipped or duplicated", got, ev.Shot)
+		}
+		got++
+	}
+	if got != shots {
+		t.Fatalf("delivered %d events, want %d", got, shots)
+	}
+	if end := st.End(); end == nil || end.State != "done" || end.Result == nil || end.Result.Shots != shots {
+		t.Fatalf("stream end %+v", end)
+	}
+	if reconnects == 0 {
+		t.Fatal("stream finished without a single reconnect: the choke wrapper is not engaging")
+	}
+}
+
+// TestStreamFromSkipsPrefix: StreamFrom is the public resume primitive.
+func TestStreamFromSkipsPrefix(t *testing.T) {
+	s := server.New(server.Config{QueueDepth: 4, MaxConcurrentJobs: 1, WorkerBudget: 2})
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := MustNew(ts.URL)
+	off := false
+	js, err := c.Submit(ctx, Request{Workload: "qrw", Param: 3, Shots: 9, Seed: 2, Options: &RequestOptions{StateSim: &off}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, js.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st, err := c.StreamFrom(ctx, js.ID, 6)
+	if err != nil {
+		t.Fatalf("StreamFrom: %v", err)
+	}
+	defer st.Close()
+	want := 6
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if ev.Shot != want {
+			t.Fatalf("event carries shot %d, want %d", ev.Shot, want)
+		}
+		want++
+	}
+	if want != 9 {
+		t.Fatalf("resumed stream delivered up to shot %d, want 9", want)
+	}
+	if _, err := c.StreamFrom(ctx, js.ID, -1); err == nil {
+		t.Error("StreamFrom(-1) succeeded")
+	}
+}

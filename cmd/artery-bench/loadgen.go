@@ -51,7 +51,7 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 
 	var rejects, naked429 atomic.Int64
-	newClient := func() *client.Client {
+	newClient := func() (*client.Client, error) {
 		return client.New(cfg.base,
 			client.WithRetries(50),
 			client.WithBackoff(25*time.Millisecond, 2*time.Second),
@@ -79,6 +79,10 @@ func runLoadgen(cfg loadgenConfig) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
+	if _, err := newClient(); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+
 	jobCh := make(chan int)
 	timings := make([]jobTiming, cfg.jobs)
 	var wg sync.WaitGroup
@@ -87,7 +91,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl := newClient()
+			cl, _ := newClient() // base validated above
 			for job := range jobCh {
 				timings[job] = runOneJob(ctx, cl, job, reqFor(job), cfg.shots)
 			}
@@ -143,7 +147,7 @@ func runLoadgen(cfg loadgenConfig) error {
 	// Determinism probe: resubmit job 0's request and require its result
 	// bytes to match the burst's, byte for byte, despite different
 	// co-tenancy.
-	cl := newClient()
+	cl, _ := newClient() // base validated above
 	rerun := runOneJob(ctx, cl, 0, reqFor(0), cfg.shots)
 	if rerun.err != nil || rerun.state != "done" {
 		return fmt.Errorf("loadgen: determinism probe failed to run: state=%s err=%v", rerun.state, rerun.err)
@@ -152,6 +156,38 @@ func runLoadgen(cfg loadgenConfig) error {
 		return fmt.Errorf("loadgen: determinism probe mismatch:\n burst: %s\n rerun: %s", timings[0].resJSON, rerun.resJSON)
 	}
 	fmt.Printf("loadgen: determinism probe ok (resubmitted job reproduced %d result bytes)\n", len(rerun.resJSON))
+	return nil
+}
+
+// runSubmit is the -submit mode: one job, submitted and streamed to the
+// end, its result JSON printed to stdout. The smoke scripts diff this
+// output between a coordinator and a single node to assert bit-identical
+// sharded execution.
+func runSubmit(cfg loadgenConfig) error {
+	cl, err := client.New(cfg.base,
+		client.WithRetries(50),
+		client.WithBackoff(25*time.Millisecond, 2*time.Second))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	req := client.Request{
+		Workload:   cfg.workload,
+		Param:      cfg.param,
+		Controller: "ARTERY",
+		Shots:      cfg.shots,
+		Seed:       cfg.seed,
+		Options:    &client.RequestOptions{StateSim: &cfg.stateSim},
+	}
+	t := runOneJob(ctx, cl, 0, req, cfg.shots)
+	if t.err != nil {
+		return fmt.Errorf("submit: %w", t.err)
+	}
+	if t.state != "done" {
+		return fmt.Errorf("submit: job ended %s", t.state)
+	}
+	fmt.Println(t.resJSON)
 	return nil
 }
 

@@ -121,6 +121,7 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile (post-GC live allocations) to this path at exit")
 
 		loadgen    = flag.String("loadgen", "", "drive a running arteryd at this base URL and report service throughput/tail latency")
+		submit     = flag.String("submit", "", "submit one job to a running arteryd/coordinator at this base URL, wait, and print the result JSON")
 		lgClients  = flag.Int("clients", 8, "concurrent clients for -loadgen")
 		lgJobs     = flag.Int("jobs", 32, "total jobs for -loadgen")
 		lgWorkload = flag.String("lg-workload", "qrw", "workload name for -loadgen jobs")
@@ -132,6 +133,21 @@ func main() {
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("artery-bench %s\n", version.String())
+		return
+	}
+
+	if *submit != "" {
+		if err := runSubmit(loadgenConfig{
+			base:     *submit,
+			workload: *lgWorkload,
+			param:    *lgParam,
+			shots:    *shots,
+			seed:     *seed,
+			stateSim: *lgStateSim,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

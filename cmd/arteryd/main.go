@@ -6,12 +6,20 @@
 //
 //	arteryd [-addr host:port] [-addr-file FILE] [-queue N] [-max-jobs N]
 //	        [-worker-budget N] [-max-shots N] [-drain-timeout D] [-version]
+//	arteryd -coordinator -backends URL,URL,... [-shards N] [-shard-attempts N]
+//	        [common flags]
 //
 // -addr-file writes the resolved listen address (useful with -addr
 // 127.0.0.1:0 for ephemeral ports, e.g. in the serve-smoke CI gate).
 // SIGTERM/SIGINT trigger a graceful drain: admission stops, in-flight
 // jobs are canceled at their next shot-batch boundary and report their
 // deterministic canceled prefix, then the process exits 0.
+//
+// -coordinator turns the process into a scatter-gather coordinator over
+// the listed backend arteryd nodes (see internal/cluster): it serves the
+// same /v1/jobs API, splits each job's shots into contiguous ranges,
+// fans them out, and merges the streams into a result byte-identical to
+// a single-node run, failing shards over to surviving backends.
 package main
 
 import (
@@ -23,23 +31,36 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"artery/internal/cluster"
 	"artery/internal/server"
 	"artery/internal/version"
 )
 
+// service is what main drives: a single-node server or a coordinator.
+type service interface {
+	Handler() http.Handler
+	Start()
+	Shutdown(ctx context.Context) error
+}
+
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7717", "listen address (port 0 picks an ephemeral port)")
-		addrFile     = flag.String("addr-file", "", "write the resolved listen address to this file once serving")
-		queueDepth   = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429 + Retry-After)")
-		maxJobs      = flag.Int("max-jobs", 2, "concurrent job slots (dispatcher pool size)")
-		workerBudget = flag.Int("worker-budget", 0, "total shot-level worker budget shared across jobs (0 = GOMAXPROCS)")
-		maxShots     = flag.Int("max-shots", 1_000_000, "per-request shot cap")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
-		showVersion  = flag.Bool("version", false, "print version and exit")
+		addr          = flag.String("addr", "127.0.0.1:7717", "listen address (port 0 picks an ephemeral port)")
+		addrFile      = flag.String("addr-file", "", "write the resolved listen address to this file once serving")
+		queueDepth    = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429 + Retry-After)")
+		maxJobs       = flag.Int("max-jobs", 2, "concurrent job slots (dispatcher pool size)")
+		workerBudget  = flag.Int("worker-budget", 0, "total shot-level worker budget shared across jobs (0 = GOMAXPROCS)")
+		maxShots      = flag.Int("max-shots", 1_000_000, "per-request shot cap")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		coordinator   = flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -backends instead of executing jobs locally")
+		backends      = flag.String("backends", "", "comma-separated backend arteryd base URLs (required with -coordinator)")
+		shards        = flag.Int("shards", 0, "shot-range shards per job (0 = one per backend)")
+		shardAttempts = flag.Int("shard-attempts", 3, "dispatch attempts per shard before the job fails (first try + failovers)")
+		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -49,12 +70,35 @@ func main() {
 	log.SetPrefix("arteryd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	srv := server.New(server.Config{
-		QueueDepth:        *queueDepth,
-		MaxConcurrentJobs: *maxJobs,
-		WorkerBudget:      *workerBudget,
-		MaxShots:          *maxShots,
-	})
+	var srv service
+	if *coordinator {
+		var bases []string
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, b)
+			}
+		}
+		co, err := cluster.New(cluster.Config{
+			Backends:          bases,
+			Shards:            *shards,
+			ShardAttempts:     *shardAttempts,
+			QueueDepth:        *queueDepth,
+			MaxConcurrentJobs: *maxJobs,
+			MaxShots:          *maxShots,
+		})
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		log.Printf("coordinating %d backends: %s", len(bases), strings.Join(bases, ", "))
+		srv = co
+	} else {
+		srv = server.New(server.Config{
+			QueueDepth:        *queueDepth,
+			MaxConcurrentJobs: *maxJobs,
+			WorkerBudget:      *workerBudget,
+			MaxShots:          *maxShots,
+		})
+	}
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)

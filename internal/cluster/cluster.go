@@ -1,0 +1,251 @@
+// Package cluster is the scatter-gather coordinator for multi-node
+// arteryd: it serves the same /v1/jobs API as a single arteryd, but
+// executes each job by splitting its shots into contiguous ranges,
+// dispatching every range to one of N backend arteryd nodes as a
+// shot-offset job (api.Request.ShotOffset), and merging the returned
+// per-shot event streams in global shot order.
+//
+// Because per-shot RNG streams are drawn by global index (prefix-stable
+// stats.RNG.SplitN) and every aggregate in a result is a replayable fold
+// over the per-shot event stream, the merged result is byte-identical to
+// the same request run on a single node — at any shard count, any
+// per-node worker budget, and any co-tenancy on the backends.
+//
+// Failures fail over: each shard is retried with jittered exponential
+// backoff on the next healthy backend (submission-level 429/5xx retries,
+// honoring Retry-After, are handled underneath by the client), and
+// because a re-dispatched shard reproduces the exact event prefix the
+// dead backend already delivered, the merger resumes mid-shard without
+// dedup bookkeeping beyond its consumed-event cursor.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artery"
+	"artery/api"
+	"artery/client"
+	"artery/internal/server"
+	"artery/internal/trace"
+)
+
+// Config sizes the coordinator. Zero values select the documented
+// defaults; Backends is required.
+type Config struct {
+	// Backends are the base URLs of the arteryd nodes shards run on
+	// (e.g. "http://10.0.0.1:7717"). At least one is required; URLs are
+	// validated at construction.
+	Backends []string
+	// Shards is the number of contiguous shot ranges a job is split into
+	// (default: one per backend). Jobs with fewer shots than shards get
+	// one shard per shot.
+	Shards int
+	// ShardAttempts bounds how many times one shard is dispatched before
+	// the whole job fails: the first attempt plus failovers (default 3).
+	ShardAttempts int
+	// HealthInterval is the backend /readyz polling period (default 250ms).
+	HealthInterval time.Duration
+	// QueueDepth, MaxConcurrentJobs, MaxShots and MaxRetainedJobs size
+	// the embedded admission server exactly as in server.Config.
+	QueueDepth        int
+	MaxConcurrentJobs int
+	MaxShots          int
+	MaxRetainedJobs   int
+	// ClientOptions configures each backend's client (timeouts, retry
+	// budgets). The default keeps submission retries short so failover
+	// moves to another node quickly.
+	ClientOptions []client.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = len(c.Backends)
+	}
+	if c.ShardAttempts == 0 {
+		c.ShardAttempts = 3
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// backend is one arteryd node: its client, its health flag (maintained
+// by the poll loop) and its per-backend instruments.
+type backend struct {
+	index   int
+	base    string
+	cl      *client.Client
+	healthy atomic.Bool
+
+	shardSeconds *trace.Histogram
+	shardsServed *trace.Counter
+}
+
+// metrics are the coordinator's shard-level instruments, registered on
+// the embedded server's registry so /metrics exposes both.
+type metrics struct {
+	shardsDispatched *trace.Counter
+	shardsRetried    *trace.Counter
+	shardsFailedOver *trace.Counter
+	shardsFailed     *trace.Counter
+	shotsMerged      *trace.Counter
+	backendsHealthy  *trace.Gauge
+}
+
+// Coordinator fronts a fleet of arteryd backends behind the single-node
+// job API. Construct with New, attach Handler, call Start, Shutdown on
+// SIGTERM.
+type Coordinator struct {
+	cfg      Config
+	srv      *server.Server
+	backends []*backend
+	m        metrics
+
+	healthCtx    context.Context
+	cancelHealth context.CancelFunc
+	healthWG     sync.WaitGroup
+}
+
+// New builds a coordinator over the configured backends. Backend URLs
+// are validated here; the coordinator's own admission server enforces
+// the same request validation as a single node.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: at least one backend is required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg}
+	c.srv = server.New(server.Config{
+		QueueDepth:        cfg.QueueDepth,
+		MaxConcurrentJobs: cfg.MaxConcurrentJobs,
+		MaxShots:          cfg.MaxShots,
+		MaxRetainedJobs:   cfg.MaxRetainedJobs,
+		Executor:          c.execute,
+	})
+	reg := c.srv.Registry()
+	c.m = metrics{
+		shardsDispatched: reg.Counter("artery_cluster_shards_dispatched_total", "shard dispatches to backends (including failovers)"),
+		shardsRetried:    reg.Counter("artery_cluster_shards_retried_total", "shard dispatches after a failed attempt"),
+		shardsFailedOver: reg.Counter("artery_cluster_shards_failed_over_total", "shard retries that moved to a different backend"),
+		shardsFailed:     reg.Counter("artery_cluster_shards_failed_total", "shards that exhausted their attempt budget"),
+		shotsMerged:      reg.Counter("artery_cluster_shots_merged_total", "per-shot events merged across all jobs"),
+		backendsHealthy:  reg.Gauge("artery_cluster_backends_healthy", "backends currently passing /readyz"),
+	}
+	opts := append([]client.Option{
+		client.WithRetries(2),
+		client.WithBackoff(50*time.Millisecond, time.Second),
+	}, cfg.ClientOptions...)
+	for i, base := range cfg.Backends {
+		cl, err := client.New(base, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %d: %w", i, err)
+		}
+		b := &backend{
+			index:        i,
+			base:         cl.Endpoints()[0],
+			cl:           cl,
+			shardSeconds: reg.Histogram(fmt.Sprintf("artery_cluster_backend%d_shard_seconds", i), fmt.Sprintf("shard wall time on backend %d (%s)", i, cl.Endpoints()[0]), trace.DefaultJobSecondsBuckets()),
+			shardsServed: reg.Counter(fmt.Sprintf("artery_cluster_backend%d_shards_total", i), fmt.Sprintf("shards completed by backend %d (%s)", i, cl.Endpoints()[0])),
+		}
+		b.healthy.Store(true) // optimistic until the first poll
+		c.backends = append(c.backends, b)
+	}
+	c.m.backendsHealthy.Set(float64(len(c.backends)))
+	c.healthCtx, c.cancelHealth = context.WithCancel(context.Background())
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler — the same routes as a
+// single arteryd (jobs, streams, metrics, healthz, readyz).
+func (c *Coordinator) Handler() http.Handler { return c.srv.Handler() }
+
+// Registry exposes the metrics registry (server + cluster instruments).
+func (c *Coordinator) Registry() *trace.Registry { return c.srv.Registry() }
+
+// Start launches the dispatcher pool and the backend health loops.
+func (c *Coordinator) Start() {
+	c.srv.Start()
+	for _, b := range c.backends {
+		c.healthWG.Add(1)
+		go c.healthLoop(b)
+	}
+}
+
+// Shutdown drains the coordinator: admission stops, in-flight jobs are
+// canceled (completing with their deterministic merged prefix), and the
+// health loops exit.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.cancelHealth()
+	err := c.srv.Shutdown(ctx)
+	c.healthWG.Wait()
+	return err
+}
+
+// healthLoop polls one backend's /readyz, flipping its health flag. An
+// unhealthy backend is skipped by shard placement until it recovers.
+func (c *Coordinator) healthLoop(b *backend) {
+	defer c.healthWG.Done()
+	hc := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.healthCtx.Done():
+			return
+		case <-t.C:
+		}
+		req, err := http.NewRequestWithContext(c.healthCtx, http.MethodGet, b.base+"/readyz", nil)
+		if err != nil {
+			continue
+		}
+		ok := false
+		if resp, err := hc.Do(req); err == nil {
+			ok = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if b.healthy.Swap(ok) != ok {
+			c.m.backendsHealthy.Set(float64(c.healthyCount()))
+		}
+	}
+}
+
+func (c *Coordinator) healthyCount() int {
+	n := 0
+	for _, b := range c.backends {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickBackend places a shard attempt: shards start round-robin by index
+// and each failover advances to the next backend, skipping unhealthy
+// nodes; when every node looks unhealthy the nominal one is tried anyway
+// (the poll may lag a recovery).
+func (c *Coordinator) pickBackend(shardIdx, attempt int) *backend {
+	n := len(c.backends)
+	start := (shardIdx + attempt) % n
+	for off := 0; off < n; off++ {
+		b := c.backends[(start+off)%n]
+		if b.healthy.Load() {
+			return b
+		}
+	}
+	return c.backends[start]
+}
+
+// workloadName resolves the canonical workload name for a validated
+// request (result documents carry wl.Name, not the request spelling).
+func workloadName(req api.Request) string {
+	if wl, err := artery.WorkloadByName(req.Workload, req.Param); err == nil {
+		return wl.Name
+	}
+	return req.Workload
+}

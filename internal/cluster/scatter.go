@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"artery/api"
+	"artery/internal/server"
+	"artery/internal/trace"
+)
+
+// shardRange is one contiguous global shot range [Lo, Hi).
+type shardRange struct{ Lo, Hi int }
+
+// splitRange cuts the global range [offset, offset+shots) into at most n
+// contiguous shards of near-equal size (earlier shards take the
+// remainder), never emitting an empty shard.
+func splitRange(offset, shots, n int) []shardRange {
+	if n < 1 {
+		n = 1
+	}
+	if n > shots {
+		n = shots
+	}
+	out := make([]shardRange, 0, n)
+	base, rem := shots/n, shots%n
+	lo := offset
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, shardRange{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// shard is one dispatched shot range moving through scatter-gather. Its
+// dispatcher appends streamed events as they arrive (so the merger
+// pipelines behind live shards) and resets the buffer on failover; the
+// merger indexes into the buffer by its consumed-event cursor, which
+// stays valid across resets because a re-dispatched shard reproduces the
+// exact same event prefix.
+type shard struct {
+	index  int
+	rng    shardRange
+	mu     sync.Mutex
+	events []api.ShotEvent
+	result *api.Result // the shard's own end-of-stream result (names, sanity)
+	err    error       // terminal failure after the attempt budget
+	notify chan struct{}
+}
+
+func newShard(index int, r shardRange) *shard {
+	return &shard{index: index, rng: r, notify: make(chan struct{})}
+}
+
+// broadcast wakes the merger. Callers hold the lock.
+func (s *shard) broadcast() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+func (s *shard) append(ev api.ShotEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.broadcast()
+	s.mu.Unlock()
+}
+
+// reset discards a failed attempt's partial events before failover.
+func (s *shard) reset() {
+	s.mu.Lock()
+	s.events = s.events[:0]
+	s.broadcast()
+	s.mu.Unlock()
+}
+
+// finish records the shard's terminal outcome: its result, or the error
+// that exhausted the attempt budget.
+func (s *shard) finish(res *api.Result, err error) {
+	s.mu.Lock()
+	s.result, s.err = res, err
+	s.broadcast()
+	s.mu.Unlock()
+}
+
+// execute is the coordinator's job executor (server.Config.Executor):
+// scatter the job's shot range over the backends, gather the per-shot
+// event streams, merge them in global shot order, and drive the job to
+// its terminal state. Honors ctx: a drain completes the job with the
+// deterministic merged prefix, exactly like a drained single node.
+func (c *Coordinator) execute(ctx context.Context, j *server.Job) {
+	req := j.Req
+	shards := make([]*shard, 0, c.cfg.Shards)
+	for i, r := range splitRange(req.ShotOffset, req.Shots, c.cfg.Shards) {
+		shards = append(shards, newShard(i, r))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // stop in-flight shard streams once the job settles
+	for _, sh := range shards {
+		go c.runShard(ctx, req, sh)
+	}
+	c.gather(ctx, j, shards)
+}
+
+// runShard drives one shard to completion: dispatch to a backend, stream
+// its events into the shard buffer, and on failure retry on the next
+// healthy backend with jittered exponential backoff, up to the attempt
+// budget.
+func (c *Coordinator) runShard(ctx context.Context, req api.Request, sh *shard) {
+	var lastErr error
+	var prev *backend
+	for attempt := 0; attempt < c.cfg.ShardAttempts; attempt++ {
+		if attempt > 0 {
+			c.m.shardsRetried.Inc()
+			select {
+			case <-time.After(failoverDelay(attempt)):
+			case <-ctx.Done():
+				sh.finish(nil, ctx.Err())
+				return
+			}
+		}
+		b := c.pickBackend(sh.index, attempt)
+		if attempt > 0 && b != prev {
+			c.m.shardsFailedOver.Inc()
+		}
+		prev = b
+		c.m.shardsDispatched.Inc()
+		res, err := c.tryShard(ctx, b, req, sh)
+		if err == nil {
+			b.shardsServed.Inc()
+			sh.finish(res, nil)
+			return
+		}
+		if ctx.Err() != nil {
+			sh.finish(nil, ctx.Err())
+			return
+		}
+		lastErr = err
+		sh.reset()
+	}
+	c.m.shardsFailed.Inc()
+	sh.finish(nil, fmt.Errorf("shard [%d,%d) failed after %d attempts: %w", sh.rng.Lo, sh.rng.Hi, c.cfg.ShardAttempts, lastErr))
+}
+
+// failoverDelay is the jittered exponential backoff between shard
+// attempts (the submission-level Retry-After/backoff dance lives in the
+// client underneath).
+func failoverDelay(attempt int) time.Duration {
+	d := 100 * time.Millisecond << uint(attempt-1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// tryShard performs one shard attempt against one backend: submit the
+// sub-request (the shard's global range, stage deltas always on — the
+// merger needs them), stream every event into the shard buffer, and
+// verify the backend delivered the complete, uncanceled range.
+func (c *Coordinator) tryShard(ctx context.Context, b *backend, req api.Request, sh *shard) (*api.Result, error) {
+	start := time.Now()
+	sub := req
+	sub.ShotOffset = sh.rng.Lo
+	sub.Shots = sh.rng.Hi - sh.rng.Lo
+	sub.StreamStages = true
+	js, err := b.cl.Submit(ctx, sub)
+	if err != nil {
+		return nil, fmt.Errorf("backend %d (%s): submit: %w", b.index, b.base, err)
+	}
+	st, err := b.cl.Stream(ctx, js.ID)
+	if err != nil {
+		return nil, fmt.Errorf("backend %d (%s): stream: %w", b.index, b.base, err)
+	}
+	defer st.Close()
+	n := 0
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("backend %d (%s): stream: %w", b.index, b.base, err)
+		}
+		if ev.Shot != sh.rng.Lo+n {
+			return nil, fmt.Errorf("backend %d (%s): event %d carries shot %d, want %d", b.index, b.base, n, ev.Shot, sh.rng.Lo+n)
+		}
+		sh.append(ev)
+		n++
+	}
+	end := st.End()
+	if end == nil || end.State != api.StateDone || end.Result == nil {
+		state, msg := "", ""
+		if end != nil {
+			state, msg = end.State, end.Error
+		}
+		return nil, fmt.Errorf("backend %d (%s): shard ended %s: %s", b.index, b.base, state, msg)
+	}
+	if end.Result.Canceled || n != sub.Shots {
+		// A draining backend returns a truncated prefix — valid for its
+		// own clients, but a missing tail for ours: fail over.
+		return nil, fmt.Errorf("backend %d (%s): shard truncated at %d of %d shots (backend draining?)", b.index, b.base, n, sub.Shots)
+	}
+	b.shardSeconds.Observe(time.Since(start).Seconds())
+	return end.Result, nil
+}
+
+// gather is the merge path: consume shard buffers strictly in shard
+// order (global shot order), fold every event into the merger, and
+// append it to the job's own event log. One goroutine, exactly like the
+// single-node engine's merge path — which is why the fold reproduces the
+// single-node result bit-for-bit.
+func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard) {
+	agg := newMerger(j.Req)
+	for _, sh := range shards {
+		consumed := 0
+		for consumed < sh.rng.Hi-sh.rng.Lo {
+			if ctx.Err() != nil {
+				j.Complete(agg.result(true))
+				return
+			}
+			sh.mu.Lock()
+			if consumed < len(sh.events) {
+				ev := sh.events[consumed]
+				sh.mu.Unlock()
+				consumed++
+				if err := agg.add(ev); err != nil {
+					j.Fail(err.Error())
+					return
+				}
+				c.m.shotsMerged.Inc()
+				j.AppendEvent(publicEvent(ev, j.Req.StreamStages))
+				continue
+			}
+			if sh.err != nil {
+				err := sh.err
+				sh.mu.Unlock()
+				if err == context.Canceled || ctx.Err() != nil {
+					j.Complete(agg.result(true))
+					return
+				}
+				j.Fail(err.Error())
+				return
+			}
+			wait := sh.notify
+			sh.mu.Unlock()
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				j.Complete(agg.result(true))
+				return
+			}
+		}
+		sh.mu.Lock()
+		if sh.result != nil {
+			agg.names(sh.result)
+		}
+		sh.mu.Unlock()
+	}
+	j.Complete(agg.result(false))
+}
+
+// publicEvent is the event as the coordinator's own stream emits it:
+// stage deltas ride along only if the submitting client asked for them.
+func publicEvent(ev api.ShotEvent, withStages bool) api.ShotEvent {
+	if !withStages {
+		ev.Stages = nil
+	}
+	return ev
+}
+
+// merger folds per-shot events into an api.Result using the exact
+// arithmetic of the engine's merge path (internal/core.run) and the
+// facade's report assembly: sum-then-divide means, integer accuracy and
+// commit-rate ratios, per-stage count/total accumulators rendered in
+// stage-enum order omitting absent stages. Events must be added in
+// global shot order; Go's float64 addition is deterministic, so the fold
+// equals the single-node fold bit-for-bit.
+type merger struct {
+	workload, controller string
+	n                    int
+	latSum               float64
+	fidSum               float64
+	fidN                 int
+	sites, commits       int
+	correct              int
+	stageCount           [trace.NumStages]int
+	stageTotal           [trace.NumStages]float64
+}
+
+func newMerger(req api.Request) *merger {
+	ctrl := req.Controller
+	if ctrl == "" {
+		ctrl = "ARTERY"
+	}
+	// Fallbacks for results that finish before any shard does (empty
+	// canceled prefixes); any completed shard overwrites them with the
+	// backend's canonical spelling via names().
+	return &merger{workload: workloadName(req), controller: ctrl}
+}
+
+// names adopts the canonical workload/controller strings from a shard's
+// own result document.
+func (m *merger) names(res *api.Result) {
+	m.workload, m.controller = res.Workload, res.Controller
+}
+
+// add folds one event, replaying the engine merge path's per-shot
+// mutations in order.
+func (m *merger) add(ev api.ShotEvent) error {
+	m.n++
+	m.latSum += ev.LatencyNs
+	if ev.Fidelity != nil {
+		m.fidSum += *ev.Fidelity
+		m.fidN++
+	}
+	m.sites += ev.Sites
+	m.commits += ev.Commits
+	m.correct += ev.Correct
+	if len(ev.Stages) == 0 {
+		return fmt.Errorf("cluster: backend event for shot %d carries no stage deltas (backend predates the stream_stages schema?)", ev.Shot)
+	}
+	for _, d := range ev.Stages {
+		st, ok := trace.StageFromName(d.Stage)
+		if !ok {
+			return fmt.Errorf("cluster: backend event for shot %d names unknown stage %q", ev.Shot, d.Stage)
+		}
+		m.stageCount[st]++
+		m.stageTotal[st] += d.Ns
+	}
+	return nil
+}
+
+// result renders the fold, mirroring core.run's finalization and
+// api.ResultFrom's wire conversion.
+func (m *merger) result(canceled bool) *api.Result {
+	res := &api.Result{
+		Workload:   m.workload,
+		Controller: m.controller,
+		Shots:      m.n,
+		Accuracy:   1, // like the engine: no commits means no mispredicts
+		Canceled:   canceled,
+	}
+	if m.n > 0 {
+		res.MeanLatencyUs = (m.latSum / float64(m.n)) / 1000
+	}
+	if m.commits > 0 {
+		res.Accuracy = float64(m.correct) / float64(m.commits)
+	}
+	if m.sites > 0 {
+		res.CommitRate = float64(m.commits) / float64(m.sites)
+	}
+	if m.fidN > 0 {
+		mean := m.fidSum / float64(m.fidN)
+		res.Fidelity = &mean
+	}
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		if m.stageCount[st] == 0 {
+			continue
+		}
+		res.Stages = append(res.Stages, api.Stage{
+			Stage:   st.String(),
+			Count:   m.stageCount[st],
+			TotalNs: m.stageTotal[st],
+			MeanNs:  m.stageTotal[st] / float64(m.stageCount[st]),
+		})
+	}
+	return res
+}

@@ -204,7 +204,6 @@ func (e *Engine) ctrlShotSafe() bool {
 	return ok && s.ShotSafe()
 }
 
-
 // ShotResult summarizes one executed shot.
 type ShotResult struct {
 	// FeedbackLatencyNs is the summed feedback latency over all sites plus
@@ -329,7 +328,7 @@ func (e *Engine) metricSet() metricSet {
 // recorded by whichever goroutine runs the shot but committed in shot
 // order on the merge path.
 func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
-	return e.run(nil, wl, shots, rng)
+	return e.run(nil, wl, 0, shots, rng)
 }
 
 // RunContext is Run with cooperative cancellation: the merge path checks
@@ -338,26 +337,63 @@ func (e *Engine) Run(wl *workload.Workload, shots int, rng *stats.RNG) RunResult
 // aggregates over the shots merged so far with Canceled set. A canceled
 // run's prefix is still deterministic — only its length depends on timing.
 func (e *Engine) RunContext(ctx context.Context, wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
-	return e.run(ctx, wl, shots, rng)
+	return e.run(ctx, wl, 0, shots, rng)
+}
+
+// RunRange executes the global shot range [offset, offset+shots) of a
+// conceptually larger run: per-shot RNG streams are derived for GLOBAL
+// shot indices (SplitN is prefix-stable — stream i of a SplitN(n) equals
+// stream i of any SplitN(m), i < min(n, m)), so every shot of the range
+// consumes exactly the random draws it would consume in a single full
+// run. This is the primitive behind sharded multi-node execution: a
+// coordinator may split a job's shots into contiguous ranges, run each
+// range on a different machine, and recombine the per-shot records in
+// index order into a result bit-identical to the unsharded run.
+//
+// Sequential controllers (ARTERY: per-site Bayesian histories, graceful-
+// degradation tracking) learn shot-by-shot, so their state at shot offset
+// depends on every earlier shot. RunRange reproduces that state exactly by
+// replaying the warmup prefix [0, offset) through the controller — physics
+// and Feedback calls run, but nothing is merged, streamed, traced or
+// counted. Shot-safe controllers (the baselines) carry no cross-shot
+// state, so their warmup is skipped entirely and a shard costs O(shots),
+// not O(offset+shots). Either way the merged aggregates, OnShot callbacks
+// (which receive global shot indices) and trace stream cover exactly the
+// requested range and are bit-identical to the corresponding slice of a
+// full run at any Workers setting.
+//
+// RunRange rejects fault injection: fault streams are split after the
+// physics streams, so their global indexing depends on the total shot
+// count, which a range does not know.
+func (e *Engine) RunRange(ctx context.Context, wl *workload.Workload, offset, shots int, rng *stats.RNG) RunResult {
+	return e.run(ctx, wl, offset, shots, rng)
 }
 
 // run is the shared implementation; a nil ctx (plain Run) skips every
-// cancellation check.
-func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng *stats.RNG) RunResult {
+// cancellation check, and a non-zero offset selects range execution (see
+// RunRange).
+func (e *Engine) run(ctx context.Context, wl *workload.Workload, offset, shots int, rng *stats.RNG) RunResult {
 	if err := wl.Validate(); err != nil {
 		panic(err)
 	}
+	if offset < 0 {
+		panic(fmt.Sprintf("core: negative shot offset %d", offset))
+	}
+	if offset > 0 && e.Faults.Enabled() {
+		panic("core: RunRange does not support fault injection (fault streams are derived after the physics streams, so their per-shot assignment depends on the run's total shot count)")
+	}
+	total := offset + shots
 	res := RunResult{Workload: wl.Name, Controller: e.Ctrl.Name(), Shots: shots}
 	plan := e.planFor(wl.Circuit)
 	sk := e.simKindFor(plan, wl.Circuit)
-	shotRNGs := rng.SplitN(shots)
+	shotRNGs := rng.SplitN(total)
 	// Fault streams are split AFTER the physics streams, so enabling the
 	// injector never perturbs the per-shot physics, and a disabled injector
 	// consumes nothing (fault-free runs are byte-identical to the past).
 	var sessions []*fault.Session
 	if e.Faults.Enabled() {
-		sessions = make([]*fault.Session, shots)
-		for i, r := range rng.SplitN(shots) {
+		sessions = make([]*fault.Session, total)
+		for i, r := range rng.SplitN(total) {
 			sessions[i] = e.Faults.Session(r)
 		}
 	}
@@ -375,7 +411,7 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 	committed, correct, sites, merged := 0, 0, 0, 0
 	res.Latencies = make([]float64, 0, shots)
 	merge := func(sr ShotResult) {
-		idx := merged
+		idx := offset + merged
 		merged++
 		stages.addPayload(wl.GatePayloadNs)
 		res.Latencies = append(res.Latencies, sr.FeedbackLatencyNs)
@@ -422,10 +458,13 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 	workers := e.workerCount()
 	switch {
 	case e.ctrlShotSafe():
-		// Whole shots are independent: fan them out.
+		// Whole shots are independent: fan them out. A range run skips the
+		// warmup prefix entirely — the controller carries no cross-shot
+		// state, so shot offset+i is a pure function of its own stream.
 		forEachShot(shots, workers, canceled, func(i int) shotOut {
-			span := e.Trace.Shot(i)
-			return shotOut{e.runShot(wl, plan, sk, shotRNGs[i], sessionOf(i), span), span}
+			g := offset + i
+			span := e.Trace.Shot(g)
+			return shotOut{e.runShot(wl, plan, sk, shotRNGs[g], sessionOf(g), span), span}
 		}, func(_ int, so shotOut) {
 			merge(so.sr)
 			e.Trace.Commit(so.span)
@@ -439,22 +478,38 @@ func (e *Engine) run(ctx context.Context, wl *workload.Workload, shots int, rng 
 		// and then by the merge path (controller faults and stage spans);
 		// the pipeline's reorder buffer guarantees the worker phase
 		// happens-before the merge phase of the same shot.
-		forEachShot(shots, workers, canceled, func(i int) synthOut {
-			span := e.Trace.Shot(i)
+		//
+		// Range runs pipeline the warmup prefix too: its shots must flow
+		// through the controller (its learned state at shot offset depends
+		// on them) but are never merged, traced or streamed.
+		forEachShot(total, workers, canceled, func(i int) synthOut {
+			var span *trace.ShotSpan
+			if i >= offset {
+				span = e.Trace.Shot(i)
+			}
 			return synthOut{e.synthShot(wl, plan, shotRNGs[i], sessionOf(i), span), span}
 		}, func(i int, so synthOut) {
-			merge(e.feedbackShot(wl, plan, so.ss, sessionOf(i), so.span))
+			sr := e.feedbackShot(wl, plan, so.ss, sessionOf(i), so.span)
+			if i < offset {
+				return // warmup: controller state only
+			}
+			merge(sr)
 			e.Trace.Commit(so.span)
 		})
 	default:
 		// State simulation couples each shot's physics to the sequential
-		// controller's decisions: run serially, one stream per shot.
-		for i := 0; i < shots; i++ {
-			if canceled(i) {
+		// controller's decisions: run serially, one stream per shot, with a
+		// range run's warmup prefix executed but discarded.
+		for g := 0; g < total; g++ {
+			if canceled(g) {
 				break
 			}
-			span := e.Trace.Shot(i)
-			merge(e.runShot(wl, plan, sk, shotRNGs[i], sessionOf(i), span))
+			if g < offset {
+				e.runShot(wl, plan, sk, shotRNGs[g], sessionOf(g), nil)
+				continue
+			}
+			span := e.Trace.Shot(g)
+			merge(e.runShot(wl, plan, sk, shotRNGs[g], sessionOf(g), span))
 			e.Trace.Commit(span)
 		}
 	}

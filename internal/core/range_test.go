@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"artery/internal/fault"
+	"artery/internal/stats"
+	"artery/internal/workload"
+)
+
+// rangeRecord captures everything the merge path exposes for one shot.
+type rangeRecord struct {
+	idx      int
+	latency  float64
+	fidelity float64
+	commits  int
+	correct  int
+	sites    int
+}
+
+// recordRun executes shots (or the range [offset, offset+shots) when
+// offset > 0) and returns the OnShot record stream plus the RunResult.
+func recordRun(t *testing.T, mk func() *Engine, wl *workload.Workload, seed uint64, workers, offset, shots int) ([]rangeRecord, RunResult) {
+	t.Helper()
+	e := mk()
+	e.Workers = workers
+	var recs []rangeRecord
+	e.OnShot = func(idx int, sr ShotResult) {
+		r := rangeRecord{idx: idx, latency: sr.FeedbackLatencyNs, fidelity: sr.Fidelity, sites: len(sr.Outcomes)}
+		for _, o := range sr.Outcomes {
+			if o.Committed {
+				r.commits++
+				if o.Correct {
+					r.correct++
+				}
+			}
+		}
+		recs = append(recs, r)
+	}
+	res := e.RunRange(context.Background(), wl, offset, shots, stats.NewRNG(seed))
+	return recs, res
+}
+
+func sameRecord(a, b rangeRecord) bool {
+	if a.idx != b.idx || a.latency != b.latency || a.commits != b.commits || a.correct != b.correct || a.sites != b.sites {
+		return false
+	}
+	// NaN fidelities (state sim off) compare equal to each other.
+	if math.IsNaN(a.fidelity) || math.IsNaN(b.fidelity) {
+		return math.IsNaN(a.fidelity) && math.IsNaN(b.fidelity)
+	}
+	return a.fidelity == b.fidelity
+}
+
+// TestRunRangeMatchesFullRun shards a run into contiguous ranges and
+// requires the concatenated per-shot record stream to be bit-identical to
+// the unsharded run — for the sequential ARTERY controller (warmup
+// replay), a shot-safe baseline (native offset), with and without state
+// simulation, at several worker counts and shard splits.
+func TestRunRangeMatchesFullRun(t *testing.T) {
+	const shots = 36
+	wl := workload.QRW(3)
+	cases := []struct {
+		name     string
+		mk       func() *Engine
+		simState bool
+	}{
+		{"artery-pipeline", arteryEngine, false},
+		{"artery-statesim", arteryEngine, true},
+		{"qubic-shotsafe", qubicEngine, false},
+		{"qubic-statesim", qubicEngine, true},
+	}
+	splits := [][]int{
+		{0, shots},
+		{0, 12, shots},
+		{0, 7, 19, 30, shots},
+		{0, 1, shots - 1, shots},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Engine {
+				e := tc.mk()
+				e.SimulateState = tc.simState
+				return e
+			}
+			full, fullRes := recordRun(t, mk, wl, 7, 1, 0, shots)
+			if len(full) != shots {
+				t.Fatalf("full run merged %d shots, want %d", len(full), shots)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, split := range splits {
+					var got []rangeRecord
+					var latSum float64
+					for s := 0; s+1 < len(split); s++ {
+						lo, hi := split[s], split[s+1]
+						recs, res := recordRun(t, mk, wl, 7, workers, lo, hi-lo)
+						if res.Shots != hi-lo {
+							t.Fatalf("range [%d,%d) merged %d shots", lo, hi, res.Shots)
+						}
+						if res.Canceled {
+							t.Fatalf("range [%d,%d) reported canceled", lo, hi)
+						}
+						latSum += res.MeanLatencyNs * float64(res.Shots)
+						got = append(got, recs...)
+					}
+					if len(got) != shots {
+						t.Fatalf("workers=%d split=%v merged %d shots, want %d", workers, split, len(got), shots)
+					}
+					for i := range got {
+						if !sameRecord(got[i], full[i]) {
+							t.Fatalf("workers=%d split=%v shot %d: range %+v != full %+v", workers, split, i, got[i], full[i])
+						}
+					}
+					// The shard latency sums recombine to the full-run mean.
+					if mean := latSum / shots; math.Abs(mean-fullRes.MeanLatencyNs) > 1e-9*math.Abs(fullRes.MeanLatencyNs) {
+						t.Fatalf("workers=%d split=%v recombined mean %v != full %v", workers, split, mean, fullRes.MeanLatencyNs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunRangeGlobalIndices verifies OnShot receives global shot indices
+// for a range run.
+func TestRunRangeGlobalIndices(t *testing.T) {
+	recs, res := recordRun(t, func() *Engine {
+		e := arteryEngine()
+		e.SimulateState = false
+		return e
+	}, workload.QRW(2), 5, 2, 10, 8)
+	if res.Shots != 8 || len(recs) != 8 {
+		t.Fatalf("merged %d shots (res %d), want 8", len(recs), res.Shots)
+	}
+	for i, r := range recs {
+		if r.idx != 10+i {
+			t.Fatalf("record %d has shot index %d, want %d", i, r.idx, 10+i)
+		}
+	}
+}
+
+// TestRunRangeRejectsFaults documents that fault injection and range
+// execution do not compose (fault streams are indexed by total shot
+// count).
+func TestRunRangeRejectsFaults(t *testing.T) {
+	e := arteryEngine()
+	e.SimulateState = false
+	e.Faults = fault.NewInjector(fault.Scaled(0.2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunRange with faults enabled did not panic")
+		}
+	}()
+	e.RunRange(context.Background(), workload.QRW(1), 3, 2, stats.NewRNG(1))
+}
+
+// TestRunRangeCanceledDuringWarmup: cancellation while replaying the
+// warmup prefix yields an empty canceled result, never partial garbage.
+func TestRunRangeCanceledDuringWarmup(t *testing.T) {
+	e := arteryEngine()
+	e.SimulateState = false
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.RunRange(ctx, workload.QRW(1), 200, 10, stats.NewRNG(1))
+	if !res.Canceled {
+		t.Fatal("canceled warmup run did not report Canceled")
+	}
+	if res.Shots != 0 {
+		t.Fatalf("canceled warmup run merged %d shots, want 0", res.Shots)
+	}
+}

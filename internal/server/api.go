@@ -3,188 +3,57 @@
 //
 //	POST /v1/jobs             submit a workload run (202, or 429 + Retry-After when the queue is full)
 //	GET  /v1/jobs/{id}        job status and, when finished, the result
-//	GET  /v1/jobs/{id}/stream NDJSON per-shot updates as the merge path commits shots
+//	GET  /v1/jobs/{id}/stream NDJSON per-shot updates as the merge path commits shots (?from=N resumes)
 //	GET  /metrics             Prometheus text exposition of the server's counters/gauges/histograms
 //	GET  /healthz, /readyz    liveness / admission readiness
 //
 // A bounded queue provides backpressure (admission control never buffers
 // unbounded memory), a fixed-size dispatcher pool shares the machine's
 // worker budget across concurrent jobs, every job runs through
-// artery.RunStream with its own seed — so results are bit-identical
+// artery.RunRangeStream with its own seed — so results are bit-identical
 // regardless of co-tenancy — and graceful shutdown stops admission,
 // cancels in-flight jobs via their context and reports each one's
 // deterministic canceled prefix.
+//
+// The wire schema lives in the shared artery/api package (imported by the
+// server, the scatter-gather coordinator and the Go client alike, so the
+// three cannot drift). The aliases below preserve this package's original
+// names.
 package server
 
-import "artery"
+import "artery/api"
 
-// Request is the POST /v1/jobs body: which workload to run, under which
-// controller, for how many shots, from which seed.
-type Request struct {
-	// Workload names a registered benchmark (see artery.WorkloadNames:
-	// qrw, rcnot, dqt, rusqnn, reset, qec, eswap, msi).
-	Workload string `json:"workload"`
-	// Param is the workload size parameter
-	// (steps/depth/distance/cycles/qubits).
-	Param int `json:"param"`
-	// Controller selects the feedback controller (default "ARTERY"; see
-	// artery.ControllerNames).
-	Controller string `json:"controller,omitempty"`
-	// Shots is the number of shots to execute (1 ..= the server's MaxShots).
-	Shots int `json:"shots"`
-	// Seed drives every stochastic component of the job's private system;
-	// identical requests with identical seeds produce byte-identical
-	// results at any worker budget. Zero selects seed 1.
-	Seed uint64 `json:"seed,omitempty"`
-	// Options carries the optional calibration settings.
-	Options *RequestOptions `json:"options,omitempty"`
-}
-
-// RequestOptions mirrors the artery.Options knobs a wire request may set.
-// Zero values select the paper's evaluation configuration.
-type RequestOptions struct {
-	WindowNs     float64 `json:"window_ns,omitempty"`
-	HistoryDepth int     `json:"history_depth,omitempty"`
-	Theta        float64 `json:"theta,omitempty"`
-	// Mode selects the predictor features: "combined" (default),
-	// "history" or "trajectory".
-	Mode string `json:"mode,omitempty"`
-	// StateSim enables the per-shot fidelity simulation (default true, as
-	// in the library). Disable for latency-only sweeps.
-	StateSim            *bool   `json:"state_sim,omitempty"`
-	DynamicalDecoupling bool    `json:"dynamical_decoupling,omitempty"`
-	QuasiStaticSigma    float64 `json:"quasi_static_sigma,omitempty"`
-	// Backend selects the simulation backend: "auto" (default), "state"
-	// or "stabilizer". An unknown name, or an explicit backend the
-	// workload cannot run on, is rejected at admission time.
-	Backend string `json:"backend,omitempty"`
-}
-
-// modeByName maps the wire predictor-mode names onto artery's constants.
-var modeByName = map[string]artery.PredictorMode{
-	"":           artery.ModeCombined,
-	"combined":   artery.ModeCombined,
-	"history":    artery.ModeHistory,
-	"trajectory": artery.ModeTrajectory,
-}
-
-// Job states.
-const (
-	StateQueued   = "queued"
-	StateRunning  = "running"
-	StateDone     = "done"
-	StateFailed   = "failed"
-	StateCanceled = "canceled"
+// Wire types, shared with the coordinator and the client.
+//
+// Deprecated: the canonical definitions moved to artery/api; these aliases
+// remain so existing imports keep compiling. New code should import
+// artery/api directly.
+type (
+	// Request is the POST /v1/jobs body (see api.Request).
+	Request = api.Request
+	// RequestOptions mirrors the artery.Options knobs a wire request may set.
+	RequestOptions = api.RequestOptions
+	// JobStatus is the GET /v1/jobs/{id} body (and the POST response).
+	JobStatus = api.JobStatus
+	// Result is the wire form of an artery.Report.
+	Result = api.Result
+	// Stage is one row of the per-stage latency breakdown.
+	Stage = api.Stage
+	// ShotEvent is one NDJSON line of GET /v1/jobs/{id}/stream.
+	ShotEvent = api.ShotEvent
+	// StreamEnd is the terminal NDJSON line of a stream.
+	StreamEnd = api.StreamEnd
+	// ErrorBody is the JSON body of every non-2xx response.
+	ErrorBody = api.ErrorBody
 )
 
-// JobStatus is the GET /v1/jobs/{id} body (and the POST response).
-type JobStatus struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	// Request echoes the submitted request, so a client can resubmit a
-	// job (same seed → byte-identical result) without keeping it around.
-	Request Request `json:"request"`
-	// ShotsStreamed is the number of per-shot updates committed so far.
-	ShotsStreamed int `json:"shots_streamed"`
-	// Error is set for failed jobs.
-	Error string `json:"error,omitempty"`
-	// Result is set once the job reaches a terminal state with a result
-	// (done — including canceled-prefix results after a drain).
-	Result *Result `json:"result,omitempty"`
-	// ElapsedSec is the job's wall time so far (queue wait + run).
-	ElapsedSec float64 `json:"elapsed_sec"`
-}
-
-// Result is the wire form of an artery.Report. Fidelity is a pointer so
-// the NaN of latency-only runs serializes as null (encoding/json rejects
-// NaN), keeping result bytes deterministic and parseable.
-type Result struct {
-	Workload      string   `json:"workload"`
-	Controller    string   `json:"controller"`
-	Shots         int      `json:"shots"`
-	MeanLatencyUs float64  `json:"mean_latency_us"`
-	Accuracy      float64  `json:"accuracy"`
-	CommitRate    float64  `json:"commit_rate"`
-	Fidelity      *float64 `json:"fidelity"`
-	Stages        []Stage  `json:"stages,omitempty"`
-	// Canceled marks a deterministic canceled prefix: the run stopped
-	// early (graceful drain), and the aggregates cover the Shots merged
-	// shots.
-	Canceled bool `json:"canceled,omitempty"`
-}
-
-// Stage is one row of the per-stage latency breakdown.
-type Stage struct {
-	Stage   string  `json:"stage"`
-	Count   int     `json:"count"`
-	TotalNs float64 `json:"total_ns"`
-	MeanNs  float64 `json:"mean_ns"`
-}
-
-// ShotEvent is one NDJSON line of GET /v1/jobs/{id}/stream: one committed
-// shot, in shot order. Fidelity is null when state simulation is off.
-type ShotEvent struct {
-	Shot      int      `json:"shot"`
-	LatencyNs float64  `json:"latency_ns"`
-	Fidelity  *float64 `json:"fidelity,omitempty"`
-	Sites     int      `json:"sites"`
-	Commits   int      `json:"commits"`
-	Correct   int      `json:"correct"`
-	Fallbacks int      `json:"fallbacks,omitempty"`
-}
-
-// StreamEnd is the terminal NDJSON line of a stream: the job's final
-// state and result.
-type StreamEnd struct {
-	Done   bool    `json:"done"`
-	State  string  `json:"state"`
-	Error  string  `json:"error,omitempty"`
-	Result *Result `json:"result,omitempty"`
-}
-
-// ErrorBody is the JSON body of every non-2xx response.
-type ErrorBody struct {
-	Error string `json:"error"`
-	// RetryAfterSec echoes the Retry-After header of 429 responses, for
-	// clients that prefer the body.
-	RetryAfterSec int `json:"retry_after_sec,omitempty"`
-}
-
-// resultFrom converts a finished run's Report to its wire form.
-func resultFrom(rep artery.Report) *Result {
-	r := &Result{
-		Workload:      rep.Workload,
-		Controller:    rep.Controller,
-		Shots:         rep.Shots,
-		MeanLatencyUs: rep.MeanLatencyUs,
-		Accuracy:      rep.Accuracy,
-		CommitRate:    rep.CommitRate,
-		Fidelity:      floatPtr(rep.Fidelity),
-		Canceled:      rep.Canceled,
-	}
-	for _, st := range rep.Stages {
-		r.Stages = append(r.Stages, Stage{Stage: st.Stage, Count: st.Count, TotalNs: st.TotalNs, MeanNs: st.MeanNs})
-	}
-	return r
-}
-
-// eventFrom converts a streaming ShotUpdate to its wire form.
-func eventFrom(u artery.ShotUpdate) ShotEvent {
-	return ShotEvent{
-		Shot:      u.Shot,
-		LatencyNs: u.LatencyNs,
-		Fidelity:  floatPtr(u.Fidelity),
-		Sites:     u.Sites,
-		Commits:   u.Commits,
-		Correct:   u.Correct,
-		Fallbacks: u.Fallbacks,
-	}
-}
-
-// floatPtr maps NaN to nil (JSON null) and everything else to &v.
-func floatPtr(v float64) *float64 {
-	if v != v {
-		return nil
-	}
-	return &v
-}
+// Job states.
+//
+// Deprecated: use the api package's constants.
+const (
+	StateQueued   = api.StateQueued
+	StateRunning  = api.StateRunning
+	StateDone     = api.StateDone
+	StateFailed   = api.StateFailed
+	StateCanceled = api.StateCanceled
+)

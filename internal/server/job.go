@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"artery"
+	"artery/api"
 )
 
 // Job is one submitted run moving through the queue. All mutable state is
@@ -46,9 +47,7 @@ func (j *Job) broadcast() {
 }
 
 // terminal reports whether state is one of the three end states.
-func terminal(state string) bool {
-	return state == StateDone || state == StateFailed || state == StateCanceled
-}
+func terminal(state string) bool { return api.Terminal(state) }
 
 // setRunning transitions queued → running.
 func (j *Job) setRunning() {
@@ -88,6 +87,19 @@ func (j *Job) cancel(msg string, now time.Time) {
 	j.finished = now
 	j.broadcast()
 }
+
+// AppendEvent, Complete and Fail are the external-executor mutators (see
+// Config.Executor): a custom executor commits merged per-shot events and
+// drives the job to its terminal state through them.
+
+// AppendEvent commits one per-shot update to the job's event log.
+func (j *Job) AppendEvent(ev ShotEvent) { j.appendEvent(ev) }
+
+// Complete records the job's final result and transitions it to done.
+func (j *Job) Complete(res *Result) { j.complete(res, time.Now()) }
+
+// Fail records a job error and transitions it to failed.
+func (j *Job) Fail(msg string) { j.fail(msg, time.Now()) }
 
 // appendEvent commits one per-shot update to the job's event log. Events
 // arrive from the engine's merge path in shot order; the log is the

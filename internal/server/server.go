@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"artery"
+	"artery/api"
 	"artery/internal/trace"
 )
 
@@ -34,6 +35,14 @@ type Config struct {
 	// oldest terminal jobs are evicted, keeping server memory bounded
 	// under sustained traffic (default 1024).
 	MaxRetainedJobs int
+	// Executor, when set, replaces the built-in local engine executor:
+	// the dispatcher pool invokes it for every job pulled off the queue,
+	// and it must drive the job to a terminal state (Complete or Fail)
+	// before returning, honoring ctx for drains. This is how the
+	// scatter-gather coordinator (internal/cluster) reuses the server's
+	// admission control, job table, streaming and shutdown while
+	// executing jobs on remote backends instead of the local engine.
+	Executor func(ctx context.Context, j *Job)
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +129,9 @@ func New(cfg Config) *Server {
 	s.queue = make(chan *Job, s.cfg.QueueDepth)
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.runJob = s.execute
+	if s.cfg.Executor != nil {
+		s.runJob = s.cfg.Executor
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -250,15 +262,15 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		j.fail(err.Error(), s.now())
 		return
 	}
-	rep, err := sys.RunStream(ctx, ctrlName, j.wl, j.Req.Shots, func(u artery.ShotUpdate) {
-		j.appendEvent(eventFrom(u))
+	rep, err := sys.RunRangeStream(ctx, ctrlName, j.wl, j.Req.ShotOffset, j.Req.Shots, func(u artery.ShotUpdate) {
+		j.appendEvent(api.EventFrom(u, j.Req.StreamStages))
 		s.m.shotsStreamed.Inc()
 	})
 	if err != nil {
 		j.fail(err.Error(), s.now())
 		return
 	}
-	j.complete(resultFrom(rep), s.now())
+	j.complete(api.ResultFrom(rep), s.now())
 }
 
 // buildOptions maps a validated wire request onto artery functional
@@ -283,7 +295,7 @@ func buildOptions(req Request, workers int) ([]artery.Option, string, error) {
 		if o.Theta != 0 {
 			opts = append(opts, artery.WithTheta(o.Theta))
 		}
-		mode, ok := modeByName[o.Mode]
+		mode, ok := api.ModeByName[o.Mode]
 		if !ok {
 			return nil, "", fmt.Errorf("unknown predictor mode %q (combined|history|trajectory)", o.Mode)
 		}
@@ -305,47 +317,11 @@ func buildOptions(req Request, workers int) ([]artery.Option, string, error) {
 }
 
 // validate checks a request at admission time: workload, controller,
-// shot bounds and option ranges all fail fast with 400 instead of a
-// failed job.
+// shot-range bounds and option ranges all fail fast with 400 instead of
+// a failed job (the shared api.ValidateRequest, bound to this server's
+// shot cap).
 func (s *Server) validate(req Request) (*artery.Workload, error) {
-	wl, err := artery.WorkloadByName(req.Workload, req.Param)
-	if err != nil {
-		return nil, err
-	}
-	ctrl := req.Controller
-	if ctrl == "" {
-		ctrl = "ARTERY"
-	}
-	known := false
-	for _, name := range artery.ControllerNames() {
-		if name == ctrl {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return nil, fmt.Errorf("unknown controller %q (known: %v)", ctrl, artery.ControllerNames())
-	}
-	if req.Shots < 1 || req.Shots > s.cfg.MaxShots {
-		return nil, fmt.Errorf("shots must lie in [1, %d], got %d", s.cfg.MaxShots, req.Shots)
-	}
-	lib := artery.Options{Seed: req.Seed}
-	if o := req.Options; o != nil {
-		mode, ok := modeByName[o.Mode]
-		if !ok {
-			return nil, fmt.Errorf("unknown predictor mode %q (combined|history|trajectory)", o.Mode)
-		}
-		lib.WindowNs = o.WindowNs
-		lib.HistoryDepth = o.HistoryDepth
-		lib.Theta = o.Theta
-		lib.Mode = mode
-		lib.QuasiStaticSigma = o.QuasiStaticSigma
-		lib.Backend = o.Backend
-	}
-	if err := artery.ValidateOptions(lib); err != nil {
-		return nil, err
-	}
-	return wl, nil
+	return api.ValidateRequest(req, s.cfg.MaxShots)
 }
 
 // handleSubmit is POST /v1/jobs: decode, validate, admit.
@@ -434,18 +410,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // handleStream is GET /v1/jobs/{id}/stream: NDJSON per-shot events,
 // replaying the committed history and then following live until the job
 // reaches a terminal state (the final line carries "done":true plus the
-// result).
+// result). ?from=N skips the first N events — a reconnecting client
+// resumes from the first event it has not yet seen, because the log is
+// deterministic and append-only.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job", 0)
 		return
 	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("from must be a non-negative integer, got %q", v), 0)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	next := 0
+	next := from
 	for {
 		events, _, end, wait := j.follow(next)
 		for _, ev := range events {
