@@ -271,8 +271,11 @@ func ValidateRequest(req Request, maxShots int) (*artery.Workload, error) {
 	if req.ShotOffset < 0 {
 		return nil, fmt.Errorf("shot_offset must be non-negative, got %d", req.ShotOffset)
 	}
-	if req.ShotOffset+req.Shots > maxShots {
-		return nil, fmt.Errorf("shot range [%d, %d) exceeds the %d-shot cap", req.ShotOffset, req.ShotOffset+req.Shots, maxShots)
+	// Overflow-safe form of ShotOffset+Shots > maxShots: Shots is in
+	// [1, maxShots] here, so the subtraction cannot wrap, while a huge
+	// offset would wrap the sum negative and slip past the cap.
+	if req.ShotOffset > maxShots-req.Shots {
+		return nil, fmt.Errorf("shot range (offset %d + %d shots) exceeds the %d-shot cap", req.ShotOffset, req.Shots, maxShots)
 	}
 	lib := artery.Options{Seed: req.Seed}
 	if o := req.Options; o != nil {

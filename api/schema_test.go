@@ -102,6 +102,8 @@ func TestValidateRequestBounds(t *testing.T) {
 		{"over cap", func(r *Request) { r.Shots = 101 }},
 		{"negative offset", func(r *Request) { r.ShotOffset = -1 }},
 		{"range over cap", func(r *Request) { r.ShotOffset = 95 }},
+		{"offset overflows the sum", func(r *Request) { r.ShotOffset = math.MaxInt }},
+		{"offset wraps the sum to the cap", func(r *Request) { r.ShotOffset = math.MaxInt - 5 }},
 	}
 	for _, tc := range cases {
 		req := base

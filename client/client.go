@@ -64,12 +64,31 @@ type Client struct {
 	backoff time.Duration
 	maxWait time.Duration
 	onRetry func(RetryInfo)
-	sleep   func(time.Duration) // test seam
+	sleep   func(ctx context.Context, d time.Duration) error // test seam
 
 	mu     sync.Mutex
 	rng    *rand.Rand
 	cur    int               // preferred endpoint index
 	routes map[string]string // job ID -> accepting endpoint
+	order  []string          // route insertion order, for capped eviction
+}
+
+// maxRoutes caps the job-routing table. Routes are pruned as soon as a
+// job is observed terminal (Wait, Stream end); the cap bounds
+// fire-and-forget callers that never look at a job again.
+const maxRoutes = 4096
+
+// sleepCtx sleeps for d unless ctx ends first, returning ctx's error so
+// backoffs never outlive a canceled caller.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Option configures New.
@@ -120,7 +139,7 @@ func NewMulti(bases []string, opts ...Option) (*Client, error) {
 		backoff: 100 * time.Millisecond,
 		maxWait: 5 * time.Second,
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		sleep:   time.Sleep,
+		sleep:   sleepCtx,
 		routes:  map[string]string{},
 	}
 	for i, b := range bases {
@@ -185,11 +204,40 @@ func (c *Client) rotate(failed string) {
 	}
 }
 
-// remember records which endpoint accepted a job.
+// remember records which endpoint accepted a job. The table is bounded:
+// terminal jobs are forgotten eagerly, and past maxRoutes the oldest
+// remembered routes are evicted (a job ID is only useful while its job
+// is live, so a coordinator submitting shard-jobs forever stays flat).
 func (c *Client) remember(id, base string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.routes[id]; !ok {
+		c.order = append(c.order, id)
+	}
 	c.routes[id] = base
+	for len(c.routes) > maxRoutes && len(c.order) > 0 {
+		delete(c.routes, c.order[0])
+		c.order = c.order[1:]
+	}
+	// Compact the order slice once forgotten IDs dominate it, so eager
+	// pruning doesn't just move the leak from the map to the slice.
+	if len(c.order) > 2*len(c.routes)+16 {
+		live := c.order[:0]
+		for _, oid := range c.order {
+			if _, ok := c.routes[oid]; ok {
+				live = append(live, oid)
+			}
+		}
+		c.order = live
+	}
+}
+
+// forget drops a job's route once the job is observed in a terminal
+// state — nothing routes to it anymore.
+func (c *Client) forget(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.routes, id)
 }
 
 // route returns the endpoint serving a job's ID: the accepting endpoint
@@ -232,12 +280,9 @@ func (c *Client) Submit(ctx context.Context, req Request) (*JobStatus, error) {
 		if c.onRetry != nil {
 			c.onRetry(info)
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		default:
+		if err := c.sleep(ctx, info.Delay); err != nil {
+			return nil, err
 		}
-		c.sleep(info.Delay)
 	}
 }
 
@@ -346,6 +391,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 			return nil, err
 		}
 		if api.Terminal(js.State) {
+			c.forget(id)
 			return js, nil
 		}
 		select {

@@ -35,7 +35,7 @@ func TestSubmitRetriesOn429HonoringRetryAfter(t *testing.T) {
 	var slept []time.Duration
 	var hooks []RetryInfo
 	c := MustNew(ts.URL, WithRetries(5), WithRetryHook(func(ri RetryInfo) { hooks = append(hooks, ri) }))
-	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.sleep = func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
 
 	js, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
 	if err != nil {
@@ -78,7 +78,7 @@ func TestSubmitRetriesOn5xxWithBackoff(t *testing.T) {
 
 	var slept []time.Duration
 	c := MustNew(ts.URL, WithBackoff(100*time.Millisecond, 5*time.Second))
-	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.sleep = func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
 	if _, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -103,7 +103,10 @@ func TestSubmitFailsFastOn400(t *testing.T) {
 	defer ts.Close()
 
 	c := MustNew(ts.URL)
-	c.sleep = func(time.Duration) { t.Error("client slept on a non-retryable error") }
+	c.sleep = func(context.Context, time.Duration) error {
+		t.Error("client slept on a non-retryable error")
+		return nil
+	}
 	_, err := c.Submit(context.Background(), Request{Workload: "nope", Shots: 5})
 	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
 		t.Fatalf("err = %v, want the server's message", err)
@@ -126,7 +129,7 @@ func TestSubmitExhaustsRetries(t *testing.T) {
 	defer ts.Close()
 
 	c := MustNew(ts.URL, WithRetries(2))
-	c.sleep = func(time.Duration) {}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
 	_, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
 	if err == nil || !strings.Contains(err.Error(), "429") {
 		t.Fatalf("err = %v, want the final 429", err)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -64,7 +65,7 @@ func TestNewMultiRotatesOnFailure(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewMulti: %v", err)
 	}
-	c.sleep = func(time.Duration) {}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
 	js, err := c.Submit(context.Background(), Request{Workload: "qrw", Param: 3, Shots: 5})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
@@ -214,5 +215,124 @@ func TestStreamFromSkipsPrefix(t *testing.T) {
 	}
 	if _, err := c.StreamFrom(ctx, js.ID, -1); err == nil {
 		t.Error("StreamFrom(-1) succeeded")
+	}
+}
+
+// routeCount reads the size of the job-routing table.
+func routeCount(c *Client) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.routes)
+}
+
+// TestRoutesPrunedOnTerminal: observing a job terminal (Wait, or a
+// stream's end line) drops its route — a long-lived client submitting
+// forever must not accumulate one entry per job.
+func TestRoutesPrunedOnTerminal(t *testing.T) {
+	s := server.New(server.Config{QueueDepth: 4, MaxConcurrentJobs: 1, WorkerBudget: 2})
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := MustNew(ts.URL)
+	off := false
+	req := Request{Workload: "qrw", Param: 3, Shots: 3, Seed: 5, Options: &RequestOptions{StateSim: &off}}
+
+	js, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if routeCount(c) != 1 {
+		t.Fatalf("after Submit: %d routes, want 1", routeCount(c))
+	}
+	if _, err := c.Wait(ctx, js.ID, time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if routeCount(c) != 0 {
+		t.Fatalf("after terminal Wait: %d routes, want 0", routeCount(c))
+	}
+
+	js, err = c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := c.Stream(ctx, js.ID)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	defer st.Close()
+	for {
+		if _, err := st.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if routeCount(c) != 0 {
+		t.Fatalf("after stream end: %d routes, want 0", routeCount(c))
+	}
+}
+
+// TestRouteTableBounded: even a fire-and-forget submitter that never
+// observes its jobs terminal keeps the table at the cap, and eager
+// pruning does not just move the growth into the order slice.
+func TestRouteTableBounded(t *testing.T) {
+	c := MustNew("http://127.0.0.1:1")
+	for i := 0; i < 3*maxRoutes; i++ {
+		id := "job-" + strconv.Itoa(i)
+		c.remember(id, c.bases[0])
+		if i%2 == 0 {
+			c.forget(id)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.routes) > maxRoutes {
+		t.Errorf("routes grew to %d, cap is %d", len(c.routes), maxRoutes)
+	}
+	if len(c.order) > 2*maxRoutes+16 {
+		t.Errorf("order slice grew to %d entries for %d routes", len(c.order), len(c.routes))
+	}
+}
+
+// TestStreamRecoverHonorsCancel: canceling the stream's context must
+// interrupt a reconnect backoff immediately, not after the full delay.
+func TestStreamRecoverHonorsCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// One event, then the connection dies without a done line — every
+		// Next past the first enters the reconnect path.
+		w.Write([]byte(`{"shot":0}` + "\n"))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := MustNew(ts.URL, WithBackoff(30*time.Second, 30*time.Second))
+	st, err := c.StreamFrom(ctx, "job-1", 0)
+	if err != nil {
+		t.Fatalf("StreamFrom: %v", err)
+	}
+	defer st.Close()
+	if ev, err := st.Next(); err != nil || ev.Shot != 0 {
+		t.Fatalf("first Next: %+v, %v", ev, err)
+	}
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = st.Next()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Next blocked %v through the backoff after cancel", elapsed)
+	}
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("Next after cancel: %v, want a canceled error", err)
 	}
 }

@@ -131,6 +131,7 @@ func (s *Stream) next() (ShotEvent, error) {
 		}
 		if l.Done {
 			s.end = &api.StreamEnd{Done: true, State: l.State, Error: l.Error, Result: l.Result}
+			s.c.forget(s.id) // the job is terminal; its route is dead weight
 			return ShotEvent{}, io.EOF
 		}
 		return l.ShotEvent, nil
@@ -157,7 +158,9 @@ func (s *Stream) recover(cause error) error {
 		if s.c.onRetry != nil {
 			s.c.onRetry(info)
 		}
-		s.c.sleep(info.Delay)
+		if err := s.c.sleep(s.ctx, info.Delay); err != nil {
+			return err
+		}
 		err := s.open()
 		if err == nil {
 			return nil

@@ -43,14 +43,17 @@ func splitRange(offset, shots, n int) []shardRange {
 // shard is one dispatched shot range moving through scatter-gather. Its
 // dispatcher appends streamed events as they arrive (so the merger
 // pipelines behind live shards) and resets the buffer on failover; the
-// merger indexes into the buffer by its consumed-event cursor, which
-// stays valid across resets because a re-dispatched shard reproduces the
-// exact same event prefix.
+// merger addresses the buffer by its consumed-event cursor minus base
+// and trims the prefix it has merged (the job's own event log holds the
+// merged copy, so the coordinator never buffers a job's events twice).
+// Cursor arithmetic stays valid across resets because base returns to
+// zero and a re-dispatched shard reproduces the exact same event prefix.
 type shard struct {
 	index  int
 	rng    shardRange
 	mu     sync.Mutex
 	events []api.ShotEvent
+	base   int         // absolute cursor of events[0] within this attempt
 	result *api.Result // the shard's own end-of-stream result (names, sanity)
 	err    error       // terminal failure after the attempt budget
 	notify chan struct{}
@@ -73,10 +76,14 @@ func (s *shard) append(ev api.ShotEvent) {
 	s.mu.Unlock()
 }
 
-// reset discards a failed attempt's partial events before failover.
+// reset discards a failed attempt's partial events before failover. The
+// next attempt replays from the shard's Lo, so the buffer restarts at
+// absolute cursor zero; the merger waits until the replay catches back
+// up to wherever it had consumed.
 func (s *shard) reset() {
 	s.mu.Lock()
-	s.events = s.events[:0]
+	s.events = nil
+	s.base = 0
 	s.broadcast()
 	s.mu.Unlock()
 }
@@ -226,8 +233,12 @@ func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard
 				return
 			}
 			sh.mu.Lock()
-			if consumed < len(sh.events) {
-				ev := sh.events[consumed]
+			if idx := consumed - sh.base; idx >= 0 && idx < len(sh.events) {
+				ev := sh.events[idx]
+				// Trim the merged prefix; append's reallocations drop the
+				// dead head, so the buffer holds only the unmerged window.
+				sh.events = sh.events[idx+1:]
+				sh.base = consumed + 1
 				sh.mu.Unlock()
 				consumed++
 				if err := agg.add(ev); err != nil {
@@ -257,7 +268,21 @@ func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard
 				return
 			}
 		}
+		// The last event lands in the buffer before finish() records the
+		// shard's result, so wait for the terminal record rather than
+		// racing it — adopting canonical names must not depend on timing.
 		sh.mu.Lock()
+		for sh.result == nil && sh.err == nil {
+			wait := sh.notify
+			sh.mu.Unlock()
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				j.Complete(agg.result(true))
+				return
+			}
+			sh.mu.Lock()
+		}
 		if sh.result != nil {
 			agg.names(sh.result)
 		}

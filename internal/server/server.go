@@ -211,7 +211,7 @@ func (s *Server) worker() {
 		}
 		j.setRunning()
 		s.m.running.Set(s.runningDelta(+1))
-		s.runJob(s.runCtx, j)
+		s.runSafely(j)
 		s.m.running.Set(s.runningDelta(-1))
 		st := j.snapshot(s.now())
 		switch st.State {
@@ -225,6 +225,20 @@ func (s *Server) worker() {
 		}
 		s.retire(j)
 	}
+}
+
+// runSafely invokes the job executor, converting a panic into a failed
+// job: workers are the only dispatchers, so a panic escaping one would
+// take down the whole process on behalf of a single bad request.
+func (s *Server) runSafely(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !terminal(j.snapshot(s.now()).State) {
+				j.fail(fmt.Sprintf("internal error: job executor panicked: %v", r), s.now())
+			}
+		}
+	}()
+	s.runJob(s.runCtx, j)
 }
 
 // runningDelta adjusts the running-jobs count under mu and returns the

@@ -215,6 +215,38 @@ func TestJobTableFull(t *testing.T) {
 	}
 }
 
+// TestWorkerRecoversExecutorPanic: a panicking executor fails its job
+// instead of killing the dispatcher worker (and with it the process) —
+// the server keeps running jobs submitted afterwards.
+func TestWorkerRecoversExecutorPanic(t *testing.T) {
+	s := New(Config{QueueDepth: 4, MaxConcurrentJobs: 1, MaxShots: 1000})
+	s.runJob = func(ctx context.Context, j *Job) {
+		if j.Req.Seed == 666 {
+			panic("executor exploded")
+		}
+		j.complete(&Result{Workload: "QRW-3", Shots: j.Req.Shots}, s.now())
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	bad := decodeStatus(t, postJob(t, ts.URL, `{"workload":"qrw","param":3,"shots":5,"seed":666}`))
+	js := waitTerminal(t, ts.URL, bad.ID)
+	if js.State != StateFailed || !strings.Contains(js.Error, "panicked") {
+		t.Fatalf("panicked job ended %q (error %q), want failed with a panic message", js.State, js.Error)
+	}
+
+	good := decodeStatus(t, postJob(t, ts.URL, `{"workload":"qrw","param":3,"shots":5}`))
+	if js := waitTerminal(t, ts.URL, good.ID); js.State != StateDone {
+		t.Fatalf("job after the panic ended %q, want done — did the worker die?", js.State)
+	}
+}
+
 // TestSubmitValidation exercises the 400 paths: malformed JSON, unknown
 // fields, unknown workload/controller/mode, out-of-range shots and
 // options.
@@ -239,6 +271,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown controller", `{"workload":"qrw","param":3,"shots":5,"controller":"nope"}`},
 		{"zero shots", `{"workload":"qrw","param":3,"shots":0}`},
 		{"too many shots", `{"workload":"qrw","param":3,"shots":101}`},
+		{"range over cap", `{"workload":"qrw","param":3,"shots":50,"shot_offset":60}`},
+		{"offset overflows the range sum", `{"workload":"qrw","param":3,"shots":5,"shot_offset":9223372036854775807}`},
 		{"bad mode", `{"workload":"qrw","param":3,"shots":5,"options":{"mode":"nope"}}`},
 		{"bad theta", `{"workload":"qrw","param":3,"shots":5,"options":{"theta":1.5}}`},
 		{"bad history depth", `{"workload":"qrw","param":3,"shots":5,"options":{"history_depth":99}}`},
