@@ -7,11 +7,12 @@ FUZZTIME ?= 10s
 FAULT_COVER_FLOOR ?= 80.0
 SERVER_COVER_FLOOR ?= 80.0
 STABILIZER_COVER_FLOOR ?= 85.0
+STORE_COVER_FLOOR ?= 85.0
 # Allowed fractional throughput loss of the (disabled) tracing hooks vs
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer backend-diff serve-smoke cluster-smoke trace-overhead bench-engine bench bench-regress bench-baseline profile
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer cover-store backend-diff serve-smoke cluster-smoke crash-smoke trace-overhead bench-engine bench-store bench bench-regress bench-baseline profile
 
 tier1:
 	$(GO) build ./...
@@ -25,10 +26,12 @@ ci: tier1
 	$(MAKE) cover-fault
 	$(MAKE) cover-server
 	$(MAKE) cover-stabilizer
+	$(MAKE) cover-store
 	$(MAKE) trace-overhead
 	$(MAKE) bench-regress
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) crash-smoke
 
 # Short fuzzing pass over the pulse codecs and the compiled-vs-interpreted
 # circuit differential (one -fuzz target per invocation, as the go tool
@@ -61,6 +64,13 @@ cover-stabilizer:
 		'/^total:/ { sub(/%/, "", $$3); printf "internal/stabilizer coverage: %s%% (floor %s%%)\n", $$3, floor; \
 		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
 
+# Statement-coverage floor for the durable job store (WAL + recovery).
+cover-store:
+	$(GO) test -coverprofile=/tmp/store.cover ./internal/store
+	@$(GO) tool cover -func=/tmp/store.cover | awk -v floor=$(STORE_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/store coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
 # Explicit run of the engine-level backend differential suite: both
 # backends must produce bit-identical measurement records and counters
 # for every Clifford workload at workers 1/4/8.
@@ -81,6 +91,13 @@ serve-smoke:
 # drain every process cleanly.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Durability gate: kill -9 an arteryd mid-job, restart it on the same
+# data dir, and require the recovered result and event stream to be
+# byte-identical to an uninterrupted clean run; then the same for a
+# journal-backed coordinator whose backend is killed and revived.
+crash-smoke:
+	bash scripts/crash_smoke.sh
 
 # Gate: the tracing layer's disabled hooks must cost < 1% throughput vs
 # the BENCH_engine.json snapshot, and enabling tracing must not change
@@ -108,6 +125,10 @@ profile:
 # Regenerate the engine-throughput snapshot (BENCH_engine.json).
 bench-engine:
 	$(GO) run ./cmd/artery-bench -engine-bench BENCH_engine.json -shots 300
+
+# Regenerate the durable-store journal snapshot (BENCH_store.json).
+bench-store:
+	$(GO) run ./cmd/artery-bench -store-bench BENCH_store.json
 
 # Full evaluation benchmarks (tables/figures + engine throughput).
 bench:

@@ -189,10 +189,20 @@ type StreamEnd struct {
 // ErrorBody is the JSON body of every non-2xx response.
 type ErrorBody struct {
 	Error string `json:"error"`
+	// Code types the error machine-readably where the status alone is
+	// ambiguous. Today: CodeEvicted on a 410 for a job id that existed
+	// but was evicted from memory (and, with no store configured or after
+	// compaction, is gone for good) — distinguishable from a 404 for an
+	// id that never existed.
+	Code string `json:"code,omitempty"`
 	// RetryAfterSec echoes the Retry-After header of 429 responses, for
 	// clients that prefer the body.
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
+
+// CodeEvicted marks a 410 Gone: the job id was issued by this server but
+// its record has since been evicted.
+const CodeEvicted = "evicted"
 
 // ResultFrom converts a finished run's Report to its wire form.
 func ResultFrom(rep artery.Report) *Result {

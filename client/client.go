@@ -290,12 +290,23 @@ func (c *Client) Submit(ctx context.Context, req Request) (*JobStatus, error) {
 type httpError struct {
 	status     int
 	msg        string
+	code       string // typed api.ErrorBody code ("evicted", ...)
 	retryAfter time.Duration
 	hasRetry   bool
 }
 
 func (e *httpError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.status, e.msg)
+}
+
+// IsGone reports whether err is the server's typed 410 answer for a job
+// id that existed but has been evicted (and, without a durable store, is
+// gone for good). Distinguishable from a 404 for an id that never
+// existed: retrying a Gone id is pointless, resubmitting the request —
+// same seed, byte-identical result — is the remedy.
+func IsGone(err error) bool {
+	he, ok := err.(*httpError)
+	return ok && he.status == http.StatusGone && he.code == api.CodeEvicted
 }
 
 // trySubmit performs one POST attempt against base; retryable marks
@@ -321,7 +332,7 @@ func (c *Client) trySubmit(ctx context.Context, base string, body []byte) (st *J
 		}
 		return &js, false, nil
 	}
-	he := &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+	he := httpErrorFrom(resp.StatusCode, resp.Body)
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, perr := strconv.Atoi(ra); perr == nil {
 			he.retryAfter = time.Duration(secs) * time.Second
@@ -368,7 +379,7 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+		return nil, httpErrorFrom(resp.StatusCode, resp.Body)
 	}
 	var js JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
@@ -415,17 +426,19 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+		return "", httpErrorFrom(resp.StatusCode, resp.Body)
 	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
 }
 
-// readError extracts the error message of a non-2xx body.
-func readError(r io.Reader) string {
+// httpErrorFrom builds the typed error for a non-2xx response, parsing
+// the api.ErrorBody message and machine-readable code.
+func httpErrorFrom(status int, r io.Reader) *httpError {
+	he := &httpError{status: status, msg: "(no error body)"}
 	var eb api.ErrorBody
 	if err := json.NewDecoder(io.LimitReader(r, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
-		return eb.Error
+		he.msg, he.code = eb.Error, eb.Code
 	}
-	return "(no error body)"
+	return he
 }

@@ -85,7 +85,7 @@ func (s *Stream) open() error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
-		return &httpError{status: resp.StatusCode, msg: readError(resp.Body)}
+		return httpErrorFrom(resp.StatusCode, resp.Body)
 	}
 	if s.body != nil {
 		s.body.Close()

@@ -5,6 +5,7 @@
 //
 //	artery-bench [-exp id[,id...]] [-seed N] [-shots N] [-workers N] [-list] [-faults]
 //	artery-bench -engine-bench BENCH_engine.json [-shots N] [-seed N]
+//	artery-bench -store-bench BENCH_store.json [-store-events N]
 //	artery-bench -trace [-metrics] [-shots N] [-seed N]
 //	artery-bench -trace-overhead BENCH_engine.json [-tolerance F]
 //	artery-bench -loadgen http://HOST:PORT [-clients N] [-jobs N] [-lg-workload name]
@@ -24,6 +25,10 @@
 // -engine-bench measures Engine.Run's shot throughput at worker counts
 // 1/2/4/8/GOMAXPROCS and writes the result as JSON (the repository's
 // BENCH_engine.json snapshot).
+//
+// -store-bench measures the durable job store: journal append throughput
+// and recovery-scan time across segment sizes, plus append throughput
+// under each fsync policy, written as JSON (BENCH_store.json).
 //
 // -trace / -metrics run the observability demo: a QRW-5 sweep under the
 // ARTERY controller with shot tracing and the metrics registry attached,
@@ -109,6 +114,9 @@ func main() {
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.<format>")
 		engOut  = flag.String("engine-bench", "", "measure Engine.Run shot throughput across worker counts, write JSON to this path, and exit")
+
+		storeOut    = flag.String("store-bench", "", "measure durable-store journal append throughput and recovery-scan time, write JSON to this path, and exit")
+		storeEvents = flag.Int("store-events", 50000, "shot events appended per -store-bench case")
 
 		doTrace    = flag.Bool("trace", false, "observability demo: record a shot trace for a QRW-5 ARTERY run and write it as JSONL")
 		doMetrics  = flag.Bool("metrics", false, "observability demo: collect the metrics registry for a QRW-5 ARTERY run and write the Prometheus text exposition")
@@ -219,6 +227,14 @@ func main() {
 
 	if *engOut != "" {
 		if err := runEngineBench(*engOut, *seed, *shots); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *storeOut != "" {
+		if err := runStoreBench(*storeOut, *storeEvents); err != nil {
 			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
 			os.Exit(2)
 		}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"artery/api"
+	"artery/internal/store"
+)
+
+// storeBenchCase is one (segment size) measurement of the journal.
+type storeBenchCase struct {
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Appends is the number of shot-event records appended in the timed
+	// window (fsync=never, so the OS page cache — not the disk — bounds
+	// the rate, isolating the framing/encode cost).
+	Appends       int     `json:"appends"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	Segments      int     `json:"segments"`
+	JournalBytes  int64   `json:"journal_bytes"`
+	// RecoveryMs is the wall time of store.Open over the journal just
+	// written: full scan, CRC verification, and in-memory index rebuild.
+	RecoveryMs            float64 `json:"recovery_ms"`
+	RecoveryRecordsPerSec float64 `json:"recovery_records_per_sec"`
+}
+
+// storeBenchFsync is one fsync-policy append-throughput measurement at
+// the default segment size.
+type storeBenchFsync struct {
+	Policy        string  `json:"policy"`
+	Appends       int     `json:"appends"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+}
+
+// storeBenchReport is the BENCH_store.json schema.
+type storeBenchReport struct {
+	Generated string            `json:"generated"`
+	GoVersion string            `json:"go_version"`
+	NumCPU    int               `json:"num_cpu"`
+	Cases     []storeBenchCase  `json:"cases"`
+	Fsync     []storeBenchFsync `json:"fsync"`
+}
+
+// storeBenchEvent builds the representative journal payload: a streamed
+// shot event with the stage-delta table attached, the shape every
+// `stream_stages` job appends once per merged shot.
+func storeBenchEvent(shot int) api.ShotEvent {
+	f := 0.987
+	return api.ShotEvent{
+		Shot: shot, LatencyNs: 5321.5, Fidelity: &f,
+		Sites: 4, Commits: 3, Correct: 3,
+		Stages: []api.StageDelta{
+			{Stage: "readout", Ns: 412.0},
+			{Stage: "predict", Ns: 97.5},
+			{Stage: "synth", Ns: 1533.25},
+			{Stage: "feedback", Ns: 288.0},
+		},
+	}
+}
+
+// dirBytes sums the sizes of the journal segments under dir.
+func dirBytes(dir string) (int64, int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "segment-*.wal"))
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, n := range names {
+		fi, err := os.Stat(n)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += fi.Size()
+	}
+	return total, len(names), nil
+}
+
+// appendEvents journals one job with n shot events (checkpoint every
+// 256, the service default) and returns the elapsed append time.
+func appendEvents(st *store.Store, n int) (time.Duration, error) {
+	req := api.Request{Workload: "qrw", Param: 5, Controller: "ARTERY", Shots: n, Seed: 1, StreamStages: true}
+	if err := st.JobSubmitted("job-1", req); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := st.ShotEvent("job-1", storeBenchEvent(i)); err != nil {
+			return 0, err
+		}
+		if (i+1)%256 == 0 {
+			if err := st.Checkpoint("job-1", i+1); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// runStoreBench measures the durable job store: append throughput and
+// recovery-scan time across segment sizes (fsync=never isolates the
+// journal's own cost from the disk), plus append throughput under each
+// fsync policy at the default segment size. Writes BENCH_store.json.
+func runStoreBench(path string, events int) error {
+	if events < 1000 {
+		events = 1000
+	}
+	rep := storeBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	for _, segBytes := range []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+		dir, err := os.MkdirTemp("", "store-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Config{Dir: dir, SegmentBytes: segBytes, Fsync: store.FsyncNever})
+		if err != nil {
+			return err
+		}
+		dt, err := appendEvents(st, events)
+		if err != nil {
+			st.Close()
+			return err
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		bytes, segs, err := dirBytes(dir)
+		if err != nil {
+			return err
+		}
+
+		// Recovery: reopen the populated dir and time the full scan.
+		rt0 := time.Now()
+		st2, err := store.Open(store.Config{Dir: dir, SegmentBytes: segBytes, Fsync: store.FsyncNever})
+		if err != nil {
+			return err
+		}
+		rdt := time.Since(rt0)
+		st2.Close()
+
+		records := events + 1 + events/256 // job + events + checkpoints
+		c := storeBenchCase{
+			SegmentBytes:          segBytes,
+			Appends:               events,
+			AppendsPerSec:         float64(events) / dt.Seconds(),
+			MBPerSec:              float64(bytes) / (1 << 20) / dt.Seconds(),
+			Segments:              segs,
+			JournalBytes:          bytes,
+			RecoveryMs:            float64(rdt.Microseconds()) / 1000,
+			RecoveryRecordsPerSec: float64(records) / rdt.Seconds(),
+		}
+		rep.Cases = append(rep.Cases, c)
+		fmt.Printf("segment %7.2f MiB  %9.0f appends/s  %7.1f MB/s  %2d segments  recovery %8.2f ms (%9.0f rec/s)\n",
+			float64(segBytes)/(1<<20), c.AppendsPerSec, c.MBPerSec, segs, c.RecoveryMs, c.RecoveryRecordsPerSec)
+	}
+
+	// Fsync-policy sweep at the default segment size. FsyncAlways pays
+	// one fsync per record, so it gets a smaller append budget to keep
+	// the sweep under CI wall clock.
+	for _, pc := range []struct {
+		p store.Policy
+		n int
+	}{
+		{store.FsyncNever, events},
+		{store.FsyncInterval, events},
+		{store.FsyncAlways, events / 20},
+	} {
+		dir, err := os.MkdirTemp("", "store-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Config{Dir: dir, Fsync: pc.p})
+		if err != nil {
+			return err
+		}
+		dt, err := appendEvents(st, pc.n)
+		if err != nil {
+			st.Close()
+			return err
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		f := storeBenchFsync{
+			Policy:        pc.p.String(),
+			Appends:       pc.n,
+			AppendsPerSec: float64(pc.n) / dt.Seconds(),
+		}
+		rep.Fsync = append(rep.Fsync, f)
+		fmt.Printf("fsync=%-8s %9.0f appends/s (%d appends)\n", f.Policy, f.AppendsPerSec, f.Appends)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

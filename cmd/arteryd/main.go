@@ -5,15 +5,27 @@
 // Usage:
 //
 //	arteryd [-addr host:port] [-addr-file FILE] [-queue N] [-max-jobs N]
-//	        [-worker-budget N] [-max-shots N] [-drain-timeout D] [-version]
+//	        [-worker-budget N] [-max-shots N] [-drain-timeout D]
+//	        [-data-dir DIR] [-fsync always|interval|never]
+//	        [-checkpoint-shots N] [-retain N] [-version]
 //	arteryd -coordinator -backends URL,URL,... [-shards N] [-shard-attempts N]
 //	        [common flags]
 //
 // -addr-file writes the resolved listen address (useful with -addr
-// 127.0.0.1:0 for ephemeral ports, e.g. in the serve-smoke CI gate).
+// 127.0.0.1:0 for ephemeral ports, e.g. in the serve-smoke CI gate); it
+// is removed again when the drain begins, so watchers of the file never
+// route to a process that has stopped admitting.
 // SIGTERM/SIGINT trigger a graceful drain: admission stops, in-flight
 // jobs are canceled at their next shot-batch boundary and report their
 // deterministic canceled prefix, then the process exits 0.
+//
+// -data-dir enables the durable job store (see internal/store): accepted
+// jobs, merged per-shot events and results are journaled to a write-ahead
+// log, finished jobs are served across restarts, and a job killed mid-run
+// (even by SIGKILL or power loss) resumes at its last durable shot on the
+// next boot — producing a result and event stream byte-identical to an
+// uninterrupted run. Without -data-dir the server is fully in-memory,
+// exactly as before.
 //
 // -coordinator turns the process into a scatter-gather coordinator over
 // the listed backend arteryd nodes (see internal/cluster): it serves the
@@ -37,6 +49,7 @@ import (
 
 	"artery/internal/cluster"
 	"artery/internal/server"
+	"artery/internal/store"
 	"artery/internal/version"
 )
 
@@ -60,6 +73,10 @@ func main() {
 		backends      = flag.String("backends", "", "comma-separated backend arteryd base URLs (required with -coordinator)")
 		shards        = flag.Int("shards", 0, "shot-range shards per job (0 = one per backend)")
 		shardAttempts = flag.Int("shard-attempts", 3, "dispatch attempts per shard before the job fails (first try + failovers)")
+		dataDir       = flag.String("data-dir", "", "durable job-store directory (empty = in-memory only)")
+		fsyncPolicy   = flag.String("fsync", "interval", "journal fsync policy: always|interval|never")
+		ckptShots     = flag.Int("checkpoint-shots", 256, "journal checkpoint cadence in merged shots per job")
+		retain        = flag.Int("retain", 4096, "terminal jobs retained in the journal before compaction")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -69,6 +86,20 @@ func main() {
 	}
 	log.SetPrefix("arteryd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		st, err = store.Open(store.Config{Dir: *dataDir, Fsync: policy, Retain: *retain})
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		log.Printf("journal open at %s (fsync=%s, checkpoint every %d shots, retain %d): recovered %d jobs, truncated %d torn tails",
+			*dataDir, policy, *ckptShots, *retain, st.RecoveredJobs(), st.TruncatedTails())
+	}
 
 	var srv service
 	if *coordinator {
@@ -85,6 +116,8 @@ func main() {
 			QueueDepth:        *queueDepth,
 			MaxConcurrentJobs: *maxJobs,
 			MaxShots:          *maxShots,
+			Store:             st,
+			CheckpointShots:   *ckptShots,
 		})
 		if err != nil {
 			log.Fatalf("%v", err)
@@ -97,6 +130,8 @@ func main() {
 			MaxConcurrentJobs: *maxJobs,
 			WorkerBudget:      *workerBudget,
 			MaxShots:          *maxShots,
+			Store:             st,
+			CheckpointShots:   *ckptShots,
 		})
 	}
 	srv.Start()
@@ -122,6 +157,11 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		log.Printf("received %v, draining (budget %v)", sig, *drainTimeout)
+		if *addrFile != "" {
+			// Watchers of the addr file must stop routing here the moment
+			// admission closes, not when the process finally exits.
+			os.Remove(*addrFile)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -132,6 +172,11 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
 			os.Exit(1)
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			}
 		}
 		log.Printf("drained cleanly")
 	case err := <-serveErr:

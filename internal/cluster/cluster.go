@@ -27,10 +27,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"artery"
-	"artery/api"
 	"artery/client"
 	"artery/internal/server"
+	"artery/internal/store"
 	"artery/internal/trace"
 )
 
@@ -60,6 +59,14 @@ type Config struct {
 	// budgets). The default keeps submission retries short so failover
 	// moves to another node quickly.
 	ClientOptions []client.Option
+	// Store and CheckpointShots configure the embedded server's durable
+	// job journal exactly as in server.Config: with a store, the
+	// coordinator journals accepted jobs and merged events, serves
+	// finished jobs from disk across restarts, and resumes interrupted
+	// jobs by re-sharding only the range past the last durable merged
+	// shot (see execute).
+	Store           *store.Store
+	CheckpointShots int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +134,8 @@ func New(cfg Config) (*Coordinator, error) {
 		MaxShots:          cfg.MaxShots,
 		MaxRetainedJobs:   cfg.MaxRetainedJobs,
 		Executor:          c.execute,
+		Store:             cfg.Store,
+		CheckpointShots:   cfg.CheckpointShots,
 	})
 	reg := c.srv.Registry()
 	c.m = metrics{
@@ -241,11 +250,3 @@ func (c *Coordinator) pickBackend(shardIdx, attempt int) *backend {
 	return c.backends[start]
 }
 
-// workloadName resolves the canonical workload name for a validated
-// request (result documents carry wl.Name, not the request spelling).
-func workloadName(req api.Request) string {
-	if wl, err := artery.WorkloadByName(req.Workload, req.Param); err == nil {
-		return wl.Name
-	}
-	return req.Workload
-}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"artery/api"
+	"artery/client"
+	"artery/internal/store"
+)
+
+// startStoredCoordinator fronts backends with a journal-backed
+// coordinator rooted at dir.
+func startStoredCoordinator(t *testing.T, dir string, bases []string) (*Coordinator, string, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	c, url := startCoordinator(t, Config{Backends: bases, Store: st, CheckpointShots: 4})
+	return c, url, st
+}
+
+// TestCoordinatorResumesFromJournal is the multi-node durability
+// contract: a coordinator killed mid-job leaves a journal with the job
+// record and the first k merged events; a fresh coordinator over the same
+// (or different) backends re-admits it, re-shards only the remaining
+// range [k, shots), and the stitched result and event stream are
+// byte-identical to an uninterrupted single-node run.
+func TestCoordinatorResumesFromJournal(t *testing.T) {
+	off := false
+	req := api.Request{
+		Workload: "qrw", Param: 3, Controller: "ARTERY", Shots: 36, Seed: 7,
+		StreamStages: true, Options: &api.RequestOptions{StateSim: &off},
+	}
+	golden := startNode(t, 2, nil)
+	wantRes, wantEvents := runJob(t, golden.ts.URL, req)
+
+	// The golden run journaled through a coordinator gives us the full
+	// merged event prefix to truncate.
+	fullDir := t.TempDir()
+	seedBackend := startNode(t, 2, nil)
+	_, seedURL, seedStore := startStoredCoordinator(t, fullDir, []string{seedBackend.ts.URL})
+	res0, ev0 := runJob(t, seedURL, req)
+	compareRuns(t, "stored-coordinator", wantRes, wantEvents, res0, ev0)
+	full, err := seedStore.Events("job-1", 0)
+	if err != nil {
+		t.Fatalf("journaled events: %v", err)
+	}
+	if len(full) != req.Shots {
+		t.Fatalf("journal holds %d events, want %d", len(full), req.Shots)
+	}
+
+	for _, k := range []int{0, 1, 17, 35, 36} {
+		// Fabricate the data dir a SIGKILLed coordinator leaves behind:
+		// job record plus the first k merged events, no terminal record.
+		dir := t.TempDir()
+		st, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.JobSubmitted("job-1", req); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range full[:k] {
+			if err := st.ShotEvent("job-1", ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+
+		// Resume over a different backend fleet (2 nodes, different worker
+		// budgets): shard placement must not matter.
+		bases := []string{startNode(t, 1, nil).ts.URL, startNode(t, 3, nil).ts.URL}
+		st2, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, url := startCoordinator(t, Config{Backends: bases, Store: st2, CheckpointShots: 4})
+		gotRes, gotEvents := collectRecovered(t, url, "job-1")
+		compareRuns(t, fmt.Sprintf("cut=%d", k), wantRes, wantEvents, gotRes, gotEvents)
+		st2.Close()
+	}
+}
+
+// collectRecovered streams an already-admitted (recovered) job to its
+// terminal line and returns the result JSON and each event's JSON.
+func collectRecovered(t *testing.T, base, id string) (string, []string) {
+	t.Helper()
+	cl := client.MustNew(base, client.WithRetries(10))
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	st, err := cl.Stream(ctx, id)
+	if err != nil {
+		t.Fatalf("stream %s: %v", id, err)
+	}
+	defer st.Close()
+	var events []string
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream next after %d events: %v", len(events), err)
+		}
+		b, _ := json.Marshal(ev)
+		events = append(events, string(b))
+	}
+	end := st.End()
+	if end == nil || end.State != api.StateDone || end.Result == nil {
+		t.Fatalf("recovered job ended %+v", end)
+	}
+	b, _ := json.Marshal(end.Result)
+	return string(b), events
+}

@@ -10,7 +10,6 @@ import (
 
 	"artery/api"
 	"artery/internal/server"
-	"artery/internal/trace"
 )
 
 // shardRange is one contiguous global shot range [Lo, Hi).
@@ -102,10 +101,35 @@ func (s *shard) finish(res *api.Result, err error) {
 // event streams, merge them in global shot order, and drive the job to
 // its terminal state. Honors ctx: a drain completes the job with the
 // deterministic merged prefix, exactly like a drained single node.
+//
+// A job recovered from the journal mid-run carries a merged-event prefix
+// (see server.Job.Prefix): the fold is seeded with the prefix and only
+// the unmerged remainder [offset+k, offset+shots) is sharded out, so a
+// restarted coordinator resumes every shard at the job's last durable
+// merged shot instead of re-running the range from shot 0. Because
+// per-shot RNG streams are drawn by global index, the re-sharded
+// remainder recombines with the journaled prefix byte-identically to an
+// uninterrupted single-node run.
 func (c *Coordinator) execute(ctx context.Context, j *server.Job) {
 	req := j.Req
+	agg := api.NewMerger(req)
+	prefix := j.Prefix()
+	for _, ev := range prefix {
+		if err := agg.Add(ev); err != nil {
+			j.Fail(fmt.Sprintf("cluster: journaled prefix: %v", err))
+			return
+		}
+	}
+	lo := req.ShotOffset + len(prefix)
+	remaining := req.Shots - len(prefix)
+	if remaining <= 0 {
+		// The journal already holds every merged shot; only the terminal
+		// record was lost to the crash.
+		j.Complete(agg.Result(false))
+		return
+	}
 	shards := make([]*shard, 0, c.cfg.Shards)
-	for i, r := range splitRange(req.ShotOffset, req.Shots, c.cfg.Shards) {
+	for i, r := range splitRange(lo, remaining, c.cfg.Shards) {
 		shards = append(shards, newShard(i, r))
 	}
 	ctx, cancel := context.WithCancel(ctx)
@@ -113,7 +137,7 @@ func (c *Coordinator) execute(ctx context.Context, j *server.Job) {
 	for _, sh := range shards {
 		go c.runShard(ctx, req, sh)
 	}
-	c.gather(ctx, j, shards)
+	c.gather(ctx, j, agg, shards)
 }
 
 // runShard drives one shard to completion: dispatch to a backend, stream
@@ -220,16 +244,16 @@ func (c *Coordinator) tryShard(ctx context.Context, b *backend, req api.Request,
 
 // gather is the merge path: consume shard buffers strictly in shard
 // order (global shot order), fold every event into the merger, and
-// append it to the job's own event log. One goroutine, exactly like the
+// append it to the job's own event log (journaling it, when a store is
+// configured, via AppendFull). One goroutine, exactly like the
 // single-node engine's merge path — which is why the fold reproduces the
 // single-node result bit-for-bit.
-func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard) {
-	agg := newMerger(j.Req)
+func (c *Coordinator) gather(ctx context.Context, j *server.Job, agg *api.Merger, shards []*shard) {
 	for _, sh := range shards {
 		consumed := 0
 		for consumed < sh.rng.Hi-sh.rng.Lo {
 			if ctx.Err() != nil {
-				j.Complete(agg.result(true))
+				j.Complete(agg.Result(true))
 				return
 			}
 			sh.mu.Lock()
@@ -241,19 +265,19 @@ func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard
 				sh.base = consumed + 1
 				sh.mu.Unlock()
 				consumed++
-				if err := agg.add(ev); err != nil {
+				if err := agg.Add(ev); err != nil {
 					j.Fail(err.Error())
 					return
 				}
 				c.m.shotsMerged.Inc()
-				j.AppendEvent(publicEvent(ev, j.Req.StreamStages))
+				j.AppendFull(ev)
 				continue
 			}
 			if sh.err != nil {
 				err := sh.err
 				sh.mu.Unlock()
 				if err == context.Canceled || ctx.Err() != nil {
-					j.Complete(agg.result(true))
+					j.Complete(agg.Result(true))
 					return
 				}
 				j.Fail(err.Error())
@@ -264,7 +288,7 @@ func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard
 			select {
 			case <-wait:
 			case <-ctx.Done():
-				j.Complete(agg.result(true))
+				j.Complete(agg.Result(true))
 				return
 			}
 		}
@@ -278,123 +302,15 @@ func (c *Coordinator) gather(ctx context.Context, j *server.Job, shards []*shard
 			select {
 			case <-wait:
 			case <-ctx.Done():
-				j.Complete(agg.result(true))
+				j.Complete(agg.Result(true))
 				return
 			}
 			sh.mu.Lock()
 		}
 		if sh.result != nil {
-			agg.names(sh.result)
+			agg.SetNames(sh.result)
 		}
 		sh.mu.Unlock()
 	}
-	j.Complete(agg.result(false))
-}
-
-// publicEvent is the event as the coordinator's own stream emits it:
-// stage deltas ride along only if the submitting client asked for them.
-func publicEvent(ev api.ShotEvent, withStages bool) api.ShotEvent {
-	if !withStages {
-		ev.Stages = nil
-	}
-	return ev
-}
-
-// merger folds per-shot events into an api.Result using the exact
-// arithmetic of the engine's merge path (internal/core.run) and the
-// facade's report assembly: sum-then-divide means, integer accuracy and
-// commit-rate ratios, per-stage count/total accumulators rendered in
-// stage-enum order omitting absent stages. Events must be added in
-// global shot order; Go's float64 addition is deterministic, so the fold
-// equals the single-node fold bit-for-bit.
-type merger struct {
-	workload, controller string
-	n                    int
-	latSum               float64
-	fidSum               float64
-	fidN                 int
-	sites, commits       int
-	correct              int
-	stageCount           [trace.NumStages]int
-	stageTotal           [trace.NumStages]float64
-}
-
-func newMerger(req api.Request) *merger {
-	ctrl := req.Controller
-	if ctrl == "" {
-		ctrl = "ARTERY"
-	}
-	// Fallbacks for results that finish before any shard does (empty
-	// canceled prefixes); any completed shard overwrites them with the
-	// backend's canonical spelling via names().
-	return &merger{workload: workloadName(req), controller: ctrl}
-}
-
-// names adopts the canonical workload/controller strings from a shard's
-// own result document.
-func (m *merger) names(res *api.Result) {
-	m.workload, m.controller = res.Workload, res.Controller
-}
-
-// add folds one event, replaying the engine merge path's per-shot
-// mutations in order.
-func (m *merger) add(ev api.ShotEvent) error {
-	m.n++
-	m.latSum += ev.LatencyNs
-	if ev.Fidelity != nil {
-		m.fidSum += *ev.Fidelity
-		m.fidN++
-	}
-	m.sites += ev.Sites
-	m.commits += ev.Commits
-	m.correct += ev.Correct
-	if len(ev.Stages) == 0 {
-		return fmt.Errorf("cluster: backend event for shot %d carries no stage deltas (backend predates the stream_stages schema?)", ev.Shot)
-	}
-	for _, d := range ev.Stages {
-		st, ok := trace.StageFromName(d.Stage)
-		if !ok {
-			return fmt.Errorf("cluster: backend event for shot %d names unknown stage %q", ev.Shot, d.Stage)
-		}
-		m.stageCount[st]++
-		m.stageTotal[st] += d.Ns
-	}
-	return nil
-}
-
-// result renders the fold, mirroring core.run's finalization and
-// api.ResultFrom's wire conversion.
-func (m *merger) result(canceled bool) *api.Result {
-	res := &api.Result{
-		Workload:   m.workload,
-		Controller: m.controller,
-		Shots:      m.n,
-		Accuracy:   1, // like the engine: no commits means no mispredicts
-		Canceled:   canceled,
-	}
-	if m.n > 0 {
-		res.MeanLatencyUs = (m.latSum / float64(m.n)) / 1000
-	}
-	if m.commits > 0 {
-		res.Accuracy = float64(m.correct) / float64(m.commits)
-	}
-	if m.sites > 0 {
-		res.CommitRate = float64(m.commits) / float64(m.sites)
-	}
-	if m.fidN > 0 {
-		mean := m.fidSum / float64(m.fidN)
-		res.Fidelity = &mean
-	}
-	for st := trace.Stage(0); st < trace.NumStages; st++ {
-		if m.stageCount[st] == 0 {
-			continue
-		}
-		res.Stages = append(res.Stages, api.Stage{
-			Stage:   st.String(),
-			Count:   m.stageCount[st],
-			TotalNs: m.stageTotal[st],
-			MeanNs:  m.stageTotal[st] / float64(m.stageCount[st]),
-		})
-	}
-	return res
+	j.Complete(agg.Result(false))
 }

@@ -6,6 +6,7 @@ import (
 
 	"artery"
 	"artery/api"
+	"artery/internal/store"
 )
 
 // Job is one submitted run moving through the queue. All mutable state is
@@ -18,6 +19,20 @@ type Job struct {
 	// building it once keeps submit errors synchronous and the run path
 	// cheap.
 	wl *artery.Workload
+
+	// Durability seam, set at admission (or recovery) when the server has
+	// a store. prefix is the merged-event prefix recovered from the
+	// journal after a crash — the executor stitches its continuation onto
+	// it. journaled counts the job's durable events (prefix included) for
+	// the checkpoint cadence; journalBroken latches on the first failed
+	// event append so the durable prefix stays contiguous (a gap would
+	// break resume). These three are touched only by the single executor
+	// goroutine that owns the job's merge path, so they need no lock.
+	store         *store.Store
+	ckptEvery     int
+	prefix        []api.ShotEvent
+	journaled     int
+	journalBroken bool
 
 	mu       sync.Mutex
 	state    string
@@ -61,39 +76,83 @@ func (j *Job) setRunning() {
 // prefixes, which are still results) and transitions to done.
 func (j *Job) complete(res *Result, now time.Time) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateDone
 	j.result = res
 	j.finished = now
 	j.broadcast()
+	j.mu.Unlock()
+	j.journalEnd(StateDone, "", res)
 }
 
 // fail records a job error (invalid options, engine failure).
 func (j *Job) fail(msg string, now time.Time) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateFailed
 	j.err = msg
 	j.finished = now
 	j.broadcast()
+	j.mu.Unlock()
+	j.journalEnd(StateFailed, msg, nil)
 }
 
 // cancel marks a queued job that will never run (server drain).
 func (j *Job) cancel(msg string, now time.Time) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateCanceled
 	j.err = msg
 	j.finished = now
 	j.broadcast()
+	j.mu.Unlock()
+	j.journalEnd(StateCanceled, msg, nil)
 }
 
-// AppendEvent, Complete and Fail are the external-executor mutators (see
-// Config.Executor): a custom executor commits merged per-shot events and
-// drives the job to its terminal state through them.
+// journalEnd writes the job's terminal record. The store fsyncs it (a
+// result promise survives the next crash); append failures are already
+// counted by the store and a live client still gets its in-memory result.
+func (j *Job) journalEnd(state, errMsg string, res *Result) {
+	if j.store == nil {
+		return
+	}
+	j.store.Terminal(j.ID, state, errMsg, res)
+}
+
+// AppendEvent, AppendFull, Prefix, Complete and Fail are the
+// external-executor mutators (see Config.Executor): a custom executor
+// commits merged per-shot events and drives the job to its terminal state
+// through them.
 
 // AppendEvent commits one per-shot update to the job's event log.
 func (j *Job) AppendEvent(ev ShotEvent) { j.appendEvent(ev) }
+
+// AppendFull commits one merged per-shot event that carries its stage
+// deltas: journaled first (when a store is configured, with a checkpoint
+// barrier every ckptEvery events), then appended to the in-memory log
+// trimmed to the subscriber schema (stage deltas ride the public stream
+// only when the request asked for them). Must be called from the job's
+// single merge-path goroutine, in shot order.
+func (j *Job) AppendFull(ev ShotEvent) {
+	if j.store != nil && !j.journalBroken {
+		if err := j.store.ShotEvent(j.ID, ev); err != nil {
+			// First failure latches: journaling more events would leave a
+			// gap in the durable prefix, which must stay contiguous for
+			// resume to be sound. The job itself keeps running.
+			j.journalBroken = true
+		} else {
+			j.journaled++
+			if j.ckptEvery > 0 && j.journaled%j.ckptEvery == 0 {
+				j.store.Checkpoint(j.ID, j.journaled)
+			}
+		}
+	}
+	j.appendEvent(api.TrimStages(ev, j.Req.StreamStages))
+}
+
+// Prefix returns the job's recovered merged-event prefix: the per-shot
+// events (stage deltas included) that were durable when the previous
+// process died. Executors stitch their continuation onto it — run only
+// [ShotOffset+len(prefix), ShotOffset+Shots) and seed the result fold
+// with these events. Empty for jobs admitted by this process.
+func (j *Job) Prefix() []api.ShotEvent { return j.prefix }
 
 // Complete records the job's final result and transitions it to done.
 func (j *Job) Complete(res *Result) { j.complete(res, time.Now()) }

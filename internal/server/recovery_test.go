@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"artery/api"
+	"artery/internal/store"
+)
+
+// storedServer runs a store-backed server over httptest with a bounded
+// lifetime; shutdown closes the store too, like arteryd does.
+type storedServer struct {
+	s  *Server
+	st *store.Store
+	ts *httptest.Server
+}
+
+func startStored(t *testing.T, dir string, cfg Config) *storedServer {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	cfg.Store = st
+	s := New(cfg)
+	s.Start()
+	return &storedServer{s: s, st: st, ts: httptest.NewServer(s.Handler())}
+}
+
+func (ss *storedServer) stop(t *testing.T) {
+	t.Helper()
+	ss.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ss.s.Shutdown(ctx)
+	ss.st.Close()
+}
+
+// rawStream fetches a job's full NDJSON stream body — the byte-level
+// contract crash recovery must preserve.
+func rawStream(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runGolden executes req on a store-backed server and returns the
+// uninterrupted run's result JSON, raw stream bytes, and the journaled
+// full-fidelity events (stage deltas included) for building truncated
+// journals.
+func runGolden(t *testing.T, cfg Config, req string) (id string, result, stream []byte, full []api.ShotEvent, parsed Request) {
+	t.Helper()
+	ss := startStored(t, t.TempDir(), cfg)
+	defer ss.stop(t)
+	resp := postJob(t, ss.ts.URL, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	js := decodeStatus(t, resp)
+	final := waitTerminal(t, ss.ts.URL, js.ID)
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("golden job ended %s: %s", final.State, final.Error)
+	}
+	result, _ = json.Marshal(final.Result)
+	stream = rawStream(t, ss.ts.URL, js.ID)
+	full, err := ss.st.Events(js.ID, 0)
+	if err != nil {
+		t.Fatalf("journaled events: %v", err)
+	}
+	return js.ID, result, stream, full, final.Request
+}
+
+// buildCrashedJournal fabricates the data dir a SIGKILLed server leaves
+// behind: the job record and its first k merged events, no terminal
+// record. (Equivalent to killing the process mid-run with everything up
+// to event k durable.)
+func buildCrashedJournal(t *testing.T, dir, id string, req Request, events []api.ShotEvent, k int) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.JobSubmitted(id, req); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:k] {
+		if err := st.ShotEvent(id, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryBitIdentity is the durability contract end to end: a
+// job killed mid-run (journal truncated at k durable events) is
+// re-admitted at boot, resumed from shot k, and must reproduce the
+// uninterrupted run's result JSON and full NDJSON stream byte for byte —
+// at every cut point, at any worker budget, on both simulation backends.
+func TestCrashRecoveryBitIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		req  string
+	}{
+		// state-vector backend, stage deltas on the public stream
+		{"state-qrw", `{"workload":"qrw","param":4,"shots":40,"seed":11,"stream_stages":true}`},
+		// stabilizer tableau backend, public stream without stages (the
+		// journal still carries them; serving must trim)
+		{"stabilizer-surface", `{"workload":"surface","param":3,"shots":30,"seed":9,"options":{"backend":"stabilizer"}}`},
+	}
+	budgets := []int{1, 4}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, wantRes, wantStream, full, req := runGolden(t, Config{MaxConcurrentJobs: 1, WorkerBudget: 1}, tc.req)
+			cuts := []int{0, 1, len(full) / 2, len(full) - 1, len(full)}
+			for _, budget := range budgets {
+				for _, k := range cuts {
+					t.Run(fmt.Sprintf("budget%d-cut%d", budget, k), func(t *testing.T) {
+						dir := t.TempDir()
+						buildCrashedJournal(t, dir, id, req, full, k)
+						ss := startStored(t, dir, Config{MaxConcurrentJobs: 1, WorkerBudget: budget, CheckpointShots: 8})
+						defer ss.stop(t)
+						final := waitTerminal(t, ss.ts.URL, id)
+						if final.State != StateDone || final.Result == nil {
+							t.Fatalf("resumed job ended %s: %s", final.State, final.Error)
+						}
+						gotRes, _ := json.Marshal(final.Result)
+						if !bytes.Equal(wantRes, gotRes) {
+							t.Errorf("result drifted after crash at %d:\nwant %s\ngot  %s", k, wantRes, gotRes)
+						}
+						if got := rawStream(t, ss.ts.URL, id); !bytes.Equal(wantStream, got) {
+							t.Errorf("stream drifted after crash at %d:\nwant %s\ngot  %s", k, wantStream, got)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleCrashRecovery kills the job twice — once at event 5, then
+// again (with more events durable) at event 23 — and the second resume
+// must still land on the golden bytes: recovery composes.
+func TestDoubleCrashRecovery(t *testing.T) {
+	reqJSON := `{"workload":"qrw","param":4,"shots":40,"seed":11,"stream_stages":true}`
+	id, wantRes, wantStream, full, req := runGolden(t, Config{MaxConcurrentJobs: 1, WorkerBudget: 2}, reqJSON)
+
+	dir := t.TempDir()
+	buildCrashedJournal(t, dir, id, req, full, 5)
+	// First recovery: run it but "crash" again by rebuilding a longer
+	// prefix from what this run journaled.
+	ss := startStored(t, dir, Config{MaxConcurrentJobs: 1, WorkerBudget: 2, CheckpointShots: 4})
+	waitTerminal(t, ss.ts.URL, id)
+	mid, err := ss.st.Events(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.stop(t)
+	if len(mid) != len(full) {
+		t.Fatalf("first recovery journaled %d events, want %d", len(mid), len(full))
+	}
+
+	dir2 := t.TempDir()
+	buildCrashedJournal(t, dir2, id, req, mid, 23)
+	ss2 := startStored(t, dir2, Config{MaxConcurrentJobs: 1, WorkerBudget: 2, CheckpointShots: 4})
+	defer ss2.stop(t)
+	final := waitTerminal(t, ss2.ts.URL, id)
+	gotRes, _ := json.Marshal(final.Result)
+	if !bytes.Equal(wantRes, gotRes) {
+		t.Errorf("result drifted after double crash:\nwant %s\ngot  %s", wantRes, gotRes)
+	}
+	if got := rawStream(t, ss2.ts.URL, id); !bytes.Equal(wantStream, got) {
+		t.Error("stream drifted after double crash")
+	}
+}
+
+// TestRestartServesFinishedJobFromDisk: a completed job survives a
+// restart — status and byte-identical stream replay come from the
+// journal, with ?from= resume and schema trimming intact.
+func TestRestartServesFinishedJobFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	ss := startStored(t, dir, Config{MaxConcurrentJobs: 1})
+	resp := postJob(t, ss.ts.URL, `{"workload":"qrw","param":4,"shots":12,"seed":3}`)
+	js := decodeStatus(t, resp)
+	final := waitTerminal(t, ss.ts.URL, js.ID)
+	wantRes, _ := json.Marshal(final.Result)
+	wantStream := rawStream(t, ss.ts.URL, js.ID)
+	ss.stop(t)
+
+	ss2 := startStored(t, dir, Config{MaxConcurrentJobs: 1})
+	defer ss2.stop(t)
+	got, code := getStatus(t, ss2.ts.URL, js.ID)
+	if code != http.StatusOK || got.State != StateDone {
+		t.Fatalf("restarted GET: status %d, state %q", code, got.State)
+	}
+	gotRes, _ := json.Marshal(got.Result)
+	if !bytes.Equal(wantRes, gotRes) {
+		t.Errorf("disk-served result drifted:\nwant %s\ngot  %s", wantRes, gotRes)
+	}
+	if gotStream := rawStream(t, ss2.ts.URL, js.ID); !bytes.Equal(wantStream, gotStream) {
+		t.Errorf("disk-served stream drifted:\nwant %s\ngot  %s", wantStream, gotStream)
+	}
+	// Stage deltas were journaled but the request did not ask for them on
+	// the stream: the disk replay must trim each event, like the live
+	// stream did (the terminal line's result keeps its stage table).
+	events, _ := readStream(t, ss2.ts.URL, js.ID)
+	for i, ev := range events {
+		if len(ev.Stages) != 0 {
+			t.Errorf("disk-served event %d leaks journaled stage deltas", i)
+			break
+		}
+	}
+	// ?from= replays the suffix.
+	respFrom, err := http.Get(ss2.ts.URL + "/v1/jobs/" + js.ID + "/stream?from=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(respFrom.Body)
+	respFrom.Body.Close()
+	if lines := bytes.Count(bytes.TrimSpace(b), []byte("\n")) + 1; lines != 3 {
+		t.Errorf("from=10 replayed %d lines, want 3 (2 events + done)", lines)
+	}
+	// The id watermark also recovered: a beyond-watermark id is 404, an
+	// unknown-but-plausible id below it would be 410 — but every issued id
+	// is still in the journal here, so probe the 404 side only.
+	if _, code := getStatus(t, ss2.ts.URL, "job-999"); code != http.StatusNotFound {
+		t.Errorf("never-issued id after restart: %d, want 404", code)
+	}
+}
+
+// TestRecoveredCanceledJob: a job whose journal holds a terminal canceled
+// record (drained before running) is served as canceled after restart,
+// not re-admitted.
+func TestRecoveredCanceledJob(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Workload: "qrw", Param: 4, Shots: 10, Seed: 1}
+	if err := st.JobSubmitted("job-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Terminal("job-1", StateCanceled, "server shutting down before the job started", nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	ss := startStored(t, dir, Config{MaxConcurrentJobs: 1})
+	defer ss.stop(t)
+	js, code := getStatus(t, ss.ts.URL, "job-1")
+	if code != http.StatusOK || js.State != StateCanceled {
+		t.Fatalf("recovered canceled job: status %d, state %q", code, js.State)
+	}
+	// The watermark moved past the recovered id: the next submission gets
+	// a fresh id, not a reused one.
+	resp := postJob(t, ss.ts.URL, `{"workload":"qrw","param":4,"shots":5,"seed":2}`)
+	next := decodeStatus(t, resp)
+	if next.ID != "job-2" {
+		t.Errorf("next id after recovery = %s, want job-2", next.ID)
+	}
+}
+
+// TestNoStoreBehaviorUnchanged pins the without-data-dir contract: a
+// store-less server and a store-backed server produce byte-identical
+// result and stream for the same request.
+func TestNoStoreBehaviorUnchanged(t *testing.T) {
+	req := `{"workload":"dqt","param":2,"shots":25,"seed":21,"stream_stages":true}`
+
+	s := New(Config{MaxConcurrentJobs: 1, WorkerBudget: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	resp := postJob(t, ts.URL, req)
+	js := decodeStatus(t, resp)
+	final := waitTerminal(t, ts.URL, js.ID)
+	bareRes, _ := json.Marshal(final.Result)
+	bareStream := rawStream(t, ts.URL, js.ID)
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+
+	ss := startStored(t, t.TempDir(), Config{MaxConcurrentJobs: 1, WorkerBudget: 2})
+	defer ss.stop(t)
+	resp2 := postJob(t, ss.ts.URL, req)
+	js2 := decodeStatus(t, resp2)
+	final2 := waitTerminal(t, ss.ts.URL, js2.ID)
+	storedRes, _ := json.Marshal(final2.Result)
+	if !bytes.Equal(bareRes, storedRes) {
+		t.Errorf("store changed result bytes:\nbare   %s\nstored %s", bareRes, storedRes)
+	}
+	if storedStream := rawStream(t, ss.ts.URL, js2.ID); !bytes.Equal(bareStream, storedStream) {
+		t.Error("store changed stream bytes")
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"artery"
 	"artery/api"
+	"artery/internal/store"
 	"artery/internal/trace"
 )
 
@@ -43,6 +45,18 @@ type Config struct {
 	// admission control, job table, streaming and shutdown while
 	// executing jobs on remote backends instead of the local engine.
 	Executor func(ctx context.Context, j *Job)
+	// Store, when non-nil, makes jobs durable (see internal/store): every
+	// accepted request is journaled before the 202, merged events and
+	// results are journaled as they commit, finished jobs survive both
+	// memory eviction and restarts (status and stream replay come from
+	// disk), and jobs killed mid-run are re-admitted at boot to resume
+	// from their last durable shot — byte-identically to an uninterrupted
+	// run. Nil keeps the server fully in-memory, exactly as before.
+	Store *store.Store
+	// CheckpointShots is the journal checkpoint cadence: a durability
+	// barrier is forced every N merged shots per job (default 256). Only
+	// meaningful with Store.
+	CheckpointShots int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetainedJobs == 0 {
 		c.MaxRetainedJobs = 1024
+	}
+	if c.CheckpointShots == 0 {
+		c.CheckpointShots = 256
 	}
 	return c
 }
@@ -139,7 +156,56 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Store != nil {
+		s.cfg.Store.Instrument(reg)
+		s.recoverFromStore()
+	}
 	return s
+}
+
+// recoverFromStore replays the journal's job index at boot (New runs
+// before any handler or worker, so no locking): the id watermark is
+// restored so evicted ids answer 410 instead of being reissued, terminal
+// jobs stay on disk (served on demand), and jobs that were live when the
+// previous process died are re-admitted as continuations — their durable
+// event prefix is loaded and the executor runs only the remaining range,
+// stitching a result byte-identical to an uninterrupted run.
+func (s *Server) recoverFromStore() {
+	st := s.cfg.Store
+	for _, rec := range st.Jobs() {
+		if raw, ok := strings.CutPrefix(rec.ID, "job-"); ok {
+			if n, err := strconv.Atoi(raw); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+		}
+		if api.Terminal(rec.State) {
+			continue
+		}
+		wl, err := api.ValidateRequest(rec.Req, s.cfg.MaxShots)
+		if err != nil {
+			st.Terminal(rec.ID, StateFailed, fmt.Sprintf("recovered job failed re-validation: %v", err), nil)
+			continue
+		}
+		events, err := st.Events(rec.ID, 0)
+		if err != nil {
+			st.Terminal(rec.ID, StateFailed, fmt.Sprintf("recovered job's journal could not be read: %v", err), nil)
+			continue
+		}
+		j := newJob(rec.ID, rec.Req, wl, s.now())
+		j.store, j.ckptEvery = st, s.cfg.CheckpointShots
+		j.prefix = events
+		j.journaled = len(events)
+		for _, ev := range events {
+			j.events = append(j.events, api.TrimStages(ev, rec.Req.StreamStages))
+		}
+		select {
+		case s.queue <- j:
+			s.jobs[j.ID] = j
+		default:
+			st.Terminal(rec.ID, StateFailed, "recovered job exceeds the admission queue", nil)
+		}
+	}
+	s.m.queueDepth.Set(float64(len(s.queue)))
 }
 
 // Handler returns the service's HTTP handler.
@@ -265,6 +331,12 @@ func (s *Server) perJobWorkers() int {
 // per-shot updates into the job's event log as the engine's merge path
 // commits them, and record the final result — including the deterministic
 // canceled prefix if ctx was canceled mid-run by a drain.
+//
+// A job recovered from the journal mid-run carries a merged-event prefix
+// (Job.Prefix): the result fold is seeded with the prefix and only the
+// remaining range [offset+k, offset+shots) is executed. Per-shot RNG
+// streams are drawn by global shot index, so the continuation's events —
+// and the re-folded result — are byte-identical to the uninterrupted run.
 func (s *Server) execute(ctx context.Context, j *Job) {
 	opts, ctrlName, err := buildOptions(j.Req, s.perJobWorkers())
 	if err != nil {
@@ -276,15 +348,57 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		j.fail(err.Error(), s.now())
 		return
 	}
-	rep, err := sys.RunRangeStream(ctx, ctrlName, j.wl, j.Req.ShotOffset, j.Req.Shots, func(u artery.ShotUpdate) {
-		j.appendEvent(api.EventFrom(u, j.Req.StreamStages))
+	prefix := j.Prefix()
+	if len(prefix) == 0 {
+		// Fresh job: the engine's own report is the result. Journaled
+		// events always carry stage deltas (the resume fold needs them);
+		// without a store this is the exact pre-durability path.
+		withStages := j.Req.StreamStages || j.store != nil
+		rep, err := sys.RunRangeStream(ctx, ctrlName, j.wl, j.Req.ShotOffset, j.Req.Shots, func(u artery.ShotUpdate) {
+			j.AppendFull(api.EventFrom(u, withStages))
+			s.m.shotsStreamed.Inc()
+		})
+		if err != nil {
+			j.fail(err.Error(), s.now())
+			return
+		}
+		j.complete(api.ResultFrom(rep), s.now())
+		return
+	}
+	agg := api.NewMerger(j.Req)
+	for _, ev := range prefix {
+		if err := agg.Add(ev); err != nil {
+			j.fail(fmt.Sprintf("journaled prefix: %v", err), s.now())
+			return
+		}
+	}
+	lo := j.Req.ShotOffset + len(prefix)
+	remaining := j.Req.Shots - len(prefix)
+	if remaining <= 0 {
+		// Every shot was durable; only the terminal record was lost.
+		j.complete(agg.Result(false), s.now())
+		return
+	}
+	var addErr error
+	rep, err := sys.RunRangeStream(ctx, ctrlName, j.wl, lo, remaining, func(u artery.ShotUpdate) {
+		ev := api.EventFrom(u, true)
+		if addErr == nil {
+			addErr = agg.Add(ev)
+		}
+		j.AppendFull(ev)
 		s.m.shotsStreamed.Inc()
 	})
 	if err != nil {
 		j.fail(err.Error(), s.now())
 		return
 	}
-	j.complete(api.ResultFrom(rep), s.now())
+	if addErr != nil {
+		j.fail(addErr.Error(), s.now())
+		return
+	}
+	cont := api.ResultFrom(rep)
+	agg.SetNames(cont)
+	j.complete(agg.Result(cont.Canceled), s.now())
 }
 
 // buildOptions maps a validated wire request onto artery functional
@@ -366,10 +480,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("job-%d", s.nextID), req, wl, s.now())
+	if st := s.cfg.Store; st != nil {
+		// Journal the job before it can run or be acknowledged: the 202 is
+		// the durability promise, and the journal must hold the job record
+		// before any of its events (recovery drops undeclared events).
+		j.store, j.ckptEvery = st, s.cfg.CheckpointShots
+		if err := st.JobSubmitted(j.ID, req); err != nil {
+			// The id stays burned — a partial record may have reached disk —
+			// and a best-effort terminal record stops recovery from
+			// resurrecting a job the client was told failed.
+			st.Terminal(j.ID, StateFailed, "journal append failed at admission", nil)
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("journal append failed: %v", err), 0)
+			return
+		}
+	}
 	select {
 	case s.queue <- j:
 	default:
-		s.nextID-- // job never existed
+		if j.store != nil {
+			// The id is journaled, so it cannot be reused; record the
+			// rejection so recovery does not re-admit a job no client owns.
+			j.store.Terminal(j.ID, StateCanceled, "admission queue full", nil)
+		} else {
+			s.nextID-- // job never existed
+		}
 		s.mu.Unlock()
 		s.reject(w, "admission queue full")
 		return
@@ -411,14 +546,67 @@ func (s *Server) reject(w http.ResponseWriter, msg string) {
 	writeError(w, http.StatusTooManyRequests, msg, retry)
 }
 
-// handleStatus is GET /v1/jobs/{id}.
+// handleStatus is GET /v1/jobs/{id}: the in-memory job, or — when a
+// store is configured — a terminal job served from the journal (evicted
+// from memory, or finished before a restart).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job", 0)
+	id := r.PathValue("id")
+	if j, ok := s.job(id); ok {
+		writeJSON(w, http.StatusOK, j.snapshot(s.now()))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot(s.now()))
+	if rec, ok := s.storeLookup(id); ok {
+		writeJSON(w, http.StatusOK, statusFromRecord(rec))
+		return
+	}
+	s.writeUnknownJob(w, id)
+}
+
+// storeLookup resolves an id to a disk-served terminal job. Live journal
+// records always correspond to an in-memory job (re-admission failures
+// get terminal records), so only terminal ones are served from disk.
+func (s *Server) storeLookup(id string) (store.JobRecord, bool) {
+	if s.cfg.Store == nil {
+		return store.JobRecord{}, false
+	}
+	rec, ok := s.cfg.Store.Lookup(id)
+	if !ok || !api.Terminal(rec.State) {
+		return store.JobRecord{}, false
+	}
+	return rec, true
+}
+
+// statusFromRecord renders a journal record as the status document.
+func statusFromRecord(rec store.JobRecord) JobStatus {
+	return JobStatus{
+		ID:            rec.ID,
+		State:         rec.State,
+		Request:       rec.Req,
+		ShotsStreamed: rec.Events,
+		Error:         rec.Error,
+		Result:        rec.Result,
+		ElapsedSec:    rec.FinishedAt.Sub(rec.SubmittedAt).Seconds(),
+	}
+}
+
+// writeUnknownJob distinguishes ids this server issued whose records have
+// since been evicted (410 Gone with the typed "evicted" code — the id is
+// authoritative: retrying will never find it) from ids that never existed
+// (404). Ids are sequential, so the issued-id watermark makes the check
+// O(1) with no tombstone table.
+func (s *Server) writeUnknownJob(w http.ResponseWriter, id string) {
+	if raw, ok := strings.CutPrefix(id, "job-"); ok {
+		if n, err := strconv.Atoi(raw); err == nil && n >= 1 {
+			s.mu.Lock()
+			issued := n <= s.nextID
+			s.mu.Unlock()
+			if issued {
+				writeJSON(w, http.StatusGone, ErrorBody{Error: "job evicted", Code: api.CodeEvicted})
+				return
+			}
+		}
+	}
+	writeError(w, http.StatusNotFound, "unknown job", 0)
 }
 
 // handleStream is GET /v1/jobs/{id}/stream: NDJSON per-shot events,
@@ -428,19 +616,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // resumes from the first event it has not yet seen, because the log is
 // deterministic and append-only.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job", 0)
-		return
-	}
-	from := 0
-	if v := r.URL.Query().Get("from"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("from must be a non-negative integer, got %q", v), 0)
+		if rec, ok := s.storeLookup(id); ok {
+			s.streamFromStore(w, r, rec)
 			return
 		}
-		from = n
+		s.writeUnknownJob(w, id)
+		return
+	}
+	from, ok := parseFrom(w, r)
+	if !ok {
+		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -470,6 +658,49 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// parseFrom reads the ?from=N stream-resume cursor, answering the 400
+// itself on a malformed value.
+func parseFrom(w http.ResponseWriter, r *http.Request) (int, bool) {
+	v := r.URL.Query().Get("from")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("from must be a non-negative integer, got %q", v), 0)
+		return 0, false
+	}
+	return n, true
+}
+
+// streamFromStore replays a disk-served terminal job: the journaled
+// per-shot events — trimmed to the subscriber schema the job was
+// submitted with — then the terminal line. Byte-identical to the stream
+// the original process served.
+func (s *Server) streamFromStore(w http.ResponseWriter, r *http.Request, rec store.JobRecord) {
+	from, ok := parseFrom(w, r)
+	if !ok {
+		return
+	}
+	events, err := s.cfg.Store.Events(rec.ID, from)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("journal read failed: %v", err), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(api.TrimStages(ev, rec.Req.StreamStages)); err != nil {
+			return
+		}
+	}
+	enc.Encode(StreamEnd{Done: true, State: rec.State, Error: rec.Error, Result: rec.Result})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"artery/api"
 )
 
 // postJob submits a request body and returns the response.
@@ -210,8 +212,25 @@ func TestJobTableFull(t *testing.T) {
 		t.Fatalf("job C after retire: status %d, want 202", respC.StatusCode)
 	}
 	decodeStatus(t, respC)
-	if _, code := getStatus(t, ts.URL, a.ID); code != http.StatusNotFound {
-		t.Errorf("evicted job A still resolves: status %d, want 404", code)
+	// An evicted id answers 410 Gone with the typed code — it existed, it
+	// is not coming back — while a never-issued id stays a plain 404.
+	if _, code := getStatus(t, ts.URL, a.ID); code != http.StatusGone {
+		t.Errorf("evicted job A: status %d, want 410", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Code != api.CodeEvicted {
+		t.Errorf("evicted job A: error code %q, want %q", body.Code, api.CodeEvicted)
+	}
+	if _, code := getStatus(t, ts.URL, "job-99999"); code != http.StatusNotFound {
+		t.Errorf("never-issued id: status %d, want 404", code)
 	}
 }
 

@@ -1,0 +1,209 @@
+#!/usr/bin/env bash
+# crash-smoke: the durability gate. Builds arteryd, then:
+#
+#  1. Single node: boot with -data-dir, submit a long job, kill -9 the
+#     daemon mid-run, restart it on the same data dir, and require the
+#     recovered job's full NDJSON stream (every event + the terminal
+#     result line) to be byte-identical to an uninterrupted clean run.
+#     Also checks the store counters on /metrics and that a SIGTERM
+#     drain removes the -addr-file.
+#
+#  2. Coordinator: journal-backed coordinator over two backends; one
+#     backend is kill -9'd mid-job and restarted on its old address;
+#     the coordinator must fail the shard over / resume and still
+#     deliver the byte-identical stream.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/arteryd" ./cmd/arteryd
+
+# The probe job: long enough (~3 s at -worker-budget 1) that the kill
+# lands mid-run, deterministic seed, stage deltas on so the stream
+# exercises the full event shape.
+REQ='{"workload":"qrw","param":5,"controller":"ARTERY","shots":6000,"seed":42,"stream_stages":true}'
+SHOTS=6000
+KILL_AFTER=1000 # merged shots that must be streamed before the kill
+
+# start_node NAME LISTEN_ADDR EXTRA_ARGS... — boots an arteryd, waits
+# for its address file, records ADDR_<NAME> / PID_<NAME>. Pass
+# 127.0.0.1:0 for an ephemeral port, or a concrete address to revive a
+# killed node where its peers expect it.
+start_node() {
+    local name=$1 listen=$2; shift 2
+    local addr_file="$BIN/$name.addr"
+    local log_file="$BIN/$name.log"
+    rm -f "$addr_file"
+    "$BIN/arteryd" -addr "$listen" -addr-file "$addr_file" "$@" \
+        >>"$log_file" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+    for _ in $(seq 1 100); do
+        [[ -s "$addr_file" ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "crash-smoke: $name died during startup" >&2
+            cat "$log_file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$addr_file" ]]; then
+        echo "crash-smoke: $name never published its address" >&2
+        cat "$log_file" >&2
+        exit 1
+    fi
+    eval "ADDR_$name=\$(cat "$addr_file")"
+    eval "PID_$name=$pid"
+    echo "crash-smoke: $name at $(cat "$addr_file") (pid $pid)"
+}
+
+# submit BASE — POSTs the probe job, echoes the assigned id.
+submit() {
+    local id
+    id=$(curl -fsS -X POST "http://$1/v1/jobs" -d "$REQ" \
+        | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+    if [[ -z "$id" ]]; then
+        echo "crash-smoke: submit to $1 returned no job id" >&2
+        exit 1
+    fi
+    echo "$id"
+}
+
+# wait_midrun BASE ID — polls until the job has streamed KILL_AFTER
+# shots while still running; fails if it reaches a terminal state first
+# (the kill would miss the mid-run window).
+wait_midrun() {
+    local base=$1 id=$2 body state n
+    for _ in $(seq 1 600); do
+        body=$(curl -fsS "http://$base/v1/jobs/$id")
+        state=$(grep -o '"state":"[^"]*"' <<<"$body" | head -1 | cut -d'"' -f4)
+        n=$(grep -o '"shots_streamed":[0-9]*' <<<"$body" | cut -d: -f2)
+        case "$state" in
+        done | failed | canceled)
+            echo "crash-smoke: job reached '$state' after $n shots before the kill window (raise SHOTS)" >&2
+            exit 1
+            ;;
+        esac
+        if [[ "${n:-0}" -ge "$KILL_AFTER" ]]; then
+            echo "crash-smoke: $id mid-run at $n/$SHOTS shots"
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "crash-smoke: job never reached $KILL_AFTER streamed shots" >&2
+    exit 1
+}
+
+# ---------------------------------------------------------------------
+# Golden: an uninterrupted in-memory run (no -data-dir — also pins that
+# the store-less default still produces the reference bytes).
+start_node golden 127.0.0.1:0
+GID=$(submit "$ADDR_golden")
+curl -fsS "http://$ADDR_golden/v1/jobs/$GID/stream" >"$BIN/golden.stream"
+kill -TERM "$PID_golden" && wait "$PID_golden"
+[[ -s "$BIN/golden.stream" ]] || {
+    echo "crash-smoke: golden stream is empty" >&2
+    exit 1
+}
+echo "crash-smoke: golden stream captured ($(wc -c <"$BIN/golden.stream") bytes)"
+
+# ---------------------------------------------------------------------
+# Part 1: kill -9 a journaling arteryd mid-job, restart, byte-diff.
+DATA="$BIN/data"
+start_node victim 127.0.0.1:0 -data-dir "$DATA" -checkpoint-shots 64 -fsync interval -worker-budget 1
+JID=$(submit "$ADDR_victim")
+wait_midrun "$ADDR_victim" "$JID"
+kill -KILL "$PID_victim"
+wait "$PID_victim" 2>/dev/null || true
+echo "crash-smoke: victim killed (SIGKILL)"
+
+start_node reborn 127.0.0.1:0 -data-dir "$DATA" -checkpoint-shots 64 -fsync interval -worker-budget 1
+grep -q "recovered 1 jobs" "$BIN/reborn.log" || {
+    echo "crash-smoke: restarted daemon did not report a recovered job" >&2
+    cat "$BIN/reborn.log" >&2
+    exit 1
+}
+curl -fsS "http://$ADDR_reborn/v1/jobs/$JID/stream" >"$BIN/recovered.stream"
+if ! diff -u "$BIN/golden.stream" "$BIN/recovered.stream"; then
+    echo "crash-smoke: recovered stream diverged from the uninterrupted run" >&2
+    exit 1
+fi
+echo "crash-smoke: single-node recovery bit-identical ($(wc -c <"$BIN/recovered.stream") bytes)"
+
+# Store counters must ride /metrics.
+METRICS=$(curl -fsS "http://$ADDR_reborn/metrics")
+for counter in artery_store_records_appended_total artery_store_jobs_recovered_total; do
+    echo "$METRICS" | grep -q "^$counter " || {
+        echo "crash-smoke: /metrics missing $counter" >&2
+        exit 1
+    }
+done
+echo "$METRICS" | grep -q '^artery_store_jobs_recovered_total 1$' || {
+    echo "crash-smoke: artery_store_jobs_recovered_total != 1" >&2
+    exit 1
+}
+
+# Drain must remove the addr file (stale addresses must not race the
+# next boot's watchers).
+kill -TERM "$PID_reborn"
+if ! wait "$PID_reborn"; then
+    echo "crash-smoke: restarted daemon did not drain cleanly" >&2
+    cat "$BIN/reborn.log" >&2
+    exit 1
+fi
+if [[ -e "$BIN/reborn.addr" ]]; then
+    echo "crash-smoke: -addr-file left behind after drain" >&2
+    exit 1
+fi
+echo "crash-smoke: drain removed addr file"
+
+# ---------------------------------------------------------------------
+# Part 2: coordinator with a journal; one backend killed mid-job and
+# restarted on its old address. The shard fails over / resumes and the
+# stitched stream must still match the golden bytes.
+start_node b1 127.0.0.1:0 -worker-budget 1
+start_node b2 127.0.0.1:0 -worker-budget 1
+CDATA="$BIN/cdata"
+start_node coord 127.0.0.1:0 -coordinator -backends "http://$ADDR_b1,http://$ADDR_b2" \
+    -data-dir "$CDATA" -checkpoint-shots 64 -fsync interval
+CJID=$(submit "$ADDR_coord")
+wait_midrun "$ADDR_coord" "$CJID"
+kill -KILL "$PID_b1"
+wait "$PID_b1" 2>/dev/null || true
+echo "crash-smoke: backend b1 killed (SIGKILL)"
+sleep 0.3
+# Revive it on its old address so the coordinator's backend list stays
+# valid for later shard attempts.
+start_node b1revived "$ADDR_b1" -worker-budget 1
+
+curl -fsS "http://$ADDR_coord/v1/jobs/$CJID/stream" >"$BIN/coord.stream"
+if ! diff -u "$BIN/golden.stream" "$BIN/coord.stream"; then
+    echo "crash-smoke: coordinator stream diverged after backend kill" >&2
+    exit 1
+fi
+echo "crash-smoke: coordinator survived backend kill, stream bit-identical"
+
+for name in coord b1revived b2; do
+    pid_var="PID_$name"
+    kill -TERM "${!pid_var}"
+    if ! wait "${!pid_var}"; then
+        echo "crash-smoke: $name did not drain cleanly" >&2
+        cat "$BIN/$name.log" >&2
+        exit 1
+    fi
+done
+PIDS=()
+echo "crash-smoke: ok"
