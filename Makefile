@@ -8,11 +8,12 @@ FAULT_COVER_FLOOR ?= 80.0
 SERVER_COVER_FLOOR ?= 80.0
 STABILIZER_COVER_FLOOR ?= 85.0
 STORE_COVER_FLOOR ?= 85.0
+CHAOS_COVER_FLOOR ?= 85.0
 # Allowed fractional throughput loss of the (disabled) tracing hooks vs
 # the BENCH_engine.json snapshot.
 TRACE_OVERHEAD_TOL ?= 0.01
 
-.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer cover-store backend-diff serve-smoke cluster-smoke crash-smoke trace-overhead bench-engine bench-store bench bench-regress bench-baseline profile
+.PHONY: tier1 ci fuzz-smoke cover-fault cover-server cover-stabilizer cover-store cover-chaos backend-diff serve-smoke cluster-smoke crash-smoke chaos-smoke trace-overhead bench-engine bench-store bench bench-regress bench-baseline profile
 
 tier1:
 	$(GO) build ./...
@@ -27,11 +28,13 @@ ci: tier1
 	$(MAKE) cover-server
 	$(MAKE) cover-stabilizer
 	$(MAKE) cover-store
+	$(MAKE) cover-chaos
 	$(MAKE) trace-overhead
 	$(MAKE) bench-regress
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) chaos-smoke
 
 # Short fuzzing pass over the pulse codecs and the compiled-vs-interpreted
 # circuit differential (one -fuzz target per invocation, as the go tool
@@ -71,6 +74,13 @@ cover-store:
 		'/^total:/ { sub(/%/, "", $$3); printf "internal/store coverage: %s%% (floor %s%%)\n", $$3, floor; \
 		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
 
+# Statement-coverage floor for the deterministic fault proxy.
+cover-chaos:
+	$(GO) test -coverprofile=/tmp/chaos.cover ./internal/chaos
+	@$(GO) tool cover -func=/tmp/chaos.cover | awk -v floor=$(CHAOS_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/chaos coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+
 # Explicit run of the engine-level backend differential suite: both
 # backends must produce bit-identical measurement records and counters
 # for every Clifford workload at workers 1/4/8.
@@ -98,6 +108,13 @@ cluster-smoke:
 # journal-backed coordinator whose backend is killed and revived.
 crash-smoke:
 	bash scripts/crash_smoke.sh
+
+# Resilience gate: three backends each behind a deterministic chaos
+# proxy at escalating fault rates, a coordinator with hedging and
+# breakers on top, loadgen through the chaos, results diffed against a
+# clean direct run (must be byte-identical), then a clean fleet drain.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 # Gate: the tracing layer's disabled hooks must cost < 1% throughput vs
 # the BENCH_engine.json snapshot, and enabling tracing must not change

@@ -23,6 +23,12 @@
 //     reproduces the run's stage table bit-for-bit; the coordinator uses
 //     this to merge sharded streams into a byte-identical result.
 //
+// Version 4 (this package):
+//
+//   - Request gains the optional "deadline_ms" field: a wall-clock bound
+//     on the job measured from admission. Servers predating this schema
+//     reject the field with a clear 400.
+//
 // Version 2 and earlier lived in internal/server; the old names remain
 // importable there (and from client) as deprecated aliases of these types.
 package api
@@ -59,6 +65,13 @@ type Request struct {
 	// scatter-gather coordinator needs to rebuild the merged stage table
 	// bit-for-bit. Off by default: the deltas roughly double event size.
 	StreamStages bool `json:"stream_stages,omitempty"`
+	// DeadlineMs, when non-zero, bounds the job's total wall time in
+	// milliseconds, measured from admission (queue wait included). A job
+	// whose deadline expires before it starts fails without running; one
+	// that expires mid-run ends as a deterministic canceled prefix, exactly
+	// like a graceful drain. Servers predating schema v4 reject this field
+	// with a 400.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 	// Seed drives every stochastic component of the job's private system;
 	// identical requests with identical seeds produce byte-identical
 	// results at any worker budget. Zero selects seed 1.
@@ -286,6 +299,9 @@ func ValidateRequest(req Request, maxShots int) (*artery.Workload, error) {
 	// offset would wrap the sum negative and slip past the cap.
 	if req.ShotOffset > maxShots-req.Shots {
 		return nil, fmt.Errorf("shot range (offset %d + %d shots) exceeds the %d-shot cap", req.ShotOffset, req.Shots, maxShots)
+	}
+	if req.DeadlineMs < 0 {
+		return nil, fmt.Errorf("deadline_ms must be non-negative, got %d", req.DeadlineMs)
 	}
 	lib := artery.Options{Seed: req.Seed}
 	if o := req.Options; o != nil {

@@ -1,0 +1,109 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+
+	"artery/internal/trace"
+)
+
+// This file holds the event/result integrity checks used by readers of
+// untrusted streams — primarily the scatter-gather coordinator, whose
+// shard clients may sit behind degraded links (internal/chaos models
+// them). The service speaks ASCII JSON, so any corruption that sets a
+// byte's high bit either breaks JSON framing outright (a decode error) or
+// lands inside a string and decodes as the U+FFFD replacement rune; these
+// checks catch the latter plus out-of-domain numeric damage, so a corrupt
+// frame is always demoted to a stream failure (and retried) instead of
+// being folded into a merge.
+
+// EventsEqual reports whether two shot events are identical, stage deltas
+// included. The coordinator uses it to assert the bit-identity contract
+// when two attempts of the same shard (a hedge, or a replay after
+// failover) both deliver the same ordinal: differing bytes mean a
+// non-deterministic backend, which must fail the job loudly rather than
+// silently pick a winner.
+func EventsEqual(a, b ShotEvent) bool {
+	if a.Shot != b.Shot || a.LatencyNs != b.LatencyNs ||
+		a.Sites != b.Sites || a.Commits != b.Commits ||
+		a.Correct != b.Correct || a.Fallbacks != b.Fallbacks {
+		return false
+	}
+	if (a.Fidelity == nil) != (b.Fidelity == nil) {
+		return false
+	}
+	if a.Fidelity != nil && *a.Fidelity != *b.Fidelity {
+		return false
+	}
+	if len(a.Stages) != len(b.Stages) {
+		return false
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateEvent checks one streamed shot event for transport damage that
+// survived JSON decoding: a corrupted string decodes to U+FFFD (caught
+// here via the stage-name registry), and corrupted digits that stayed
+// digits show up as out-of-domain counters.
+func ValidateEvent(ev ShotEvent) error {
+	if ev.Shot < 0 {
+		return fmt.Errorf("api: event shot index %d is negative", ev.Shot)
+	}
+	if ev.LatencyNs < 0 || ev.LatencyNs != ev.LatencyNs {
+		return fmt.Errorf("api: event for shot %d has invalid latency %v", ev.Shot, ev.LatencyNs)
+	}
+	if ev.Sites < 0 || ev.Commits < 0 || ev.Correct < 0 || ev.Fallbacks < 0 {
+		return fmt.Errorf("api: event for shot %d has negative counters", ev.Shot)
+	}
+	if ev.Commits > ev.Sites || ev.Correct > ev.Commits {
+		return fmt.Errorf("api: event for shot %d has inconsistent counters (sites %d, commits %d, correct %d)",
+			ev.Shot, ev.Sites, ev.Commits, ev.Correct)
+	}
+	if ev.Fidelity != nil && (*ev.Fidelity < 0 || *ev.Fidelity > 1 || *ev.Fidelity != *ev.Fidelity) {
+		return fmt.Errorf("api: event for shot %d has fidelity %v outside [0, 1]", ev.Shot, *ev.Fidelity)
+	}
+	for _, d := range ev.Stages {
+		if _, ok := trace.StageFromName(d.Stage); !ok {
+			return fmt.Errorf("api: event for shot %d names unknown stage %q", ev.Shot, d.Stage)
+		}
+		if d.Ns < 0 || d.Ns != d.Ns {
+			return fmt.Errorf("api: event for shot %d has invalid stage delta %v", ev.Shot, d.Ns)
+		}
+	}
+	return nil
+}
+
+// ValidateResult checks a terminal result document the same way: known
+// workload-free string fields must be clean ASCII (no replacement runes),
+// stage names must be registered, and the scalar aggregates must lie in
+// their domains.
+func ValidateResult(res *Result) error {
+	if res == nil {
+		return fmt.Errorf("api: terminal record carries no result")
+	}
+	for _, s := range []string{res.Workload, res.Controller} {
+		if strings.ContainsRune(s, '�') {
+			return fmt.Errorf("api: result string %q carries a replacement rune (corrupt frame?)", s)
+		}
+	}
+	if res.Shots < 0 {
+		return fmt.Errorf("api: result shot count %d is negative", res.Shots)
+	}
+	if res.MeanLatencyUs < 0 || res.MeanLatencyUs != res.MeanLatencyUs {
+		return fmt.Errorf("api: result mean latency %v is invalid", res.MeanLatencyUs)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 || res.CommitRate < 0 || res.CommitRate > 1 {
+		return fmt.Errorf("api: result ratios outside [0, 1] (accuracy %v, commit rate %v)", res.Accuracy, res.CommitRate)
+	}
+	for _, st := range res.Stages {
+		if _, ok := trace.StageFromName(st.Stage); !ok {
+			return fmt.Errorf("api: result names unknown stage %q", st.Stage)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package api
+
+import (
+	"math"
+	"testing"
+)
+
+func fptr(f float64) *float64 { return &f }
+
+func TestEventsEqual(t *testing.T) {
+	base := func() ShotEvent {
+		return ShotEvent{
+			Shot: 3, LatencyNs: 1500, Sites: 3, Commits: 2, Correct: 2,
+			Fidelity: fptr(0.75),
+			Stages:   []StageDelta{{Stage: "decision", Ns: 210}, {Stage: "transit", Ns: 4}},
+		}
+	}
+	if a, b := base(), base(); !EventsEqual(a, b) {
+		t.Fatal("identical events reported unequal")
+	}
+	mutations := map[string]func(*ShotEvent){
+		"shot":           func(e *ShotEvent) { e.Shot++ },
+		"latency":        func(e *ShotEvent) { e.LatencyNs++ },
+		"sites":          func(e *ShotEvent) { e.Sites++ },
+		"commits":        func(e *ShotEvent) { e.Commits-- },
+		"correct":        func(e *ShotEvent) { e.Correct-- },
+		"fallbacks":      func(e *ShotEvent) { e.Fallbacks++ },
+		"fidelity-value": func(e *ShotEvent) { e.Fidelity = fptr(0.5) },
+		"fidelity-nil":   func(e *ShotEvent) { e.Fidelity = nil },
+		"stage-count":    func(e *ShotEvent) { e.Stages = e.Stages[:1] },
+		"stage-delta":    func(e *ShotEvent) { e.Stages[0].Ns++ },
+		"stage-name":     func(e *ShotEvent) { e.Stages[0].Stage = "transit" },
+	}
+	for name, mutate := range mutations {
+		a, b := base(), base()
+		mutate(&b)
+		if EventsEqual(a, b) {
+			t.Errorf("%s: mutated event reported equal", name)
+		}
+	}
+}
+
+func TestValidateEvent(t *testing.T) {
+	good := ShotEvent{
+		Shot: 0, LatencyNs: 1500, Sites: 3, Commits: 2, Correct: 1,
+		Stages: []StageDelta{{Stage: "decision", Ns: 210}},
+	}
+	if err := ValidateEvent(good); err != nil {
+		t.Fatalf("clean event rejected: %v", err)
+	}
+	bad := map[string]ShotEvent{
+		"negative-shot":     {Shot: -1},
+		"negative-latency":  {LatencyNs: -3},
+		"nan-latency":       {LatencyNs: math.NaN()},
+		"negative-counter":  {Sites: -1},
+		"commits>sites":     {Sites: 1, Commits: 2},
+		"correct>commits":   {Sites: 3, Commits: 1, Correct: 2},
+		"fidelity-domain":   {Fidelity: fptr(1.5)},
+		"fidelity-nan":      {Fidelity: fptr(math.NaN())},
+		"corrupt-stage-key": {Stages: []StageDelta{{Stage: "deci�ion", Ns: 1}}},
+		"negative-delta":    {Stages: []StageDelta{{Stage: "decision", Ns: -1}}},
+	}
+	for name, ev := range bad {
+		if err := ValidateEvent(ev); err == nil {
+			t.Errorf("%s: damaged event validated", name)
+		}
+	}
+}
+
+func TestValidateResult(t *testing.T) {
+	good := &Result{Workload: "QRW-3", Controller: "ARTERY", Shots: 10, MeanLatencyUs: 2.0, Accuracy: 0.9, CommitRate: 1}
+	if err := ValidateResult(good); err != nil {
+		t.Fatalf("clean result rejected: %v", err)
+	}
+	bad := map[string]*Result{
+		"nil":            nil,
+		"corrupt-string": {Workload: "QRW�3"},
+		"negative-shots": {Shots: -1},
+		"nan-latency":    {MeanLatencyUs: math.NaN()},
+		"ratio-domain":   {Accuracy: 1.2},
+		"unknown-stage":  {Stages: []Stage{{Stage: "bogus"}}},
+	}
+	for name, res := range bad {
+		if err := ValidateResult(res); err == nil {
+			t.Errorf("%s: damaged result validated", name)
+		}
+	}
+}
+
+func TestValidateRequestDeadline(t *testing.T) {
+	req := Request{Workload: "qrw", Param: 3, Shots: 4, DeadlineMs: -1}
+	if _, err := ValidateRequest(req, 1000); err == nil {
+		t.Fatal("negative deadline_ms validated")
+	}
+	req.DeadlineMs = 250
+	if _, err := ValidateRequest(req, 1000); err != nil {
+		t.Fatalf("valid deadline_ms rejected: %v", err)
+	}
+}

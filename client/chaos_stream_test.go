@@ -1,0 +1,116 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"artery/api"
+	"artery/internal/chaos"
+	"artery/internal/server"
+)
+
+// TestStreamResumesThroughChaosProxy is the satellite-4 acceptance test:
+// a client streaming a job through the chaos TCP proxy — which truncates
+// NDJSON responses mid-line, resets connections, and corrupts bytes on a
+// deterministic schedule — must deliver every event exactly once, in
+// order, byte-identical to a clean direct stream, by reconnecting with
+// ?from=<delivered>.
+func TestStreamResumesThroughChaosProxy(t *testing.T) {
+	off := false
+	req := api.Request{
+		Workload: "qrw", Param: 3, Controller: "ARTERY", Shots: 30, Seed: 21,
+		StreamStages: true, Options: &api.RequestOptions{StateSim: &off},
+	}
+	s := server.New(server.Config{QueueDepth: 8, MaxConcurrentJobs: 2, WorkerBudget: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	// The clean reference run, straight at the server.
+	wantEvents, wantResult := streamAll(t, MustNew(ts.URL), req)
+
+	// Truncation-heavy chaos schedule: NDJSON cut mid-line early and
+	// often, with resets and corrupt bytes mixed in. High rates are the
+	// point — the stream should survive a proxy this hostile as long as
+	// reconnects eventually land a working connection.
+	p, err := chaos.NewProxy(chaos.Config{
+		Seed:         5,
+		TruncateRate: 0.4,
+		TruncateMin:  80,
+		TruncateMax:  600,
+		ResetRate:    0.1,
+		CorruptRate:  0.1,
+		CorruptSpan:  512,
+	}, "127.0.0.1:0", ts.URL)
+	if err != nil {
+		t.Fatalf("chaos.NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	cl := MustNew("http://"+p.Addr(), WithRetries(12), WithBackoff(10*time.Millisecond, 100*time.Millisecond))
+	gotEvents, gotResult := streamAll(t, cl, req)
+
+	if p.Faults() == 0 {
+		t.Error("chaos proxy injected no faults — the schedule exercised nothing")
+	}
+	if len(gotEvents) != len(wantEvents) {
+		t.Fatalf("chaos stream delivered %d events, clean stream %d", len(gotEvents), len(wantEvents))
+	}
+	for i := range gotEvents {
+		if gotEvents[i] != wantEvents[i] {
+			t.Fatalf("event %d differs through chaos proxy\n chaos: %s\n clean: %s", i, gotEvents[i], wantEvents[i])
+		}
+	}
+	if gotResult != wantResult {
+		t.Fatalf("result differs through chaos proxy\n chaos: %s\n clean: %s", gotResult, wantResult)
+	}
+}
+
+// streamAll submits req, streams to the end, and returns each event's
+// JSON plus the result JSON.
+func streamAll(t *testing.T, cl *Client, req api.Request) ([]string, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	js, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := cl.Stream(ctx, js.ID)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer st.Close()
+	var events []string
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream next after %d events: %v", len(events), err)
+		}
+		// Exactly-once, in-order: shot numbers must advance one by one
+		// even while the transport is being cut out from under us.
+		if ev.Shot != req.ShotOffset+len(events) {
+			t.Fatalf("event %d carries shot %d — duplicate or gap", len(events), ev.Shot)
+		}
+		b, _ := json.Marshal(ev)
+		events = append(events, string(b))
+	}
+	end := st.End()
+	if end == nil || end.State != api.StateDone || end.Result == nil {
+		t.Fatalf("job ended %+v", end)
+	}
+	b, _ := json.Marshal(end.Result)
+	return events, string(b)
+}

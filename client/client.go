@@ -63,6 +63,7 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	maxWait time.Duration
+	waitCap time.Duration // cap on an honored Retry-After (0 = maxWait)
 	onRetry func(RetryInfo)
 	sleep   func(ctx context.Context, d time.Duration) error // test seam
 
@@ -115,6 +116,12 @@ func WithBackoff(base, max time.Duration) Option {
 
 // WithRetryHook installs an observer invoked before every retry sleep.
 func WithRetryHook(fn func(RetryInfo)) Option { return func(c *Client) { c.onRetry = fn } }
+
+// WithRetryAfterCap bounds how long a server-sent Retry-After header can
+// make Submit sleep (default: the WithBackoff cap). An overloaded — or
+// chaos-degraded — server quoting a huge estimate must not pin a client
+// for minutes when rotating to another endpoint is available.
+func WithRetryAfterCap(d time.Duration) Option { return func(c *Client) { c.waitCap = d } }
 
 // New builds a client for the given base URL (e.g.
 // "http://127.0.0.1:7717"). The URL is validated here — an unparseable
@@ -328,7 +335,14 @@ func (c *Client) trySubmit(ctx context.Context, base string, body []byte) (st *J
 	if resp.StatusCode == http.StatusAccepted {
 		var js JobStatus
 		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
-			return nil, false, err
+			// The job was accepted but its status document did not survive
+			// the wire (a truncated or corrupted response). Retry: with
+			// deterministic jobs a blind resubmission is harmless — the
+			// duplicate run produces byte-identical results.
+			return nil, true, fmt.Errorf("client: decoding 202 response: %w", err)
+		}
+		if js.ID == "" {
+			return nil, true, fmt.Errorf("client: 202 response carries no job id")
 		}
 		return &js, false, nil
 	}
@@ -344,21 +358,26 @@ func (c *Client) trySubmit(ctx context.Context, base string, body []byte) (st *J
 }
 
 // delay computes the next sleep: the server's Retry-After estimate when
-// a 429 carried one, else exponential backoff from the base — either
-// way jittered into [d/2, d] to decorrelate a fleet of clients hammering
-// a full queue.
+// a 429 carried one (capped by WithRetryAfterCap), else exponential
+// backoff from the base (capped by WithBackoff's max) — either way
+// jittered into [d/2, d] to decorrelate a fleet of clients hammering a
+// full queue.
 func (c *Client) delay(attempt int, err error) RetryInfo {
 	var info RetryInfo
 	d := c.backoff << uint(attempt)
+	cap := c.maxWait
 	if he, ok := err.(*httpError); ok {
 		info.Status = he.status
 		info.RetryAfter = he.hasRetry
 		if he.hasRetry && he.retryAfter > 0 {
 			d = he.retryAfter
+			if c.waitCap > 0 {
+				cap = c.waitCap
+			}
 		}
 	}
-	if d > c.maxWait {
-		d = c.maxWait
+	if d > cap {
+		d = cap
 	}
 	c.mu.Lock()
 	jitter := time.Duration(c.rng.Int63n(int64(d/2) + 1))

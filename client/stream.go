@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"unicode/utf8"
 
 	"artery/api"
 )
@@ -124,6 +125,15 @@ func (s *Stream) next() (ShotEvent, error) {
 		line := s.sc.Bytes()
 		if len(line) == 0 {
 			continue
+		}
+		// The wire format is pure ASCII JSON, so any invalid UTF-8 is
+		// corruption in flight. Checking before decoding matters: a
+		// corrupt byte inside a KEY would decode as U+FFFD, turn the key
+		// unknown, and silently zero the field — json.Unmarshal alone
+		// cannot see that. Failing here routes through the reconnect
+		// path, which re-fetches the line clean via ?from=.
+		if !utf8.Valid(line) {
+			return ShotEvent{}, fmt.Errorf("stream: line %d is not valid UTF-8 (corrupted in flight)", s.delivered)
 		}
 		var l streamLine
 		if err := json.Unmarshal(line, &l); err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"artery/internal/chaos"
+	"artery/internal/trace"
+)
+
+// chaosConfig carries the -chaos proxy mode's flags.
+type chaosConfig struct {
+	target   string  // backend base URL or host:port to proxy to
+	listen   string  // proxy listen address (port 0 = ephemeral)
+	rate     float64 // composite fault rate fed to chaos.Scaled
+	seed     uint64  // fault-schedule seed; same seed = same schedule
+	addrFile string  // write the resolved proxy address here once serving
+}
+
+// runChaosProxy fronts one arteryd node with the deterministic chaos
+// proxy and serves until SIGTERM/SIGINT, then reports how many
+// connections were faulted. The schedule depends only on (seed, rate,
+// connection order), so a rerun with the same flags replays the same
+// faults — which is what lets scripts/chaos_smoke.sh diff a chaos run
+// against a clean run byte for byte.
+func runChaosProxy(cfg chaosConfig) error {
+	if cfg.target == "" {
+		return fmt.Errorf("-chaos requires -chaos-target")
+	}
+	if cfg.rate < 0 || cfg.rate > 1 {
+		return fmt.Errorf("-chaos-rate must be in [0,1], got %g", cfg.rate)
+	}
+	reg := trace.NewRegistry()
+	ccfg := chaos.Scaled(cfg.seed, cfg.rate)
+	ccfg.Registry = reg
+	p, err := chaos.NewProxy(ccfg, cfg.listen, cfg.target)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(p.Addr()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("chaos-addr-file: %w", err)
+		}
+		defer os.Remove(cfg.addrFile)
+	}
+	fmt.Printf("chaos proxy %s -> %s (seed=%d, rate=%g)\n", p.Addr(), cfg.target, cfg.seed, cfg.rate)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigCh
+	fmt.Printf("chaos proxy: received %v, closing (%d connections faulted)\n", sig, p.Faults())
+	var prom strings.Builder
+	reg.WriteProm(&prom)
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "artery_chaos_") {
+			fmt.Println(line)
+		}
+	}
+	return nil
+}

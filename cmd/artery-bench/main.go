@@ -10,6 +10,8 @@
 //	artery-bench -trace-overhead BENCH_engine.json [-tolerance F]
 //	artery-bench -loadgen http://HOST:PORT [-clients N] [-jobs N] [-lg-workload name]
 //	             [-lg-param N] [-shots N] [-seed N]
+//	artery-bench -chaos -chaos-target http://HOST:PORT [-chaos-proxy ADDR]
+//	             [-chaos-rate F] [-chaos-seed N] [-chaos-addr-file FILE]
 //
 // -loadgen drives a running arteryd: N concurrent clients submit and
 // stream jobs, and the mode reports service throughput (jobs/s, shots/s)
@@ -17,6 +19,13 @@
 // service reproduces its result bytes exactly. It exits non-zero on any
 // dropped job, any 429 without Retry-After, or a determinism mismatch —
 // the `make serve-smoke` CI gate.
+//
+// -chaos fronts a running arteryd with the deterministic fault proxy
+// (see internal/chaos): a seed-driven schedule of latency, resets,
+// blackholes, truncations, corrupt frames, slow-loris drip and 5xx
+// storms, replayed identically for the same -chaos-seed/-chaos-rate.
+// The `make chaos-smoke` CI gate runs three backends behind escalating
+// chaos rates and diffs the cluster's results against a clean run.
 //
 // Experiment ids follow the paper's numbering: fig2, fig4, fig12a, fig12b,
 // fig12c, fig12d, table1, fig13, fig14, fig15a, fig15b, table2, fig16,
@@ -136,11 +145,32 @@ func main() {
 		lgParam    = flag.Int("lg-param", 5, "workload size parameter for -loadgen jobs")
 		lgStateSim = flag.Bool("lg-state-sim", false, "enable per-shot state simulation in -loadgen jobs")
 
+		chaosMode = flag.Bool("chaos", false, "run a deterministic chaos proxy in front of -chaos-target until SIGTERM")
+		chaosTgt  = flag.String("chaos-target", "", "backend base URL or host:port the chaos proxy fronts")
+		chaosAddr = flag.String("chaos-proxy", "127.0.0.1:0", "chaos proxy listen address (port 0 picks an ephemeral port)")
+		chaosRate = flag.Float64("chaos-rate", 0.1, "composite fault rate in [0,1] for the chaos proxy")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault-schedule seed (same seed + rate replays the same faults)")
+		chaosFile = flag.String("chaos-addr-file", "", "write the resolved chaos proxy address to this file once serving")
+
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("artery-bench %s\n", version.String())
+		return
+	}
+
+	if *chaosMode {
+		if err := runChaosProxy(chaosConfig{
+			target:   *chaosTgt,
+			listen:   *chaosAddr,
+			rate:     *chaosRate,
+			seed:     *chaosSeed,
+			addrFile: *chaosFile,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "artery-bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

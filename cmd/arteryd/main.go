@@ -9,7 +9,7 @@
 //	        [-data-dir DIR] [-fsync always|interval|never]
 //	        [-checkpoint-shots N] [-retain N] [-version]
 //	arteryd -coordinator -backends URL,URL,... [-shards N] [-shard-attempts N]
-//	        [common flags]
+//	        [-health-timeout D] [-hedge=false] [-hedge-delay D] [common flags]
 //
 // -addr-file writes the resolved listen address (useful with -addr
 // 127.0.0.1:0 for ephemeral ports, e.g. in the serve-smoke CI gate); it
@@ -73,6 +73,9 @@ func main() {
 		backends      = flag.String("backends", "", "comma-separated backend arteryd base URLs (required with -coordinator)")
 		shards        = flag.Int("shards", 0, "shot-range shards per job (0 = one per backend)")
 		shardAttempts = flag.Int("shard-attempts", 3, "dispatch attempts per shard before the job fails (first try + failovers)")
+		healthTimeout = flag.Duration("health-timeout", 0, "per-probe timeout for backend health checks (0 = derived from the health interval)")
+		hedge         = flag.Bool("hedge", true, "hedge slow shards onto a second backend after the hedge delay")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive, 2x the observed p95 shard time)")
 		dataDir       = flag.String("data-dir", "", "durable job-store directory (empty = in-memory only)")
 		fsyncPolicy   = flag.String("fsync", "interval", "journal fsync policy: always|interval|never")
 		ckptShots     = flag.Int("checkpoint-shots", 256, "journal checkpoint cadence in merged shots per job")
@@ -118,6 +121,9 @@ func main() {
 			MaxShots:          *maxShots,
 			Store:             st,
 			CheckpointShots:   *ckptShots,
+			HealthTimeout:     *healthTimeout,
+			DisableHedging:    !*hedge,
+			HedgeDelay:        *hedgeDelay,
 		})
 		if err != nil {
 			log.Fatalf("%v", err)

@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is the standalone TCP form of the injector: it listens on one
+// address, forwards accepted connections to a fixed target, and applies
+// each connection's fault plan to the upstream→client byte stream (the
+// client→upstream direction is forwarded verbatim — requests are cheap,
+// responses are where streams live). Connection index = accept order.
+//
+// Destructive endings use a linger-0 close, so the client observes a
+// hard RST rather than a clean EOF — a truncated NDJSON stream must look
+// like a killed peer, not a finished job.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+	str    *streams
+	m      metrics
+	n      atomic.Int64
+	faults atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	done   chan struct{}
+}
+
+// NewProxy validates cfg, resolves target (a host:port, or an http://
+// base URL whose host is used) and starts listening on listen (use
+// "127.0.0.1:0" for an ephemeral port; see Addr).
+func NewProxy(cfg Config, listen, target string) (*Proxy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	hostport := target
+	if strings.Contains(hostport, "://") {
+		hostport = hostport[strings.Index(hostport, "://")+3:]
+	}
+	hostport = strings.TrimSuffix(strings.TrimSpace(hostport), "/")
+	if _, _, err := net.SplitHostPort(hostport); err != nil {
+		return nil, fmt.Errorf("chaos: target %q is not host:port: %v", target, err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %s: %w", listen, err)
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		target: hostport,
+		ln:     ln,
+		str:    newStreams(cfg.Seed),
+		m:      newMetrics(cfg.Registry),
+		conns:  map[net.Conn]struct{}{},
+		done:   make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's resolved listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Connections returns how many connections the proxy has accepted.
+func (p *Proxy) Connections() int64 { return p.n.Load() }
+
+// Faults returns how many destructive faults the proxy has injected.
+func (p *Proxy) Faults() int64 { return p.faults.Load() }
+
+// Close stops accepting, severs every live connection and waits for the
+// handlers to exit. Idempotent.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		i := int(p.n.Add(1) - 1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.handle(conn, i)
+	}
+}
+
+// track removes a finished connection from the force-close set.
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// handle drives one proxied connection through its fault plan.
+func (p *Proxy) handle(conn net.Conn, i int) {
+	defer p.wg.Done()
+	defer p.untrack(conn)
+	pl := planFor(p.cfg, p.str.at(i))
+	p.m.record(pl)
+	if pl.destructive() {
+		p.faults.Add(1)
+	}
+	if pl.delay > 0 && !p.sleep(pl.delay) {
+		conn.Close()
+		return
+	}
+	switch {
+	case pl.storm:
+		// Wait for the client to send its request head before answering —
+		// a response on an idle connection is a protocol error, not a storm.
+		readRequestHead(conn)
+		body := `{"error":"chaos: injected 503 storm"}` + "\n"
+		fmt.Fprintf(conn, "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+		conn.Close()
+		return
+	case pl.blackhole:
+		// Hold the connection dark for the partition window, then reset.
+		p.sleep(p.cfg.BlackholeHold)
+		hardClose(conn)
+		return
+	case pl.reset:
+		hardClose(conn)
+		return
+	}
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		hardClose(conn)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		up.Close()
+		conn.Close()
+		return
+	}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+	defer p.untrack(up)
+	defer up.Close()
+	defer conn.Close()
+
+	// Client → upstream: verbatim.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(up, conn)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Upstream → client: through the plan's degradations.
+	switch {
+	case pl.truncateAt >= 0:
+		io.CopyN(conn, up, int64(pl.truncateAt))
+		hardClose(conn)
+	case pl.corruptAt >= 0:
+		p.copyCorrupt(conn, up, pl.corruptAt, pl.corruptMask)
+	case pl.slow:
+		p.copySlow(conn, up)
+	default:
+		io.Copy(conn, up)
+	}
+}
+
+// copyCorrupt streams upstream bytes flipping the one planned byte.
+func (p *Proxy) copyCorrupt(dst io.Writer, src io.Reader, at int, mask byte) {
+	buf := make([]byte, 32*1024)
+	off := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if at >= off && at < off+n {
+				buf[at-off] ^= mask
+			}
+			off += n
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// copySlow dribbles upstream bytes to the client in small delayed chunks.
+func (p *Proxy) copySlow(dst io.Writer, src io.Reader) {
+	buf := make([]byte, p.cfg.SlowChunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !p.sleep(p.cfg.SlowDelay) {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// sleep waits for d unless the proxy is closed first.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// readRequestHead consumes bytes until the end of an HTTP request head
+// (blank line) or an 8 KiB cap, so a synthetic response is never written
+// onto a connection the client considers idle. Request bodies are not
+// consumed — the synthetic responses all close the connection anyway.
+func readRequestHead(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	var tail [4]byte
+	buf := make([]byte, 1)
+	for total := 0; total < 8*1024; total += 1 {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		copy(tail[:], tail[1:])
+		tail[3] = buf[0]
+		if tail == [4]byte{'\r', '\n', '\r', '\n'} {
+			return
+		}
+	}
+}
+
+// hardClose resets the connection (linger 0 → RST), so the peer sees a
+// transport failure rather than a clean end-of-stream.
+func hardClose(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}

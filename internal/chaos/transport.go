@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is the http.RoundTripper form of the injector: each request
+// is one "connection" (index = arrival order), drawing its fault plan
+// from its own per-index stream. Wrap any http.Client's transport with
+// it to place that client behind a deterministic bad network.
+type Transport struct {
+	cfg    Config
+	base   http.RoundTripper
+	str    *streams
+	n      atomic.Int64
+	faults atomic.Int64
+	m      metrics
+}
+
+// NewTransport validates cfg and wraps base (nil selects
+// http.DefaultTransport).
+func NewTransport(cfg Config, base http.RoundTripper) (*Transport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		cfg:  cfg,
+		base: base,
+		str:  newStreams(cfg.Seed),
+		m:    newMetrics(cfg.Registry),
+	}, nil
+}
+
+// Faults returns how many destructive faults the transport has injected.
+func (t *Transport) Faults() int64 { return t.faults.Load() }
+
+// errInjected marks transport-level chaos errors, so tests (and curious
+// retry loops) can tell an injected failure from a real one.
+type errInjected struct{ kind string }
+
+func (e *errInjected) Error() string { return "chaos: injected " + e.kind }
+
+// IsInjected reports whether err was manufactured by a chaos Transport.
+func IsInjected(err error) bool {
+	for err != nil {
+		if _, ok := err.(*errInjected); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// RoundTrip applies the request's fault plan: latency first, then either
+// a synthetic failure (storm/blackhole/reset) or the real round trip with
+// a degraded body (truncate/corrupt/slow-loris). Context cancellation is
+// honored everywhere — a blackhole never outlives the caller's deadline.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := int(t.n.Add(1) - 1)
+	p := planFor(t.cfg, t.str.at(i))
+	t.m.record(p)
+	if p.destructive() {
+		t.faults.Add(1)
+	}
+	ctx := req.Context()
+	if p.delay > 0 {
+		if err := sleepCtx(ctx, p.delay); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.storm:
+		return synthetic503(req), nil
+	case p.blackhole:
+		if err := sleepCtx(ctx, t.cfg.BlackholeHold); err != nil {
+			return nil, err
+		}
+		return nil, &errInjected{kind: "blackhole (partition healed, connection reset)"}
+	case p.reset:
+		return nil, &errInjected{kind: "connection reset"}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.truncateAt >= 0:
+		resp.Body = &truncateBody{rc: resp.Body, left: p.truncateAt}
+	case p.corruptAt >= 0:
+		resp.Body = &corruptBody{rc: resp.Body, at: p.corruptAt, mask: p.corruptMask}
+	case p.slow:
+		resp.Body = &slowBody{rc: resp.Body, chunk: t.cfg.SlowChunk, delay: t.cfg.SlowDelay, ctx: ctx}
+	}
+	return resp, nil
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// synthetic503 is the storm response: a well-formed 503 that never
+// reached the target.
+func synthetic503(req *http.Request) *http.Response {
+	body := `{"error":"chaos: injected 503 storm"}` + "\n"
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody cuts the stream after its byte budget, surfacing the cut
+// as an unexpected EOF (what a killed TCP peer looks like to a reader).
+type truncateBody struct {
+	rc   io.ReadCloser
+	left int
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= n
+	if err == nil && b.left <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.rc.Close() }
+
+// corruptBody flips one byte at a fixed offset (high bit set — see the
+// package detectability note). Streams shorter than the offset pass
+// through clean.
+type corruptBody struct {
+	rc   io.ReadCloser
+	at   int
+	mask byte
+	off  int
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 && b.at >= b.off && b.at < b.off+n {
+		p[b.at-b.off] ^= b.mask
+	}
+	b.off += n
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }
+
+// slowBody dribbles the stream out in small chunks with a delay between
+// them, honoring the request context.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	delay time.Duration
+	ctx   context.Context
+	first bool
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if b.first {
+		if err := sleepCtx(b.ctx, b.delay); err != nil {
+			return 0, err
+		}
+	}
+	b.first = true
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.rc.Read(p)
+}
+
+func (b *slowBody) Close() error { return b.rc.Close() }

@@ -11,17 +11,33 @@
 // the same request run on a single node — at any shard count, any
 // per-node worker budget, and any co-tenancy on the backends.
 //
-// Failures fail over: each shard is retried with jittered exponential
-// backoff on the next healthy backend (submission-level 429/5xx retries,
-// honoring Retry-After, are handled underneath by the client), and
-// because a re-dispatched shard reproduces the exact event prefix the
-// dead backend already delivered, the merger resumes mid-shard without
-// dedup bookkeeping beyond its consumed-event cursor.
+// The same determinism underwrites the resilience layer (see
+// DESIGN.md's Resilience section):
+//
+//   - Failover: a re-dispatched shard reproduces the exact event prefix
+//     the dead backend already delivered, so the merger resumes
+//     mid-shard with only its consumed-event cursor.
+//   - Hedging: a shard stuck behind a straggler is speculatively
+//     re-dispatched after a latency-percentile delay; because both
+//     attempts must produce identical bytes, the first terminal answer
+//     wins without changing output — and the shard buffer asserts the
+//     identity on every overlapping event, failing the job loudly if a
+//     backend ever disagrees with itself.
+//   - Circuit breakers: per-backend trip/recover hysteresis (modeled on
+//     fault.Tracker) keeps shard placement away from flapping nodes
+//     without a human in the loop.
+//   - Deadlines: api.Request.DeadlineMs propagates into every shard
+//     sub-request with the remaining budget, so one slow shard cannot
+//     hold a deadline-bound job past its promise.
+//   - Overload shedding: while zero backends are healthy the
+//     coordinator's /readyz reports not-ready and submissions shed with
+//     a 503 instead of queueing jobs that cannot run.
 package cluster
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -46,9 +62,38 @@ type Config struct {
 	Shards int
 	// ShardAttempts bounds how many times one shard is dispatched before
 	// the whole job fails: the first attempt plus failovers (default 3).
+	// Hedge attempts do not consume the budget — a hedge is a speculative
+	// duplicate, not a retry.
 	ShardAttempts int
 	// HealthInterval is the backend /readyz polling period (default 250ms).
 	HealthInterval time.Duration
+	// HealthTimeout bounds one /readyz probe (default 2s). It is clamped
+	// below HealthInterval — a probe outliving its polling period would
+	// pile up requests against the very node that is struggling.
+	HealthTimeout time.Duration
+	// DisableHedging turns speculative shard duplication off. With
+	// hedging on (the default), a shard still unanswered after
+	// HedgeDelay is re-dispatched to a different healthy backend and the
+	// first terminal answer wins — safe because both attempts must
+	// deliver identical bytes (asserted per event).
+	DisableHedging bool
+	// HedgeDelay is the wait before hedging a shard (default adaptive:
+	// 2× the observed p95 shard wall time, clamped to [200ms, 5s]).
+	HedgeDelay time.Duration
+	// DisableBreakers turns per-backend circuit breakers off.
+	DisableBreakers bool
+	// BreakerWindow, BreakerTrip, BreakerMinSamples and BreakerCooldown
+	// shape the per-backend breaker (defaults: 16 outcomes, trip at 50%
+	// failures over at least 4 samples, 2s cooldown before half-open).
+	BreakerWindow     int
+	BreakerTrip       float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+	// StragglerFactor declares a backend a straggler when its smoothed
+	// shard wall time exceeds the fleet's fastest by this factor (default
+	// 2.5×); stragglers are deprioritized by shard placement while they
+	// lag, without being marked unhealthy.
+	StragglerFactor float64
 	// QueueDepth, MaxConcurrentJobs, MaxShots and MaxRetainedJobs size
 	// the embedded admission server exactly as in server.Config.
 	QueueDepth        int
@@ -57,7 +102,8 @@ type Config struct {
 	MaxRetainedJobs   int
 	// ClientOptions configures each backend's client (timeouts, retry
 	// budgets). The default keeps submission retries short so failover
-	// moves to another node quickly.
+	// moves to another node quickly. The coordinator always installs its
+	// own retry hook (per-backend retry metrics) after these options.
 	ClientOptions []client.Option
 	// Store and CheckpointShots configure the embedded server's durable
 	// job journal exactly as in server.Config: with a store, the
@@ -79,19 +125,77 @@ func (c Config) withDefaults() Config {
 	if c.HealthInterval == 0 {
 		c.HealthInterval = 250 * time.Millisecond
 	}
+	if c.HealthTimeout == 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.HealthTimeout >= c.HealthInterval {
+		// Clamp below the polling period: a slow probe must fail before
+		// the next one starts, or probes pile up against a sick node.
+		c.HealthTimeout = c.HealthInterval * 9 / 10
+		if c.HealthTimeout < time.Millisecond {
+			c.HealthTimeout = time.Millisecond
+		}
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 16
+	}
+	if c.BreakerTrip == 0 {
+		c.BreakerTrip = 0.5
+	}
+	if c.BreakerMinSamples == 0 {
+		c.BreakerMinSamples = 4
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 2.5
+	}
 	return c
 }
 
 // backend is one arteryd node: its client, its health flag (maintained
-// by the poll loop) and its per-backend instruments.
+// by the poll loop), its circuit breaker, its straggler estimate and its
+// per-backend instruments.
 type backend struct {
 	index   int
 	base    string
 	cl      *client.Client
 	healthy atomic.Bool
+	brk     *breaker
+
+	// ewmaBits is the smoothed shard wall time (float64 seconds bits,
+	// 0.8/0.2 EWMA) feeding straggler detection; ewmaN counts samples so
+	// a cold backend is never judged.
+	ewmaBits atomic.Uint64
+	ewmaN    atomic.Int64
 
 	shardSeconds *trace.Histogram
 	shardsServed *trace.Counter
+	attempts     *trace.Counter
+	submitRetry  *trace.Counter
+	retrySleepMs *trace.Counter
+	brkState     *trace.Gauge
+}
+
+// observe folds one successful shard wall time into the straggler EWMA.
+func (b *backend) observe(seconds float64) {
+	for {
+		old := b.ewmaBits.Load()
+		prev := math.Float64frombits(old)
+		next := seconds
+		if b.ewmaN.Load() > 0 {
+			next = 0.8*prev + 0.2*seconds
+		}
+		if b.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			b.ewmaN.Add(1)
+			return
+		}
+	}
+}
+
+func (b *backend) ewma() (float64, int64) {
+	return math.Float64frombits(b.ewmaBits.Load()), b.ewmaN.Load()
 }
 
 // metrics are the coordinator's shard-level instruments, registered on
@@ -102,7 +206,14 @@ type metrics struct {
 	shardsFailedOver *trace.Counter
 	shardsFailed     *trace.Counter
 	shotsMerged      *trace.Counter
+	hedges           *trace.Counter
+	hedgeWins        *trace.Counter
+	breakerTrips     *trace.Counter
+	stragglerSkips   *trace.Counter
+	backoffSleepMs   *trace.Counter
 	backendsHealthy  *trace.Gauge
+	breakersOpen     *trace.Gauge
+	shardSeconds     *trace.Histogram
 }
 
 // Coordinator fronts a fleet of arteryd backends behind the single-node
@@ -113,6 +224,7 @@ type Coordinator struct {
 	srv      *server.Server
 	backends []*backend
 	m        metrics
+	healthHC *http.Client // one probe client shared by every health loop
 
 	healthCtx    context.Context
 	cancelHealth context.CancelFunc
@@ -128,6 +240,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	cfg = cfg.withDefaults()
 	c := &Coordinator{cfg: cfg}
+	c.healthHC = &http.Client{Timeout: cfg.HealthTimeout}
 	c.srv = server.New(server.Config{
 		QueueDepth:        cfg.QueueDepth,
 		MaxConcurrentJobs: cfg.MaxConcurrentJobs,
@@ -136,32 +249,52 @@ func New(cfg Config) (*Coordinator, error) {
 		Executor:          c.execute,
 		Store:             cfg.Store,
 		CheckpointShots:   cfg.CheckpointShots,
+		ReadyCheck:        c.fleetServes,
+		AdmissionGate:     c.fleetServes,
 	})
 	reg := c.srv.Registry()
 	c.m = metrics{
-		shardsDispatched: reg.Counter("artery_cluster_shards_dispatched_total", "shard dispatches to backends (including failovers)"),
+		shardsDispatched: reg.Counter("artery_cluster_shards_dispatched_total", "shard dispatches to backends (including failovers and hedges)"),
 		shardsRetried:    reg.Counter("artery_cluster_shards_retried_total", "shard dispatches after a failed attempt"),
 		shardsFailedOver: reg.Counter("artery_cluster_shards_failed_over_total", "shard retries that moved to a different backend"),
 		shardsFailed:     reg.Counter("artery_cluster_shards_failed_total", "shards that exhausted their attempt budget"),
 		shotsMerged:      reg.Counter("artery_cluster_shots_merged_total", "per-shot events merged across all jobs"),
+		hedges:           reg.Counter("artery_cluster_hedges_total", "speculative duplicate shard dispatches after the hedge delay"),
+		hedgeWins:        reg.Counter("artery_cluster_hedge_wins_total", "shards whose hedge attempt finished first"),
+		breakerTrips:     reg.Counter("artery_cluster_breaker_trips_total", "circuit-breaker transitions to open"),
+		stragglerSkips:   reg.Counter("artery_cluster_straggler_skips_total", "placements that passed over a straggling backend"),
+		backoffSleepMs:   reg.Counter("artery_cluster_backoff_sleep_ms_total", "milliseconds slept in failover backoff between shard attempts"),
 		backendsHealthy:  reg.Gauge("artery_cluster_backends_healthy", "backends currently passing /readyz"),
+		breakersOpen:     reg.Gauge("artery_cluster_breakers_open", "backends with an open circuit breaker"),
+		shardSeconds:     reg.Histogram("artery_cluster_shard_seconds", "shard wall time across all backends (hedge-delay source)", trace.DefaultJobSecondsBuckets()),
 	}
-	opts := append([]client.Option{
-		client.WithRetries(2),
-		client.WithBackoff(50*time.Millisecond, time.Second),
-	}, cfg.ClientOptions...)
 	for i, base := range cfg.Backends {
+		b := &backend{
+			index:        i,
+			brk:          newBreaker(cfg.BreakerWindow, cfg.BreakerTrip, cfg.BreakerMinSamples, cfg.BreakerCooldown),
+			shardSeconds: reg.Histogram(fmt.Sprintf("artery_cluster_backend%d_shard_seconds", i), fmt.Sprintf("shard wall time on backend %d (%s)", i, base), trace.DefaultJobSecondsBuckets()),
+			shardsServed: reg.Counter(fmt.Sprintf("artery_cluster_backend%d_shards_total", i), fmt.Sprintf("shards completed by backend %d (%s)", i, base)),
+			attempts:     reg.Counter(fmt.Sprintf("artery_cluster_backend%d_attempts_total", i), fmt.Sprintf("shard attempts dispatched to backend %d (%s)", i, base)),
+			submitRetry:  reg.Counter(fmt.Sprintf("artery_cluster_backend%d_submit_retries_total", i), fmt.Sprintf("submission-level retries against backend %d (%s)", i, base)),
+			retrySleepMs: reg.Counter(fmt.Sprintf("artery_cluster_backend%d_retry_sleep_ms_total", i), fmt.Sprintf("milliseconds slept in submission backoff against backend %d (%s)", i, base)),
+			brkState:     reg.Gauge(fmt.Sprintf("artery_cluster_breaker_state_backend%d", i), fmt.Sprintf("breaker state of backend %d (%s): 0 closed, 1 half-open, 2 open", i, base)),
+		}
+		opts := append([]client.Option{
+			client.WithRetries(2),
+			client.WithBackoff(50*time.Millisecond, time.Second),
+			client.WithRetryAfterCap(2 * time.Second),
+		}, cfg.ClientOptions...)
+		// The metrics hook goes last so caller options cannot displace it.
+		opts = append(opts, client.WithRetryHook(func(info client.RetryInfo) {
+			b.submitRetry.Inc()
+			b.retrySleepMs.Add(info.Delay.Milliseconds())
+		}))
 		cl, err := client.New(base, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: backend %d: %w", i, err)
 		}
-		b := &backend{
-			index:        i,
-			base:         cl.Endpoints()[0],
-			cl:           cl,
-			shardSeconds: reg.Histogram(fmt.Sprintf("artery_cluster_backend%d_shard_seconds", i), fmt.Sprintf("shard wall time on backend %d (%s)", i, cl.Endpoints()[0]), trace.DefaultJobSecondsBuckets()),
-			shardsServed: reg.Counter(fmt.Sprintf("artery_cluster_backend%d_shards_total", i), fmt.Sprintf("shards completed by backend %d (%s)", i, cl.Endpoints()[0])),
-		}
+		b.cl = cl
+		b.base = cl.Endpoints()[0]
 		b.healthy.Store(true) // optimistic until the first poll
 		c.backends = append(c.backends, b)
 	}
@@ -196,31 +329,49 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// fleetServes is the coordinator's readiness predicate and admission
+// gate: with zero healthy backends there is nothing to scatter onto, so
+// /readyz reports not-ready (load balancers drain) and submissions shed
+// with a 503 instead of queueing jobs that cannot run.
+func (c *Coordinator) fleetServes() error {
+	if c.healthyCount() == 0 {
+		return fmt.Errorf("no healthy backends (0 of %d passing /readyz)", len(c.backends))
+	}
+	return nil
+}
+
 // healthLoop polls one backend's /readyz, flipping its health flag. An
-// unhealthy backend is skipped by shard placement until it recovers.
+// unhealthy backend is skipped by shard placement until it recovers. The
+// first probe fires immediately — readiness truth should not wait a full
+// polling period after boot.
 func (c *Coordinator) healthLoop(b *backend) {
 	defer c.healthWG.Done()
-	hc := &http.Client{Timeout: 2 * time.Second}
 	t := time.NewTicker(c.cfg.HealthInterval)
 	defer t.Stop()
 	for {
+		c.probe(b)
 		select {
 		case <-c.healthCtx.Done():
 			return
 		case <-t.C:
 		}
-		req, err := http.NewRequestWithContext(c.healthCtx, http.MethodGet, b.base+"/readyz", nil)
-		if err != nil {
-			continue
-		}
-		ok := false
-		if resp, err := hc.Do(req); err == nil {
-			ok = resp.StatusCode == http.StatusOK
-			resp.Body.Close()
-		}
-		if b.healthy.Swap(ok) != ok {
-			c.m.backendsHealthy.Set(float64(c.healthyCount()))
-		}
+	}
+}
+
+// probe performs one /readyz check against a backend, using the shared
+// probe client (one idle pool for the whole fleet, not one per loop).
+func (c *Coordinator) probe(b *backend) {
+	req, err := http.NewRequestWithContext(c.healthCtx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	ok := false
+	if resp, err := c.healthHC.Do(req); err == nil {
+		ok = resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+	}
+	if b.healthy.Swap(ok) != ok {
+		c.m.backendsHealthy.Set(float64(c.healthyCount()))
 	}
 }
 
@@ -234,19 +385,91 @@ func (c *Coordinator) healthyCount() int {
 	return n
 }
 
+// noteOutcome records an attempt outcome into a backend's breaker and
+// refreshes the breaker gauges.
+func (c *Coordinator) noteOutcome(b *backend, ok bool) {
+	if c.cfg.DisableBreakers {
+		return
+	}
+	if b.brk.record(ok) {
+		c.m.breakerTrips.Inc()
+	}
+	c.refreshBreakerGauges()
+}
+
+func (c *Coordinator) refreshBreakerGauges() {
+	open := 0
+	for _, b := range c.backends {
+		st := b.brk.current()
+		b.brkState.Set(float64(st))
+		if st == breakerOpen {
+			open++
+		}
+	}
+	c.m.breakersOpen.Set(float64(open))
+}
+
+// breakerAllows reports whether placement may use a backend.
+func (c *Coordinator) breakerAllows(b *backend) bool {
+	return c.cfg.DisableBreakers || b.brk.allow()
+}
+
+// straggling reports whether a backend's smoothed shard wall time lags
+// the fleet's fastest by the straggler factor. Judged only with at least
+// two samples on both sides, and only for gaps above 50ms — at
+// microbenchmark latencies the factor would trip on noise.
+func (c *Coordinator) straggling(b *backend) bool {
+	mine, n := b.ewma()
+	if n < 2 {
+		return false
+	}
+	best := math.Inf(1)
+	for _, o := range c.backends {
+		if o == b {
+			continue
+		}
+		e, on := o.ewma()
+		if on >= 2 && e < best {
+			best = e
+		}
+	}
+	if math.IsInf(best, 1) {
+		return false
+	}
+	return mine > c.cfg.StragglerFactor*best && mine > best+0.05
+}
+
 // pickBackend places a shard attempt: shards start round-robin by index
-// and each failover advances to the next backend, skipping unhealthy
-// nodes; when every node looks unhealthy the nominal one is tried anyway
-// (the poll may lag a recovery).
-func (c *Coordinator) pickBackend(shardIdx, attempt int) *backend {
+// and each failover advances to the next backend. Placement prefers
+// healthy, breaker-admitted, non-straggling nodes; failing that it drops
+// the straggler veto, and as a last resort returns the nominal backend
+// anyway (the poll may lag a recovery) — except for hedge placement
+// (exclude != nil), which returns nil rather than hedge onto a node
+// that is down, tripped, or the primary itself: a hedge is an
+// optimization, not a right.
+func (c *Coordinator) pickBackend(shardIdx, attempt int, exclude *backend) *backend {
 	n := len(c.backends)
 	start := (shardIdx + attempt) % n
+	var fallback *backend
 	for off := 0; off < n; off++ {
 		b := c.backends[(start+off)%n]
-		if b.healthy.Load() {
-			return b
+		if b == exclude || !b.healthy.Load() || !c.breakerAllows(b) {
+			continue
 		}
+		if c.straggling(b) {
+			c.m.stragglerSkips.Inc()
+			if fallback == nil {
+				fallback = b
+			}
+			continue
+		}
+		return b
+	}
+	if fallback != nil {
+		return fallback
+	}
+	if exclude != nil {
+		return nil
 	}
 	return c.backends[start]
 }
-

@@ -261,6 +261,9 @@ func TestCoordinatorFailsOverMidJob(t *testing.T) {
 	co, coordURL := startCoordinator(t, Config{
 		Backends:      []string{survivor.ts.URL, dying.ts.URL},
 		ShardAttempts: 4,
+		// Hedging would rescue the shard on the survivor before the retry
+		// loop runs; this test pins the failover path specifically.
+		DisableHedging: true,
 	})
 	res, events := runJob(t, coordURL, req)
 	compareRuns(t, "failover", wantRes, wantEvents, res, events)

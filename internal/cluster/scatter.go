@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +12,13 @@ import (
 	"artery/api"
 	"artery/internal/server"
 )
+
+// errDeterminism marks the one unrecoverable shard failure: two attempts
+// of the same shard delivered different bytes for the same global shot.
+// Retrying cannot help — the fleet is lying about the determinism
+// contract the merge path rests on — so the job fails loudly instead of
+// silently picking a winner.
+var errDeterminism = errors.New("cluster: attempts disagree on a shot's bytes (non-deterministic backend)")
 
 // shardRange is one contiguous global shot range [Lo, Hi).
 type shardRange struct{ Lo, Hi int }
@@ -39,20 +47,27 @@ func splitRange(offset, shots, n int) []shardRange {
 	return out
 }
 
-// shard is one dispatched shot range moving through scatter-gather. Its
-// dispatcher appends streamed events as they arrive (so the merger
-// pipelines behind live shards) and resets the buffer on failover; the
-// merger addresses the buffer by its consumed-event cursor minus base
-// and trims the prefix it has merged (the job's own event log holds the
-// merged copy, so the coordinator never buffers a job's events twice).
-// Cursor arithmetic stays valid across resets because base returns to
-// zero and a re-dispatched shard reproduces the exact same event prefix.
+// shard is one dispatched shot range moving through scatter-gather. The
+// buffer is ordinal-addressed and append-only: every attempt (first
+// dispatch, failover replay, hedge duplicate) offers each event under
+// its ordinal — the shot's index within the shard — and the buffer
+// appends the first copy of each new ordinal, discards ordinals already
+// merged past, and asserts bit-identity against ordinals still buffered.
+// Nothing ever resets, so concurrent attempts can interleave freely: a
+// replay races through the verified prefix by dedup while the merger
+// keeps consuming, and a divergent byte anywhere is a loud determinism
+// error instead of a silent coin flip.
+//
+// The merger addresses the buffer by its consumed-event cursor minus
+// base and trims the prefix it has merged (the job's own event log holds
+// the merged copy, so the coordinator never buffers a job's events
+// twice).
 type shard struct {
 	index  int
 	rng    shardRange
 	mu     sync.Mutex
 	events []api.ShotEvent
-	base   int         // absolute cursor of events[0] within this attempt
+	base   int         // ordinal of events[0]; grows only by merger trims
 	result *api.Result // the shard's own end-of-stream result (names, sanity)
 	err    error       // terminal failure after the attempt budget
 	notify chan struct{}
@@ -68,23 +83,32 @@ func (s *shard) broadcast() {
 	s.notify = make(chan struct{})
 }
 
-func (s *shard) append(ev api.ShotEvent) {
+// offer folds one attempt's event in under its ordinal (see the shard
+// comment). The returned error is a determinism violation — terminal for
+// the whole job.
+func (s *shard) offer(ordinal int, ev api.ShotEvent) error {
 	s.mu.Lock()
-	s.events = append(s.events, ev)
-	s.broadcast()
-	s.mu.Unlock()
-}
-
-// reset discards a failed attempt's partial events before failover. The
-// next attempt replays from the shard's Lo, so the buffer restarts at
-// absolute cursor zero; the merger waits until the replay catches back
-// up to wherever it had consumed.
-func (s *shard) reset() {
-	s.mu.Lock()
-	s.events = nil
-	s.base = 0
-	s.broadcast()
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	next := s.base + len(s.events)
+	switch {
+	case ordinal < s.base:
+		// Already merged and trimmed: a replay or hedge catching up
+		// through territory the merger has consumed.
+		return nil
+	case ordinal < next:
+		if !api.EventsEqual(s.events[ordinal-s.base], ev) {
+			return fmt.Errorf("%w: shard [%d,%d) shot %d", errDeterminism, s.rng.Lo, s.rng.Hi, ev.Shot)
+		}
+		return nil
+	case ordinal == next:
+		s.events = append(s.events, ev)
+		s.broadcast()
+		return nil
+	default:
+		// Attempts deliver ordinals sequentially from zero; a gap can
+		// only mean a coordinator bug.
+		return fmt.Errorf("cluster: internal error: shard [%d,%d) offered ordinal %d past %d", s.rng.Lo, s.rng.Hi, ordinal, next)
+	}
 }
 
 // finish records the shard's terminal outcome: its result, or the error
@@ -99,8 +123,10 @@ func (s *shard) finish(res *api.Result, err error) {
 // execute is the coordinator's job executor (server.Config.Executor):
 // scatter the job's shot range over the backends, gather the per-shot
 // event streams, merge them in global shot order, and drive the job to
-// its terminal state. Honors ctx: a drain completes the job with the
-// deterministic merged prefix, exactly like a drained single node.
+// its terminal state. Honors ctx: a drain — or an expired DeadlineMs,
+// which the embedded server turns into a context deadline — completes
+// the job with the deterministic merged prefix, exactly like a drained
+// single node.
 //
 // A job recovered from the journal mid-run carries a merged-event prefix
 // (see server.Job.Prefix): the fold is seeded with the prefix and only
@@ -140,33 +166,38 @@ func (c *Coordinator) execute(ctx context.Context, j *server.Job) {
 	c.gather(ctx, j, agg, shards)
 }
 
-// runShard drives one shard to completion: dispatch to a backend, stream
-// its events into the shard buffer, and on failure retry on the next
-// healthy backend with jittered exponential backoff, up to the attempt
-// budget.
+// runShard drives one shard to completion: dispatch to a backend (with a
+// hedge after the hedge delay), and on failure retry on the next healthy
+// backend with jittered exponential backoff, up to the attempt budget. A
+// determinism violation is terminal immediately — no retry can make two
+// divergent byte streams agree.
 func (c *Coordinator) runShard(ctx context.Context, req api.Request, sh *shard) {
 	var lastErr error
 	var prev *backend
 	for attempt := 0; attempt < c.cfg.ShardAttempts; attempt++ {
 		if attempt > 0 {
 			c.m.shardsRetried.Inc()
+			d := failoverDelay(attempt)
+			c.m.backoffSleepMs.Add(d.Milliseconds())
 			select {
-			case <-time.After(failoverDelay(attempt)):
+			case <-time.After(d):
 			case <-ctx.Done():
 				sh.finish(nil, ctx.Err())
 				return
 			}
 		}
-		b := c.pickBackend(sh.index, attempt)
+		b := c.pickBackend(sh.index, attempt, nil)
 		if attempt > 0 && b != prev {
 			c.m.shardsFailedOver.Inc()
 		}
 		prev = b
-		c.m.shardsDispatched.Inc()
-		res, err := c.tryShard(ctx, b, req, sh)
+		res, err := c.runAttempt(ctx, req, sh, b)
 		if err == nil {
-			b.shardsServed.Inc()
 			sh.finish(res, nil)
+			return
+		}
+		if errors.Is(err, errDeterminism) {
+			sh.finish(nil, err)
 			return
 		}
 		if ctx.Err() != nil {
@@ -174,10 +205,98 @@ func (c *Coordinator) runShard(ctx context.Context, req api.Request, sh *shard) 
 			return
 		}
 		lastErr = err
-		sh.reset()
 	}
 	c.m.shardsFailed.Inc()
 	sh.finish(nil, fmt.Errorf("shard [%d,%d) failed after %d attempts: %w", sh.rng.Lo, sh.rng.Hi, c.cfg.ShardAttempts, lastErr))
+}
+
+// runAttempt races a primary dispatch against an optional hedge: if the
+// primary has not finished after the hedge delay, the same shard is
+// dispatched to a different backend and the first terminal answer wins.
+// Safe under the determinism contract — both attempts must produce
+// identical bytes, and the shard buffer asserts it — so first-wins
+// cannot change output, only wall time. The losing attempt is canceled
+// through the attempt context; its outcome is never recorded against its
+// backend's breaker (a cancellation is the coordinator's doing, not the
+// backend's failure).
+func (c *Coordinator) runAttempt(ctx context.Context, req api.Request, sh *shard, primary *backend) (*api.Result, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res    *api.Result
+		err    error
+		b      *backend
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	launch := func(b *backend, hedged bool) {
+		c.m.shardsDispatched.Inc()
+		b.attempts.Inc()
+		go func() {
+			res, err := c.tryShard(actx, b, req, sh)
+			ch <- outcome{res: res, err: err, b: b, hedged: hedged}
+		}()
+	}
+	launch(primary, false)
+	inflight := 1
+	var hedgeTimer <-chan time.Time
+	if !c.cfg.DisableHedging && len(c.backends) > 1 {
+		hedgeTimer = time.After(c.hedgeDelay())
+	}
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				c.noteOutcome(out.b, true)
+				if out.hedged {
+					c.m.hedgeWins.Inc()
+				}
+				return out.res, nil
+			}
+			if errors.Is(out.err, errDeterminism) {
+				return nil, out.err
+			}
+			if actx.Err() == nil {
+				// A genuine backend failure, not our own cancellation.
+				c.noteOutcome(out.b, false)
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if hb := c.pickBackend(sh.index, 0, primary); hb != nil {
+				c.m.hedges.Inc()
+				launch(hb, true)
+				inflight++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay is how long a shard may go unanswered before it is hedged:
+// the configured delay, or adaptively twice the observed p95 shard wall
+// time, clamped to [200ms, 5s] (with no observations yet the floor
+// applies — early traffic should not hedge on pure guesswork).
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	d := time.Duration(2 * c.m.shardSeconds.Quantile(0.95) * float64(time.Second))
+	if d < 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // failoverDelay is the jittered exponential backoff between shard
@@ -193,14 +312,29 @@ func failoverDelay(attempt int) time.Duration {
 
 // tryShard performs one shard attempt against one backend: submit the
 // sub-request (the shard's global range, stage deltas always on — the
-// merger needs them), stream every event into the shard buffer, and
-// verify the backend delivered the complete, uncanceled range.
+// merger needs them, and the remaining deadline budget when the job has
+// one), stream every event into the shard buffer, and verify the backend
+// delivered the complete, uncanceled, well-formed range. Every event and
+// the terminal result are integrity-checked (api.ValidateEvent /
+// ValidateResult), so a corrupt frame that survived JSON decoding is
+// demoted to a retryable stream failure instead of reaching the merge.
 func (c *Coordinator) tryShard(ctx context.Context, b *backend, req api.Request, sh *shard) (*api.Result, error) {
 	start := time.Now()
 	sub := req
 	sub.ShotOffset = sh.rng.Lo
 	sub.Shots = sh.rng.Hi - sh.rng.Lo
 	sub.StreamStages = true
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		ms := int(remaining.Milliseconds())
+		if ms < 1 {
+			ms = 1
+		}
+		sub.DeadlineMs = ms
+	}
 	js, err := b.cl.Submit(ctx, sub)
 	if err != nil {
 		return nil, fmt.Errorf("backend %d (%s): submit: %w", b.index, b.base, err)
@@ -222,7 +356,12 @@ func (c *Coordinator) tryShard(ctx context.Context, b *backend, req api.Request,
 		if ev.Shot != sh.rng.Lo+n {
 			return nil, fmt.Errorf("backend %d (%s): event %d carries shot %d, want %d", b.index, b.base, n, ev.Shot, sh.rng.Lo+n)
 		}
-		sh.append(ev)
+		if verr := api.ValidateEvent(ev); verr != nil {
+			return nil, fmt.Errorf("backend %d (%s): corrupt event: %w", b.index, b.base, verr)
+		}
+		if oerr := sh.offer(n, ev); oerr != nil {
+			return nil, oerr
+		}
 		n++
 	}
 	end := st.End()
@@ -233,12 +372,19 @@ func (c *Coordinator) tryShard(ctx context.Context, b *backend, req api.Request,
 		}
 		return nil, fmt.Errorf("backend %d (%s): shard ended %s: %s", b.index, b.base, state, msg)
 	}
+	if verr := api.ValidateResult(end.Result); verr != nil {
+		return nil, fmt.Errorf("backend %d (%s): corrupt result: %w", b.index, b.base, verr)
+	}
 	if end.Result.Canceled || n != sub.Shots {
 		// A draining backend returns a truncated prefix — valid for its
 		// own clients, but a missing tail for ours: fail over.
 		return nil, fmt.Errorf("backend %d (%s): shard truncated at %d of %d shots (backend draining?)", b.index, b.base, n, sub.Shots)
 	}
-	b.shardSeconds.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	b.shardSeconds.Observe(elapsed)
+	c.m.shardSeconds.Observe(elapsed)
+	b.observe(elapsed)
+	b.shardsServed.Inc()
 	return end.Result, nil
 }
 

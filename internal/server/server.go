@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -37,6 +38,16 @@ type Config struct {
 	// oldest terminal jobs are evicted, keeping server memory bounded
 	// under sustained traffic (default 1024).
 	MaxRetainedJobs int
+	// ReadyCheck, when set, adds a readiness predicate to /readyz beyond
+	// "accepting": a non-nil error answers 503 with the error text. The
+	// coordinator uses it to report not-ready while zero backends are
+	// healthy, so load balancers drain a cluster that cannot serve.
+	ReadyCheck func() error
+	// AdmissionGate, when set, is consulted before every submission is
+	// admitted: a non-nil error sheds the request with a 503 instead of
+	// queueing work that cannot run (the coordinator sheds while zero
+	// backends are healthy).
+	AdmissionGate func() error
 	// Executor, when set, replaces the built-in local engine executor:
 	// the dispatcher pool invokes it for every job pulled off the queue,
 	// and it must drive the job to a terminal state (Complete or Fail)
@@ -83,25 +94,28 @@ func (c Config) withDefaults() Config {
 
 // serverMetrics are the service-level instruments exposed on /metrics.
 type serverMetrics struct {
-	submitted, rejected           *trace.Counter
+	submitted, rejected, shed     *trace.Counter
 	completed, failed, canceled   *trace.Counter
 	shotsStreamed                 *trace.Counter
+	deadlineExpired               *trace.Counter
 	queueDepth, running, draining *trace.Gauge
 	jobSeconds                    *trace.Histogram
 }
 
 func newServerMetrics(reg *trace.Registry) serverMetrics {
 	return serverMetrics{
-		submitted:     reg.Counter("artery_server_jobs_submitted_total", "jobs accepted into the queue"),
-		rejected:      reg.Counter("artery_server_jobs_rejected_total", "submissions rejected by admission control (429)"),
-		completed:     reg.Counter("artery_server_jobs_completed_total", "jobs finished with a result"),
-		failed:        reg.Counter("artery_server_jobs_failed_total", "jobs finished with an error"),
-		canceled:      reg.Counter("artery_server_jobs_canceled_total", "queued jobs canceled by shutdown before running"),
-		shotsStreamed: reg.Counter("artery_server_shots_streamed_total", "per-shot updates committed across all jobs"),
-		queueDepth:    reg.Gauge("artery_server_queue_depth", "jobs waiting in the admission queue"),
-		running:       reg.Gauge("artery_server_jobs_running", "jobs currently executing"),
-		draining:      reg.Gauge("artery_server_draining", "1 while the server is shutting down"),
-		jobSeconds:    reg.Histogram("artery_server_job_seconds", "job wall time from admission to completion", trace.DefaultJobSecondsBuckets()),
+		submitted:       reg.Counter("artery_server_jobs_submitted_total", "jobs accepted into the queue"),
+		rejected:        reg.Counter("artery_server_jobs_rejected_total", "submissions rejected by admission control (429)"),
+		shed:            reg.Counter("artery_server_jobs_shed_total", "submissions shed by the admission gate (503)"),
+		deadlineExpired: reg.Counter("artery_server_deadline_expired_total", "jobs whose deadline_ms expired (before start or mid-run)"),
+		completed:       reg.Counter("artery_server_jobs_completed_total", "jobs finished with a result"),
+		failed:          reg.Counter("artery_server_jobs_failed_total", "jobs finished with an error"),
+		canceled:        reg.Counter("artery_server_jobs_canceled_total", "queued jobs canceled by shutdown before running"),
+		shotsStreamed:   reg.Counter("artery_server_shots_streamed_total", "per-shot updates committed across all jobs"),
+		queueDepth:      reg.Gauge("artery_server_queue_depth", "jobs waiting in the admission queue"),
+		running:         reg.Gauge("artery_server_jobs_running", "jobs currently executing"),
+		draining:        reg.Gauge("artery_server_draining", "1 while the server is shutting down"),
+		jobSeconds:      reg.Histogram("artery_server_job_seconds", "job wall time from admission to completion", trace.DefaultJobSecondsBuckets()),
 	}
 }
 
@@ -277,7 +291,7 @@ func (s *Server) worker() {
 		}
 		j.setRunning()
 		s.m.running.Set(s.runningDelta(+1))
-		s.runSafely(j)
+		s.startJob(j)
 		s.m.running.Set(s.runningDelta(-1))
 		st := j.snapshot(s.now())
 		switch st.State {
@@ -293,10 +307,37 @@ func (s *Server) worker() {
 	}
 }
 
+// startJob applies the job's deadline (api.Request.DeadlineMs, measured
+// from admission) and invokes the executor. A deadline that expired while
+// the job sat in the queue fails it without running; one that expires
+// mid-run cancels the wrapped context, ending the job as a deterministic
+// canceled prefix — exactly like a graceful drain.
+func (s *Server) startJob(j *Job) {
+	ctx := s.runCtx
+	if j.Req.DeadlineMs > 0 {
+		deadline := j.accepted.Add(time.Duration(j.Req.DeadlineMs) * time.Millisecond)
+		if !s.now().Before(deadline) {
+			s.m.deadlineExpired.Inc()
+			j.fail(fmt.Sprintf("deadline_ms=%d expired before the job started (queued %.3fs)",
+				j.Req.DeadlineMs, s.now().Sub(j.accepted).Seconds()), s.now())
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(s.runCtx, deadline)
+		defer cancel()
+		defer func() {
+			if ctx.Err() == context.DeadlineExceeded {
+				s.m.deadlineExpired.Inc()
+			}
+		}()
+	}
+	s.runSafely(ctx, j)
+}
+
 // runSafely invokes the job executor, converting a panic into a failed
 // job: workers are the only dispatchers, so a panic escaping one would
 // take down the whole process on behalf of a single bad request.
-func (s *Server) runSafely(j *Job) {
+func (s *Server) runSafely(ctx context.Context, j *Job) {
 	defer func() {
 		if r := recover(); r != nil {
 			if !terminal(j.snapshot(s.now()).State) {
@@ -304,7 +345,7 @@ func (s *Server) runSafely(j *Job) {
 			}
 		}
 	}()
-	s.runJob(s.runCtx, j)
+	s.runJob(ctx, j)
 }
 
 // runningDelta adjusts the running-jobs count under mu and returns the
@@ -466,6 +507,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	if s.cfg.AdmissionGate != nil {
+		if gerr := s.cfg.AdmissionGate(); gerr != nil {
+			s.m.shed.Inc()
+			writeError(w, http.StatusServiceUnavailable, gerr.Error(), 0)
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if !s.accepting {
@@ -537,13 +585,34 @@ func (s *Server) retire(j *Job) {
 }
 
 // reject answers an over-capacity submission: 429 with a Retry-After
-// estimate scaled by the backlog ahead of the caller (backpressure, not
-// buffering).
+// estimate derived from the backlog ahead of the caller and the observed
+// job wall times (backpressure, not buffering).
 func (s *Server) reject(w http.ResponseWriter, msg string) {
 	s.m.rejected.Inc()
-	retry := 1 + len(s.queue)/s.cfg.MaxConcurrentJobs
+	retry := s.retryAfterEstimate()
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeError(w, http.StatusTooManyRequests, msg, retry)
+}
+
+// retryAfterEstimate predicts when queue room is likely: the backlog
+// ahead of the caller (plus one for the caller) times the mean observed
+// job wall time, divided across the dispatcher pool. Before any job has
+// finished the mean defaults to one second; the estimate is clamped to
+// [1, 60] so a pathological backlog never tells clients to vanish for
+// an hour.
+func (s *Server) retryAfterEstimate() int {
+	mean := 1.0
+	if n := s.m.jobSeconds.Count(); n > 0 {
+		mean = s.m.jobSeconds.Sum() / float64(n)
+	}
+	est := int(math.Ceil(float64(len(s.queue)+1) * mean / float64(s.cfg.MaxConcurrentJobs)))
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
 }
 
 // handleStatus is GET /v1/jobs/{id}: the in-memory job, or — when a
@@ -726,6 +795,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		writeError(w, http.StatusServiceUnavailable, "draining", 0)
 		return
+	}
+	if s.cfg.ReadyCheck != nil {
+		if err := s.cfg.ReadyCheck(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")

@@ -172,6 +172,55 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the p-quantile (p in [0, 1]) from the bucket counts:
+// it finds the bucket holding the p-th observation and interpolates
+// linearly inside it, the same estimate a Prometheus histogram_quantile
+// gives. Returns 0 when the histogram is nil or empty; observations in
+// the +Inf bucket resolve to the highest finite bound. The estimate is a
+// snapshot — concurrent observers may shift it between calls.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := uint64(0)
+	for i, ub := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (ub-lo)*frac
+		}
+		cum += n
+	}
+	// The p-th observation sits in the +Inf bucket: the bucket layout
+	// cannot resolve it, so report the highest finite bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DefaultLatencyBucketsNs is the fixed bucket layout used for feedback
 // latencies: sub-window resolution around the predictor's commit times up
 // through the multi-microsecond blocking paths.

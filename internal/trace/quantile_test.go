@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.95); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", "quantile test", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// 100 observations spread uniformly over (0, 4]: 25 per bucket
+	// (0,1], (1,2], (2,4] is 50.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	// p50 → rank 50 lands at the end of (1,2].
+	if got := h.Quantile(0.5); math.Abs(got-2.0) > 0.25 {
+		t.Errorf("p50 = %v, want ~2.0", got)
+	}
+	// p95 → deep inside (2,4].
+	if got := h.Quantile(0.95); got < 3.0 || got > 4.0 {
+		t.Errorf("p95 = %v, want in (3, 4]", got)
+	}
+	// Quantiles are monotone in p.
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower p (%v)", p, q, prev)
+		}
+		prev = q
+	}
+	// Out-of-range p clamps instead of panicking.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want clamp to p=0 (%v)", got, h.Quantile(0))
+	}
+
+	// Observations past the last finite bound resolve to that bound, not
+	// +Inf.
+	h2 := reg.Histogram("q_test_inf", "quantile inf test", []float64{1})
+	for i := 0; i < 10; i++ {
+		h2.Observe(100)
+	}
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want highest finite bound 1", got)
+	}
+}

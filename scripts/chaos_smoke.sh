@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# chaos-smoke: the cluster resilience gate. Boots three backend arteryd
+# nodes, fronts each with a deterministic chaos proxy at an escalating
+# fault rate (latency, resets, blackholes, truncated/corrupted frames,
+# slow-loris drip, 5xx storms — same seed, same schedule), points a
+# scatter-gather coordinator at the proxies, drives it with the loadgen,
+# and requires the coordinator's result bytes to equal a clean direct
+# backend run. Then SIGTERMs the fleet and requires clean drains.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/arteryd" ./cmd/arteryd
+go build -o "$BIN/artery-bench" ./cmd/artery-bench
+
+# start_node NAME EXTRA_ARGS... — boots an arteryd, waits for its
+# address file, and records ADDR_<NAME> / PID_<NAME>.
+start_node() {
+    local name=$1; shift
+    local addr_file="$BIN/$name.addr"
+    local log_file="$BIN/$name.log"
+    "$BIN/arteryd" -addr 127.0.0.1:0 -addr-file "$addr_file" "$@" \
+        >"$log_file" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+    wait_addr "$name" "$addr_file" "$log_file" "$pid"
+}
+
+# start_proxy NAME TARGET RATE SEED — boots a chaos proxy in front of
+# TARGET and records ADDR_<NAME> / PID_<NAME>.
+start_proxy() {
+    local name=$1 target=$2 rate=$3 seed=$4
+    local addr_file="$BIN/$name.addr"
+    local log_file="$BIN/$name.log"
+    "$BIN/artery-bench" -chaos -chaos-target "$target" \
+        -chaos-proxy 127.0.0.1:0 -chaos-rate "$rate" -chaos-seed "$seed" \
+        -chaos-addr-file "$addr_file" >"$log_file" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+    wait_addr "$name" "$addr_file" "$log_file" "$pid"
+}
+
+wait_addr() {
+    local name=$1 addr_file=$2 log_file=$3 pid=$4
+    for _ in $(seq 1 100); do
+        [[ -s "$addr_file" ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "chaos-smoke: $name died during startup" >&2
+            cat "$log_file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$addr_file" ]]; then
+        echo "chaos-smoke: $name never published its address" >&2
+        cat "$log_file" >&2
+        exit 1
+    fi
+    eval "ADDR_$name=\$(cat "$addr_file")"
+    eval "PID_$name=$pid"
+    echo "chaos-smoke: $name at $(cat "$addr_file") (pid $pid)"
+}
+
+start_node b1 -queue 16 -max-jobs 2 -worker-budget 2
+start_node b2 -queue 16 -max-jobs 2 -worker-budget 2
+start_node b3 -queue 16 -max-jobs 2 -worker-budget 2
+
+# Escalating fault rates per backend: a mostly-clean node, a degraded
+# one, and an actively hostile one. Distinct seeds keep the three
+# schedules independent; rerunning the script replays them exactly.
+start_proxy p1 "http://$ADDR_b1" 0.05 11
+start_proxy p2 "http://$ADDR_b2" 0.15 12
+start_proxy p3 "http://$ADDR_b3" 0.25 13
+
+# The coordinator only sees the proxies — every byte to and from the
+# fleet crosses a faulty link. A generous shard-attempt budget plus
+# hedging and breakers is what the gate exercises.
+start_node coord -coordinator \
+    -backends "http://$ADDR_p1,http://$ADDR_p2,http://$ADDR_p3" \
+    -queue 16 -max-jobs 2 -shard-attempts 6
+
+# Concurrent load straight through the chaos: zero dropped jobs, every
+# 429 carries Retry-After, and the built-in resubmit-determinism probe
+# must hold even with shards bouncing between degraded backends.
+"$BIN/artery-bench" -loadgen "http://$ADDR_coord" -clients 2 -jobs 6 -shots 24
+
+# Bit-identity under chaos: the same request through the chaotic cluster
+# and against a clean backend directly must produce identical JSON.
+"$BIN/artery-bench" -submit "http://$ADDR_coord" -lg-workload qrw -lg-param 3 \
+    -shots 30 -seed 42 >"$BIN/chaotic.json"
+"$BIN/artery-bench" -submit "http://$ADDR_b1" -lg-workload qrw -lg-param 3 \
+    -shots 30 -seed 42 >"$BIN/clean.json"
+if ! diff -u "$BIN/clean.json" "$BIN/chaotic.json"; then
+    echo "chaos-smoke: chaotic cluster result diverged from clean run" >&2
+    exit 1
+fi
+echo "chaos-smoke: bit-identity ok ($(wc -c <"$BIN/chaotic.json") result bytes)"
+
+# The resilience metrics must be on the coordinator's /metrics.
+METRICS=$(curl -fsS "http://$ADDR_coord/metrics")
+for metric in artery_cluster_hedges_total artery_cluster_breaker_state_backend0 \
+    artery_cluster_backoff_sleep_ms_total artery_cluster_backend0_attempts_total; do
+    echo "$METRICS" | grep -q "^$metric " || {
+        echo "chaos-smoke: /metrics missing $metric" >&2
+        exit 1
+    }
+done
+
+# Graceful shutdown: coordinator, proxies, then backends. The proxies
+# report their chaos counters on the way out; at these rates the fleet
+# must have seen at least one injected fault or the gate tested nothing.
+for name in coord b1 b2 b3; do
+    pid_var="PID_$name"
+    kill -TERM "${!pid_var}"
+    if ! wait "${!pid_var}"; then
+        echo "chaos-smoke: $name did not drain cleanly" >&2
+        cat "$BIN/$name.log" >&2
+        exit 1
+    fi
+    grep -q "drained cleanly" "$BIN/$name.log" || {
+        echo "chaos-smoke: $name drain log line missing" >&2
+        cat "$BIN/$name.log" >&2
+        exit 1
+    }
+done
+faulted=0
+for name in p1 p2 p3; do
+    pid_var="PID_$name"
+    kill -TERM "${!pid_var}"
+    if ! wait "${!pid_var}"; then
+        echo "chaos-smoke: $name exited non-zero" >&2
+        cat "$BIN/$name.log" >&2
+        exit 1
+    fi
+    grep -q "^artery_chaos_connections_total " "$BIN/$name.log" || {
+        echo "chaos-smoke: $name reported no chaos counters" >&2
+        cat "$BIN/$name.log" >&2
+        exit 1
+    }
+    n=$(grep -oE 'closing \(([0-9]+) connections faulted\)' "$BIN/$name.log" | grep -oE '[0-9]+' || echo 0)
+    faulted=$((faulted + n))
+done
+if [[ "$faulted" -eq 0 ]]; then
+    echo "chaos-smoke: no faults injected across all three proxies — schedule exercised nothing" >&2
+    exit 1
+fi
+echo "chaos-smoke: $faulted connections faulted, all results byte-identical"
+PIDS=()
+echo "chaos-smoke: ok"
